@@ -1,0 +1,58 @@
+//! Criterion benchmark: the multilevel hypergraph partitioner on planner-
+//! shaped hypergraphs of increasing size, and the FM-refinement ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_blocks::{BatchLayout, BlockConfig};
+use dcp_core::Planner;
+use dcp_hypergraph::{partition, PartitionConfig};
+use dcp_mask::MaskSpec;
+use dcp_types::AttnSpec;
+
+fn planner_hypergraph(len: u32, block: u32) -> dcp_hypergraph::Hypergraph {
+    let layout = BatchLayout::build(
+        AttnSpec::paper_micro(),
+        BlockConfig {
+            block_size: block,
+            head_blocks: 2,
+        },
+        &[(len, MaskSpec::Causal)],
+    )
+    .expect("layout");
+    Planner::build_hypergraph(&layout)
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_16way");
+    group.sample_size(10);
+    for len in [16384u32, 32768, 65536] {
+        let hg = planner_hypergraph(len, 1024);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("L{len}_v{}", hg.num_vertices())),
+            &hg,
+            |b, hg| {
+                let cfg = PartitionConfig::new(16);
+                b.iter(|| partition(hg, &cfg).expect("partition"));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partition_refine_ablation");
+    group.sample_size(10);
+    let hg = planner_hypergraph(32768, 1024);
+    for refine in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if refine { "fm_on" } else { "fm_off" }),
+            &refine,
+            |b, &refine| {
+                let mut cfg = PartitionConfig::new(16);
+                cfg.refine_enabled = refine;
+                b.iter(|| partition(&hg, &cfg).expect("partition"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

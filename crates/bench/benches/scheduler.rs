@@ -1,0 +1,72 @@
+//! Criterion benchmark: division scheduling and instruction emission
+//! (Listing 3) and the ablation over the number of divisions T.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_blocks::{BatchLayout, BlockConfig};
+use dcp_mask::MaskSpec;
+use dcp_sched::{build_plan, Placement, ScheduleConfig};
+use dcp_types::AttnSpec;
+
+fn setup(len: u32) -> (BatchLayout, Placement) {
+    let layout = BatchLayout::build(
+        AttnSpec::paper_micro(),
+        BlockConfig {
+            block_size: 1024,
+            head_blocks: 2,
+        },
+        &[(len, MaskSpec::Causal)],
+    )
+    .expect("layout");
+    let n = 16u32;
+    let token_to_dev: Vec<u32> = (0..layout.token_blocks.len() as u32)
+        .map(|i| i % n)
+        .collect();
+    let comp_to_dev: Vec<u32> = layout
+        .comp_blocks
+        .iter()
+        .map(|c| token_to_dev[c.q_block.0 as usize])
+        .collect();
+    (
+        layout,
+        Placement {
+            num_devices: n,
+            token_to_dev,
+            comp_to_dev,
+        },
+    )
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build_plan");
+    group.sample_size(10);
+    for len in [32768u32, 65536, 131072] {
+        let (layout, placement) = setup(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| build_plan(&layout, &placement, &ScheduleConfig::default()).expect("plan"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("schedule_divisions");
+    group.sample_size(10);
+    let (layout, placement) = setup(65536);
+    for t in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                build_plan(
+                    &layout,
+                    &placement,
+                    &ScheduleConfig {
+                        divisions: t,
+                        ..Default::default()
+                    },
+                )
+                .expect("plan")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

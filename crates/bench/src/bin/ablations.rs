@@ -1,0 +1,111 @@
+//! Quality ablations of DCP's design choices (DESIGN.md Sec. 5): the effect
+//! of hierarchical placement, FM refinement, and the number of divisions on
+//! communication volume and simulated attention time.
+
+use dcp_bench::{
+    make_batches, mean, micro_attn, micro_cluster, num_batches, run_dcp, write_results, Table,
+};
+use dcp_core::PlannerConfig;
+use dcp_data::{DatasetKind, MaskSetting};
+use dcp_types::DeviceId;
+
+fn main() {
+    let cluster = micro_cluster();
+    let attn = micro_attn();
+    let n = num_batches();
+    const BUDGET: u64 = 131_072;
+    let batches = make_batches(
+        DatasetKind::LongDataCollections,
+        1.0,
+        BUDGET as u32,
+        BUDGET,
+        MaskSetting::Causal,
+        n,
+    );
+
+    let mut table = Table::new(&[
+        "variant",
+        "total_comm_MiB",
+        "inter_node_MiB",
+        "sim_ms",
+        "plan_ms",
+    ]);
+    let variants: Vec<(&str, PlannerConfig)> = vec![
+        (
+            "default (hier, FM, T=4)",
+            PlannerConfig {
+                block_size: 1024,
+                ..Default::default()
+            },
+        ),
+        (
+            "flat placement",
+            PlannerConfig {
+                block_size: 1024,
+                hierarchical: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no FM refinement",
+            PlannerConfig {
+                block_size: 1024,
+                refine: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "T=1 (no overlap)",
+            PlannerConfig {
+                block_size: 1024,
+                divisions: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "T=2",
+            PlannerConfig {
+                block_size: 1024,
+                divisions: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "T=8",
+            PlannerConfig {
+                block_size: 1024,
+                divisions: 8,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let mut comm = Vec::new();
+        let mut inter = Vec::new();
+        let mut sim_t = Vec::new();
+        let mut plan_t = Vec::new();
+        for batch in &batches {
+            let (sim, out) = run_dcp(&cluster, attn, &cfg, batch).expect("dcp");
+            comm.push(out.plan.total_comm_bytes() as f64);
+            let i = out.plan.fwd.comm_bytes_where(|a, b| {
+                cluster.node_of(DeviceId(a)) != cluster.node_of(DeviceId(b))
+            }) + out.plan.bwd.comm_bytes_where(|a, b| {
+                cluster.node_of(DeviceId(a)) != cluster.node_of(DeviceId(b))
+            });
+            inter.push(i as f64);
+            sim_t.push(sim.total() * 1e3);
+            plan_t.push(out.times.total() * 1e3);
+        }
+        let mib = (1u64 << 20) as f64;
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}", mean(&comm) / mib),
+            format!("{:.1}", mean(&inter) / mib),
+            format!("{:.2}", mean(&sim_t)),
+            format!("{:.1}", mean(&plan_t)),
+        ]);
+    }
+    println!("DCP design ablations (LongDataCollections, 32 GPUs, {n} batches)");
+    table.print();
+    write_results("ablations", &table.to_json());
+}

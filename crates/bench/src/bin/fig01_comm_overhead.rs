@@ -1,0 +1,113 @@
+//! Figure 1: context-parallel communication overhead when training the 8B
+//! GPT with TP=4 / CP=16 on LongAlign, as a function of the maximum
+//! sequence length — with and without computation/communication overlap.
+//!
+//! Reproduces the paper's motivation bar chart: static CP (the MLM/TE
+//! zigzag baseline) pays a communication cost that grows with context
+//! length, and a large fraction of iteration time even with overlap.
+
+use dcp_baselines::Baseline;
+use dcp_bench::{
+    e2e_cp_cluster, make_batches, mean, micro_attn, num_batches, write_results, Table,
+    BASELINE_BLOCK,
+};
+use dcp_core::{simulate_iteration, E2eConfig};
+use dcp_data::{DatasetKind, MaskSetting};
+use dcp_sched::{Instr, PhasePlan};
+use dcp_sim::simulate_plan;
+
+/// Rewrites a phase so every `CommLaunch` sits directly before its
+/// `CommWait`: communication is fully serialized with computation (the
+/// paper's "w/o overlap" bars).
+fn serialize_comm(phase: &PhasePlan) -> PhasePlan {
+    let mut out = phase.clone();
+    for dev in &mut out.devices {
+        let mut instrs = Vec::with_capacity(dev.instrs.len());
+        let mut pending: Vec<Instr> = Vec::new();
+        for ins in &dev.instrs {
+            match ins {
+                Instr::CommLaunch(cid) => pending.push(Instr::CommLaunch(*cid)),
+                Instr::CommWait(cid) => {
+                    if let Some(p) = pending
+                        .iter()
+                        .position(|i| matches!(i, Instr::CommLaunch(c) if c == cid))
+                    {
+                        instrs.push(pending.remove(p));
+                    }
+                    instrs.push(ins.clone());
+                }
+                other => instrs.push(other.clone()),
+            }
+        }
+        instrs.extend(pending);
+        dev.instrs = instrs;
+    }
+    out
+}
+
+fn main() {
+    let cp = e2e_cp_cluster();
+    let cfg = E2eConfig::paper();
+    let n = num_batches();
+
+    let mut table = Table::new(&[
+        "max_len",
+        "iter_s",
+        "comm_overlap_s",
+        "frac_overlap",
+        "iter_serial_s",
+        "comm_serial_s",
+        "frac_serial",
+    ]);
+    for max_len in [32768u32, 65536, 131072, 262144] {
+        let batches = make_batches(
+            DatasetKind::LongAlign,
+            1.0,
+            max_len,
+            max_len as u64,
+            MaskSetting::Causal,
+            n,
+        );
+        let mut iter_t = Vec::new();
+        let mut comm_ov = Vec::new();
+        let mut iter_serial = Vec::new();
+        let mut comm_serial = Vec::new();
+        for batch in &batches {
+            let te = Baseline::TransformerEngine { head_groups: 2 }
+                .build(micro_attn(), cp.num_devices(), BASELINE_BLOCK, batch)
+                .expect("te builds");
+            let sim = simulate_plan(&cp, &te.plan).expect("sim");
+            let max_tokens = *te.placement.token_loads(&te.layout).iter().max().unwrap();
+            let it = simulate_iteration(&cfg, &sim, max_tokens, te.layout.total_tokens());
+            iter_t.push(it.total);
+            comm_ov.push(it.exposed_comm);
+
+            // Serialized variant.
+            let mut plan = te.plan.clone();
+            plan.fwd = serialize_comm(&plan.fwd);
+            plan.bwd = serialize_comm(&plan.bwd);
+            let sim_s = simulate_plan(&cp, &plan).expect("sim serial");
+            let it_s = simulate_iteration(&cfg, &sim_s, max_tokens, te.layout.total_tokens());
+            iter_serial.push(it_s.total);
+            comm_serial.push(it_s.exposed_comm);
+        }
+        let (it, co, its, cs) = (
+            mean(&iter_t),
+            mean(&comm_ov),
+            mean(&iter_serial),
+            mean(&comm_serial),
+        );
+        table.row(vec![
+            max_len.to_string(),
+            format!("{it:.3}"),
+            format!("{co:.3}"),
+            format!("{:.1}%", 100.0 * co / it),
+            format!("{its:.3}"),
+            format!("{cs:.3}"),
+            format!("{:.1}%", 100.0 * cs / its),
+        ]);
+    }
+    println!("Fig. 1 — static CP communication overhead (8B GPT, TP4 x CP16, LongAlign)");
+    table.print();
+    write_results("fig01_comm_overhead", &table.to_json());
+}

@@ -1,0 +1,41 @@
+//! Figure 2: sequence-length distributions of the (synthetic) LongAlign and
+//! LongDataCollections datasets, capped at 131072 tokens.
+
+use dcp_bench::{seed, write_results, Table};
+use dcp_data::{log_histogram, sample_lengths, DatasetKind};
+
+fn main() {
+    const N: usize = 20_000;
+    const CAP: u32 = 131_072;
+    const BINS: usize = 14;
+
+    let la = sample_lengths(DatasetKind::LongAlign, N, 1.0, CAP, seed());
+    let ldc = sample_lengths(DatasetKind::LongDataCollections, N, 1.0, CAP, seed());
+    let (edges, la_counts) = log_histogram(&la, BINS, CAP);
+    let (_, ldc_counts) = log_histogram(&ldc, BINS, CAP);
+
+    let mut table = Table::new(&["len_upto", "LongAlign_frac", "LDC_frac", "LongAlign", "LDC"]);
+    for i in 0..BINS {
+        table.row(vec![
+            edges[i].to_string(),
+            format!("{:.4}", la_counts[i] as f64 / N as f64),
+            format!("{:.4}", ldc_counts[i] as f64 / N as f64),
+            "#".repeat(la_counts[i] * 60 / N),
+            "#".repeat(ldc_counts[i] * 60 / N),
+        ]);
+    }
+    println!("Fig. 2 — sequence length distributions (fraction per log bin, {N} samples)");
+    table.print();
+
+    let stats = |v: &[u32]| {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        let mean = s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64;
+        (mean, s[s.len() / 2], s[s.len() * 99 / 100])
+    };
+    let (m1, med1, p99_1) = stats(&la);
+    let (m2, med2, p99_2) = stats(&ldc);
+    println!("\nLongAlign: mean {m1:.0}, median {med1}, p99 {p99_1}");
+    println!("LongDataCollections: mean {m2:.0}, median {med2}, p99 {p99_2}");
+    write_results("fig02_seqlen_dist", &table.to_json());
+}

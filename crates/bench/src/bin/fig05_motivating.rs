@@ -1,0 +1,159 @@
+//! Figure 5: the motivating example — two short sequences and one long
+//! sequence on two devices, under three parallelization configurations:
+//!
+//! (a) pure CP (every sequence split across both devices): balanced but
+//!     maximal communication;
+//! (b) pure DP (long sequence on device 0, short ones on device 1):
+//!     zero communication but imbalanced computation;
+//! (c) the mixed configuration DCP finds (CP for the long sequence, DP for
+//!     the short ones): balanced *and* half the communication.
+
+use dcp_bench::write_results;
+use dcp_blocks::{BatchLayout, BlockConfig};
+use dcp_core::{Planner, PlannerConfig};
+use dcp_mask::MaskSpec;
+use dcp_sched::{build_plan, Placement, ScheduleConfig};
+use dcp_sim::simulate_plan;
+use dcp_types::{AttnSpec, ClusterSpec};
+use serde_json::json;
+
+fn main() {
+    // Two short sequences of 4 blocks, one long of 8 blocks (the figure's
+    // blue sequence has blocks twice the size; here twice as many).
+    let b = 1024u32;
+    let seqs = vec![
+        (4 * b, MaskSpec::Causal),
+        (4 * b, MaskSpec::Causal),
+        (8 * b, MaskSpec::Causal),
+    ];
+    let attn = AttnSpec::paper_micro();
+    let cluster = ClusterSpec::single_node(2);
+    let layout = BatchLayout::build(
+        attn,
+        BlockConfig {
+            block_size: b,
+            head_blocks: 1,
+        },
+        &seqs,
+    )
+    .expect("layout");
+
+    let eval = |name: &str, placement: &Placement| {
+        let plan = build_plan(&layout, placement, &ScheduleConfig::default()).expect("plan");
+        let sim = simulate_plan(&cluster, &plan).expect("sim");
+        let loads = placement.comp_loads(&layout);
+        let avg = loads.iter().sum::<u64>() as f64 / 2.0;
+        let imb = *loads.iter().max().unwrap() as f64 / avg;
+        println!(
+            "{name:<28} comm {:7.1} MiB   comp imbalance {imb:.2}   sim {:7.3} ms",
+            plan.total_comm_bytes() as f64 / (1 << 20) as f64,
+            sim.total() * 1e3
+        );
+        json!({
+            "config": name,
+            "comm_bytes": plan.total_comm_bytes(),
+            "imbalance": imb,
+            "sim_ms": sim.total() * 1e3,
+        })
+    };
+
+    // (a) Pure CP: zigzag halves of every sequence.
+    let zigzag = |n_blocks: u32, i: u32| -> u32 {
+        // First half of blocks to dev0/dev1 alternating halves (zigzag).
+        let half = n_blocks / 2;
+        if i < half {
+            i % 2
+        } else {
+            1 - (i - half) % 2
+        }
+    };
+    let mut token_to_dev = Vec::new();
+    for (s, (len, _)) in seqs.iter().enumerate() {
+        let n_blocks = len / b;
+        for i in 0..n_blocks {
+            let _ = s;
+            token_to_dev.push(zigzag(n_blocks, i));
+        }
+    }
+    let comp_follow_q = |token_to_dev: &[u32]| -> Vec<u32> {
+        layout
+            .comp_blocks
+            .iter()
+            .map(|c| token_to_dev[c.q_block.0 as usize])
+            .collect()
+    };
+    let pure_cp = Placement {
+        num_devices: 2,
+        token_to_dev: token_to_dev.clone(),
+        comp_to_dev: comp_follow_q(&token_to_dev),
+    };
+
+    // (b) Pure DP: sequence 2 (long) on device 0, the short ones on 1.
+    let dp_tokens: Vec<u32> = layout
+        .token_blocks
+        .iter()
+        .map(|tb| if tb.seq == 2 { 0 } else { 1 })
+        .collect();
+    let pure_dp = Placement {
+        num_devices: 2,
+        token_to_dev: dp_tokens.clone(),
+        comp_to_dev: comp_follow_q(&dp_tokens),
+    };
+
+    // (c) Mixed: short sequences on distinct devices (DP), long split (CP).
+    let mixed_tokens: Vec<u32> = layout
+        .token_blocks
+        .iter()
+        .map(|tb| match tb.seq {
+            0 => 0,
+            1 => 1,
+            _ => {
+                let i = tb.start / b;
+                let n_blocks = 8;
+                let half = n_blocks / 2;
+                if i < half {
+                    i % 2
+                } else {
+                    1 - (i - half) % 2
+                }
+            }
+        })
+        .collect();
+    let mixed = Placement {
+        num_devices: 2,
+        token_to_dev: mixed_tokens.clone(),
+        comp_to_dev: comp_follow_q(&mixed_tokens),
+    };
+
+    println!("Fig. 5 — parallelization configurations for [4k, 4k, 8k] on 2 devices\n");
+    let a = eval("(a) pure CP (zigzag)", &pure_cp);
+    let b_ = eval("(b) pure DP", &pure_dp);
+    let c = eval("(c) mixed CP+DP (DCP-style)", &mixed);
+
+    // And what the real planner picks.
+    let planner = Planner::new(
+        cluster.clone(),
+        attn,
+        PlannerConfig {
+            block_size: b,
+            head_blocks: Some(1),
+            ..Default::default()
+        },
+    );
+    let out = planner.plan(&seqs).expect("plan");
+    let sim = simulate_plan(&cluster, &out.plan).expect("sim");
+    println!(
+        "{:<28} comm {:7.1} MiB   sim {:7.3} ms",
+        "planner (hypergraph)",
+        out.plan.total_comm_bytes() as f64 / (1 << 20) as f64,
+        sim.total() * 1e3
+    );
+    write_results(
+        "fig05_motivating",
+        &json!([a, b_, c, {
+            "config": "planner",
+            "comm_bytes": out.plan.total_comm_bytes(),
+            "sim_ms": sim.total() * 1e3,
+        }]),
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 13: attention micro-benchmark under the causal mask — forward and
+//! backward time of DCP vs RingFlashAttention (Ring, ZigZag), LoongTrain
+//! (best inner ring) and TransformerEngine, across sequence-length scales
+//! {0.5, 1, 2, 4} of LongDataCollections with a 131072-token batch budget
+//! on 32 GPUs (4 p4de nodes).
+
+use dcp_baselines::Baseline;
+use dcp_bench::{
+    make_batches, mean, micro_attn, micro_cluster, num_batches, run_baseline, run_dcp_best,
+    run_loongtrain_best, write_results, Table, BASELINE_BLOCK,
+};
+use dcp_core::PlannerConfig;
+use dcp_data::{DatasetKind, MaskSetting};
+
+fn main() {
+    let cluster = micro_cluster();
+    let attn = micro_attn();
+    let n = num_batches();
+    let block = 1024u32;
+    const BUDGET: u64 = 131_072;
+
+    let mut table = Table::new(&[
+        "scale",
+        "phase",
+        "DCP_ms",
+        "RFA-Ring_ms",
+        "RFA-ZigZag_ms",
+        "LT_ms",
+        "TE_ms",
+        "speedup_vs_best",
+    ]);
+    for scale in [0.5f64, 1.0, 2.0, 4.0] {
+        let batches = make_batches(
+            DatasetKind::LongDataCollections,
+            scale,
+            BUDGET as u32,
+            BUDGET,
+            MaskSetting::Causal,
+            n,
+        );
+        let mut acc: Vec<[Vec<f64>; 2]> = (0..5).map(|_| [Vec::new(), Vec::new()]).collect();
+        for batch in &batches {
+            let (sim, _) = run_dcp_best(
+                &cluster,
+                attn,
+                &PlannerConfig {
+                    block_size: block,
+                    ..Default::default()
+                },
+                batch,
+            )
+            .expect("dcp");
+            acc[0][0].push(sim.fwd.makespan);
+            acc[0][1].push(sim.bwd.makespan);
+            for (i, b) in [Baseline::RfaRing, Baseline::RfaZigzag].iter().enumerate() {
+                let (s, _) = run_baseline(&cluster, attn, *b, BASELINE_BLOCK, batch).expect("rfa");
+                acc[1 + i][0].push(s.fwd.makespan);
+                acc[1 + i][1].push(s.bwd.makespan);
+            }
+            let (s, _) = run_loongtrain_best(&cluster, attn, 2, BASELINE_BLOCK, batch).expect("lt");
+            acc[3][0].push(s.fwd.makespan);
+            acc[3][1].push(s.bwd.makespan);
+            let (s, _) = run_baseline(
+                &cluster,
+                attn,
+                Baseline::TransformerEngine { head_groups: 2 },
+                BASELINE_BLOCK,
+                batch,
+            )
+            .expect("te");
+            acc[4][0].push(s.fwd.makespan);
+            acc[4][1].push(s.bwd.makespan);
+        }
+        for (pi, phase) in ["fwd", "bwd"].iter().enumerate() {
+            let ms: Vec<f64> = (0..5).map(|i| mean(&acc[i][pi]) * 1e3).collect();
+            let best_baseline = ms[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            table.row(vec![
+                format!("{scale}"),
+                phase.to_string(),
+                format!("{:.2}", ms[0]),
+                format!("{:.2}", ms[1]),
+                format!("{:.2}", ms[2]),
+                format!("{:.2}", ms[3]),
+                format!("{:.2}", ms[4]),
+                format!("{:.2}x", best_baseline / ms[0]),
+            ]);
+        }
+    }
+    println!(
+        "Fig. 13 — micro-benchmark, causal mask, LongDataCollections, 32 GPUs, {n} batches/config"
+    );
+    table.print();
+    write_results("fig13_micro_causal", &table.to_json());
+}

@@ -1,0 +1,71 @@
+//! Figure 14: attention micro-benchmark under the four attention masks —
+//! DCP vs the (mask-extended) TransformerEngine baseline, 32 GPUs,
+//! LongDataCollections at scale 1, 131072-token batches.
+
+use dcp_baselines::Baseline;
+use dcp_bench::{
+    make_batches, mean, micro_attn, micro_cluster, num_batches, run_baseline, run_dcp_best,
+    write_results, Table, BASELINE_BLOCK,
+};
+use dcp_core::PlannerConfig;
+use dcp_data::{DatasetKind, MaskSetting};
+
+fn main() {
+    let cluster = micro_cluster();
+    let attn = micro_attn();
+    let n = num_batches();
+    let block = 1024u32;
+    const BUDGET: u64 = 131_072;
+
+    let mut table = Table::new(&["mask", "phase", "DCP_ms", "TE_ms", "speedup"]);
+    for mask in MaskSetting::ALL {
+        let batches = make_batches(
+            DatasetKind::LongDataCollections,
+            1.0,
+            BUDGET as u32,
+            BUDGET,
+            mask,
+            n,
+        );
+        let mut dcp_t = [Vec::new(), Vec::new()];
+        let mut te_t = [Vec::new(), Vec::new()];
+        for batch in &batches {
+            let (sim, _) = run_dcp_best(
+                &cluster,
+                attn,
+                &PlannerConfig {
+                    block_size: block,
+                    ..Default::default()
+                },
+                batch,
+            )
+            .expect("dcp");
+            dcp_t[0].push(sim.fwd.makespan);
+            dcp_t[1].push(sim.bwd.makespan);
+            let (s, _) = run_baseline(
+                &cluster,
+                attn,
+                Baseline::TransformerEngine { head_groups: 2 },
+                BASELINE_BLOCK,
+                batch,
+            )
+            .expect("te");
+            te_t[0].push(s.fwd.makespan);
+            te_t[1].push(s.bwd.makespan);
+        }
+        for (pi, phase) in ["fwd", "bwd"].iter().enumerate() {
+            let d = mean(&dcp_t[pi]) * 1e3;
+            let t = mean(&te_t[pi]) * 1e3;
+            table.row(vec![
+                mask.name().to_string(),
+                phase.to_string(),
+                format!("{d:.2}"),
+                format!("{t:.2}"),
+                format!("{:.2}x", t / d),
+            ]);
+        }
+    }
+    println!("Fig. 14 — micro-benchmark under attention masks, DCP vs TE, {n} batches/config");
+    table.print();
+    write_results("fig14_micro_masks", &table.to_json());
+}

@@ -1,0 +1,10 @@
+//! Figure 15: end-to-end per-iteration training time on LongAlign — 8B GPT,
+//! 64 GPUs (TP = 4, CP = 16), DCP vs Megatron-LM with the mask-extended
+//! TransformerEngine CP backend, across maximum sequence lengths and masks.
+
+use dcp_bench::e2e_figure;
+use dcp_data::DatasetKind;
+
+fn main() {
+    e2e_figure(DatasetKind::LongAlign, "fig15_e2e_longalign");
+}

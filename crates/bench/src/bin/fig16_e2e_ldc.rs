@@ -1,0 +1,9 @@
+//! Figure 16: end-to-end per-iteration training time on LongDataCollections
+//! — same setup as Fig. 15 (8B GPT, TP4 x CP16, DCP vs MLM/TE).
+
+use dcp_bench::e2e_figure;
+use dcp_data::DatasetKind;
+
+fn main() {
+    e2e_figure(DatasetKind::LongDataCollections, "fig16_e2e_ldc");
+}

@@ -1,0 +1,97 @@
+//! Figure 17: total inter-node communication volume (and max per-device
+//! volume) vs DCP block size, on both datasets, against the static MLM(TE)
+//! baseline — communication grows slightly with block size because larger
+//! blocks give the placement less flexibility.
+
+use dcp_baselines::Baseline;
+use dcp_bench::{
+    e2e_cp_cluster, make_batches, mean, micro_attn, num_batches, run_baseline, run_dcp,
+    write_results, Table, BASELINE_BLOCK,
+};
+use dcp_core::PlannerConfig;
+use dcp_data::{DatasetKind, MaskSetting};
+use dcp_types::DeviceId;
+
+fn main() {
+    let cp = e2e_cp_cluster();
+    let attn = micro_attn();
+    let n = num_batches();
+    const MAX_LEN: u32 = 131_072;
+
+    let mut table = Table::new(&[
+        "dataset",
+        "block",
+        "DCP_inter_MiB",
+        "DCP_maxdev_MiB",
+        "MLM_inter_MiB",
+        "MLM_maxdev_MiB",
+    ]);
+    for kind in [DatasetKind::LongAlign, DatasetKind::LongDataCollections] {
+        let batches = make_batches(kind, 1.0, MAX_LEN, MAX_LEN as u64, MaskSetting::Causal, n);
+        // Baseline volume is block-size independent (chunking by ring):
+        // measure once at 2048.
+        let mut mlm_inter = Vec::new();
+        let mut mlm_maxdev = Vec::new();
+        for batch in &batches {
+            let (_, out) = run_baseline(
+                &cp,
+                attn,
+                Baseline::TransformerEngine { head_groups: 2 },
+                BASELINE_BLOCK,
+                batch,
+            )
+            .expect("te");
+            let inter =
+                out.plan
+                    .fwd
+                    .comm_bytes_where(|a, b| cp.node_of(DeviceId(a)) != cp.node_of(DeviceId(b)))
+                    + out.plan.bwd.comm_bytes_where(|a, b| {
+                        cp.node_of(DeviceId(a)) != cp.node_of(DeviceId(b))
+                    });
+            mlm_inter.push(inter as f64);
+            mlm_maxdev.push(
+                (out.plan.fwd.max_device_comm_bytes() + out.plan.bwd.max_device_comm_bytes())
+                    as f64,
+            );
+        }
+        for block in [512u32, 1024, 2048, 4096] {
+            let mut inter = Vec::new();
+            let mut maxdev = Vec::new();
+            for batch in &batches {
+                let (_, out) = run_dcp(
+                    &cp,
+                    attn,
+                    &PlannerConfig {
+                        block_size: block,
+                        ..Default::default()
+                    },
+                    batch,
+                )
+                .expect("dcp");
+                let i =
+                    out.plan.fwd.comm_bytes_where(|a, b| {
+                        cp.node_of(DeviceId(a)) != cp.node_of(DeviceId(b))
+                    }) + out.plan.bwd.comm_bytes_where(|a, b| {
+                        cp.node_of(DeviceId(a)) != cp.node_of(DeviceId(b))
+                    });
+                inter.push(i as f64);
+                maxdev.push(
+                    (out.plan.fwd.max_device_comm_bytes() + out.plan.bwd.max_device_comm_bytes())
+                        as f64,
+                );
+            }
+            let mib = (1u64 << 20) as f64;
+            table.row(vec![
+                kind.name().to_string(),
+                block.to_string(),
+                format!("{:.1}", mean(&inter) / mib),
+                format!("{:.1}", mean(&maxdev) / mib),
+                format!("{:.1}", mean(&mlm_inter) / mib),
+                format!("{:.1}", mean(&mlm_maxdev) / mib),
+            ]);
+        }
+    }
+    println!("Fig. 17 — inter-node communication volume vs block size ({n} batches/config)");
+    table.print();
+    write_results("fig17_comm_vs_blocksize", &table.to_json());
+}

@@ -1,0 +1,53 @@
+//! Figure 20: DCP communication volume vs the computation-imbalance
+//! tolerance epsilon — the trade-off between balance and communication.
+//! Larger epsilon lets the partitioner keep more blocks local, reducing
+//! communication at the cost of compute imbalance.
+
+use dcp_bench::{
+    e2e_cp_cluster, make_batches, mean, micro_attn, num_batches, run_dcp, write_results, Table,
+};
+use dcp_core::PlannerConfig;
+use dcp_data::{DatasetKind, MaskSetting};
+
+fn main() {
+    let cp = e2e_cp_cluster();
+    let attn = micro_attn();
+    let n = num_batches();
+    const MAX_LEN: u32 = 131_072;
+
+    let mut table = Table::new(&["dataset", "epsilon", "DCP_comm_MiB", "comp_imbalance"]);
+    for kind in [DatasetKind::LongAlign, DatasetKind::LongDataCollections] {
+        let batches = make_batches(kind, 1.0, MAX_LEN, MAX_LEN as u64, MaskSetting::Causal, n);
+        for eps in [0.0f64, 0.1, 0.2, 0.4, 0.8] {
+            let mut comm = Vec::new();
+            let mut imb = Vec::new();
+            for batch in &batches {
+                let (_, out) = run_dcp(
+                    &cp,
+                    attn,
+                    &PlannerConfig {
+                        block_size: 1024,
+                        eps_inter: eps.max(0.4),
+                        eps_intra: eps,
+                        ..Default::default()
+                    },
+                    batch,
+                )
+                .expect("dcp");
+                comm.push(out.plan.total_comm_bytes() as f64);
+                let loads = out.placement.comp_loads(&out.layout);
+                let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+                imb.push(*loads.iter().max().unwrap() as f64 / avg);
+            }
+            table.row(vec![
+                kind.name().to_string(),
+                format!("{eps}"),
+                format!("{:.1}", mean(&comm) / (1u64 << 20) as f64),
+                format!("{:.3}", mean(&imb)),
+            ]);
+        }
+    }
+    println!("Fig. 20 — DCP communication vs computation imbalance tolerance ({n} batches)");
+    table.print();
+    write_results("fig20_comm_vs_epsilon", &table.to_json());
+}

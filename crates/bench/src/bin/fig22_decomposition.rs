@@ -1,0 +1,93 @@
+//! Figure 22: decomposition of end-to-end iteration time (LongAlign,
+//! max sequence length 131072) into attention computation, exposed
+//! (non-overlapped) CP communication, overlapped communication, and
+//! everything else (context-independent ops, gradient sync, optimizer) —
+//! for DCP and the MLM(TE) baseline under all four masks.
+
+use dcp_baselines::Baseline;
+use dcp_bench::{
+    e2e_cp_cluster, make_batches, mean, micro_attn, num_batches, run_baseline, run_dcp,
+    write_results, Table, BASELINE_BLOCK,
+};
+use dcp_core::{simulate_iteration, E2eConfig, PlannerConfig};
+use dcp_data::{DatasetKind, MaskSetting};
+
+fn main() {
+    let cp = e2e_cp_cluster();
+    let cfg = E2eConfig::paper();
+    let attn = micro_attn();
+    let n = num_batches();
+    const MAX_LEN: u32 = 131_072;
+
+    let mut table = Table::new(&[
+        "mask",
+        "system",
+        "attn_s",
+        "exposed_comm_s",
+        "overlap_comm_s",
+        "other_s",
+        "total_s",
+    ]);
+    for mask in MaskSetting::ALL {
+        let batches = make_batches(
+            DatasetKind::LongAlign,
+            1.0,
+            MAX_LEN,
+            MAX_LEN as u64,
+            mask,
+            n,
+        );
+        for system in ["DCP", "MLM"] {
+            let mut attn_t = Vec::new();
+            let mut exposed = Vec::new();
+            let mut overlap = Vec::new();
+            let mut other = Vec::new();
+            let mut total = Vec::new();
+            for batch in &batches {
+                let (sim, max_tokens, total_tokens) = if system == "DCP" {
+                    let (sim, out) = run_dcp(
+                        &cp,
+                        attn,
+                        &PlannerConfig {
+                            block_size: 2048,
+                            ..Default::default()
+                        },
+                        batch,
+                    )
+                    .expect("dcp");
+                    let mt = *out.placement.token_loads(&out.layout).iter().max().unwrap();
+                    (sim, mt, out.layout.total_tokens())
+                } else {
+                    let (sim, out) = run_baseline(
+                        &cp,
+                        attn,
+                        Baseline::TransformerEngine { head_groups: 2 },
+                        BASELINE_BLOCK,
+                        batch,
+                    )
+                    .expect("te");
+                    let mt = *out.placement.token_loads(&out.layout).iter().max().unwrap();
+                    (sim, mt, out.layout.total_tokens())
+                };
+                let it = simulate_iteration(&cfg, &sim, max_tokens, total_tokens);
+                attn_t.push(it.attn_compute);
+                exposed.push(it.exposed_comm);
+                overlap.push(it.overlap_comm);
+                other.push(it.ctx_independent + it.grad_sync + it.other);
+                total.push(it.total);
+            }
+            table.row(vec![
+                mask.name().to_string(),
+                system.to_string(),
+                format!("{:.3}", mean(&attn_t)),
+                format!("{:.3}", mean(&exposed)),
+                format!("{:.3}", mean(&overlap)),
+                format!("{:.3}", mean(&other)),
+                format!("{:.3}", mean(&total)),
+            ]);
+        }
+    }
+    println!("Fig. 22 — iteration time decomposition (LongAlign, max_len 131072, {n} batches)");
+    table.print();
+    write_results("fig22_decomposition", &table.to_json());
+}

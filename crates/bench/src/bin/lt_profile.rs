@@ -1,0 +1,61 @@
+//! Developer utility: profile LoongTrain baseline stages per inner-ring size.
+use std::time::Instant;
+
+use dcp_baselines::{build_ring_baseline_with_layout, build_ring_layout, RingConfig};
+use dcp_bench::{make_batches, micro_attn, micro_cluster};
+use dcp_data::{DatasetKind, MaskSetting};
+use dcp_sim::simulate_plan;
+
+fn main() {
+    let cluster = micro_cluster();
+    let attn = micro_attn();
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let idx: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let batches = make_batches(
+        DatasetKind::LongDataCollections,
+        scale,
+        131072,
+        131072,
+        MaskSetting::Causal,
+        idx + 1,
+    );
+    let batch = &batches[idx];
+    let cfg = RingConfig {
+        devices: 32,
+        head_groups: 2,
+        zigzag: true,
+        inner_ring: 1,
+        pad_to_max: true,
+        block_size: 1024,
+        reorder_copy: true,
+    };
+    let t = Instant::now();
+    let layout = build_ring_layout(attn, &cfg, batch).unwrap();
+    eprintln!(
+        "batch {idx}: layout {:.2}s ({} tokens, {} comp, {} blocks)",
+        t.elapsed().as_secs_f64(),
+        layout.total_tokens(),
+        layout.comp_blocks.len(),
+        layout.token_blocks.len()
+    );
+    for w in [1u32, 2, 4, 8] {
+        let mut c2 = cfg;
+        c2.inner_ring = w;
+        let t = Instant::now();
+        let out = build_ring_baseline_with_layout("lt", &c2, layout.clone()).unwrap();
+        let ta = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let sim = simulate_plan(&cluster, &out.plan).unwrap();
+        eprintln!(
+            "w={w}: assemble {ta:.2}s sim {:.2}s -> {:.3}ms",
+            t.elapsed().as_secs_f64(),
+            sim.total() * 1e3
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Developer utility: time each pipeline stage on one micro-benchmark batch
+//! (DCP plan + sim, and each baseline). Useful for finding harness
+//! bottlenecks; not one of the paper's figures.
+
+use std::time::Instant;
+
+use dcp_baselines::Baseline;
+use dcp_bench::{make_batches, micro_attn, micro_cluster, run_loongtrain_best};
+use dcp_core::{Planner, PlannerConfig};
+use dcp_data::{DatasetKind, MaskSetting};
+use dcp_sim::simulate_plan;
+
+fn main() {
+    let cluster = micro_cluster();
+    let attn = micro_attn();
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let batch = &make_batches(
+        DatasetKind::LongDataCollections,
+        scale,
+        131072,
+        131072,
+        MaskSetting::Causal,
+        1,
+    )[0];
+    println!(
+        "scale {scale}: {} sequences, {} tokens",
+        batch.len(),
+        batch.iter().map(|(l, _)| *l as u64).sum::<u64>()
+    );
+
+    let t = Instant::now();
+    let planner = Planner::new(
+        cluster.clone(),
+        attn,
+        PlannerConfig {
+            block_size: 1024,
+            ..Default::default()
+        },
+    );
+    let out = planner.plan(batch).expect("plan");
+    println!(
+        "dcp plan: {:.2}s (blocks {:.2}s partition {:.2}s schedule {:.2}s) — {} comp blocks",
+        t.elapsed().as_secs_f64(),
+        out.times.block_gen,
+        out.times.partition,
+        out.times.schedule,
+        out.layout.comp_blocks.len()
+    );
+    let t = Instant::now();
+    let sim = simulate_plan(&cluster, &out.plan).expect("sim");
+    println!(
+        "dcp sim: {:.2}s -> {:.3}ms",
+        t.elapsed().as_secs_f64(),
+        sim.total() * 1e3
+    );
+
+    for b in [
+        Baseline::RfaRing,
+        Baseline::RfaZigzag,
+        Baseline::TransformerEngine { head_groups: 2 },
+    ] {
+        let t = Instant::now();
+        let o = b
+            .build(attn, cluster.num_devices(), 1024, batch)
+            .expect("build");
+        let tb = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let s = simulate_plan(&cluster, &o.plan).expect("sim");
+        println!(
+            "{:<12} build {tb:.2}s sim {:.2}s -> {:.3}ms ({} comp blocks)",
+            b.name(),
+            t.elapsed().as_secs_f64(),
+            s.total() * 1e3,
+            o.layout.comp_blocks.len()
+        );
+    }
+    let t = Instant::now();
+    let (s, o) = run_loongtrain_best(&cluster, attn, 2, 1024, batch).expect("lt");
+    println!(
+        "loongtrain*4 build+sim {:.2}s -> {:.3}ms ({} comp blocks, padded {} tokens)",
+        t.elapsed().as_secs_f64(),
+        s.total() * 1e3,
+        o.layout.comp_blocks.len(),
+        o.layout.total_tokens()
+    );
+}

@@ -1,0 +1,88 @@
+//! Cluster-scaling report: the paper's introduction claim that static CP's
+//! communication overhead grows with the training-cluster size, and how DCP
+//! changes the curve. Sweeps the context-parallel degree at a fixed
+//! per-batch workload.
+
+use dcp_baselines::Baseline;
+use dcp_bench::{
+    make_batches, mean, micro_attn, num_batches, run_baseline, run_dcp_best, write_results, Table,
+    BASELINE_BLOCK,
+};
+use dcp_core::PlannerConfig;
+use dcp_data::{DatasetKind, MaskSetting};
+use dcp_types::ClusterSpec;
+
+fn main() {
+    let attn = micro_attn();
+    let n = num_batches();
+    const BUDGET: u64 = 131_072;
+    let batches = make_batches(
+        DatasetKind::LongAlign,
+        1.0,
+        BUDGET as u32,
+        BUDGET,
+        MaskSetting::Causal,
+        n,
+    );
+
+    let mut table = Table::new(&[
+        "nodes",
+        "gpus",
+        "DCP_ms",
+        "DCP_exposed_ms",
+        "TE_ms",
+        "TE_exposed_ms",
+        "speedup",
+    ]);
+    for nodes in [1u32, 2, 4, 8] {
+        let cluster = ClusterSpec::p4de(nodes);
+        let mut dcp_t = Vec::new();
+        let mut dcp_e = Vec::new();
+        let mut te_t = Vec::new();
+        let mut te_e = Vec::new();
+        for batch in &batches {
+            let (sim, _) = run_dcp_best(
+                &cluster,
+                attn,
+                &PlannerConfig {
+                    block_size: 1024,
+                    ..Default::default()
+                },
+                batch,
+            )
+            .expect("dcp");
+            dcp_t.push(sim.total() * 1e3);
+            dcp_e.push((sim.fwd.max_exposed() + sim.bwd.max_exposed()) * 1e3);
+            let (sim, _) = run_baseline(
+                &cluster,
+                attn,
+                Baseline::TransformerEngine { head_groups: 2 },
+                BASELINE_BLOCK,
+                batch,
+            )
+            .expect("te");
+            te_t.push(sim.total() * 1e3);
+            te_e.push((sim.fwd.max_exposed() + sim.bwd.max_exposed()) * 1e3);
+        }
+        table.row(vec![
+            nodes.to_string(),
+            (nodes * 8).to_string(),
+            format!("{:.2}", mean(&dcp_t)),
+            format!("{:.2}", mean(&dcp_e)),
+            format!("{:.2}", mean(&te_t)),
+            format!("{:.2}", mean(&te_e)),
+            format!("{:.2}x", mean(&te_t) / mean(&dcp_t)),
+        ]);
+    }
+    println!(
+        "Cluster scaling: attention time for a fixed 131072-token LongAlign batch\n\
+         as context parallelism widens ({n} batches/config)"
+    );
+    table.print();
+    println!(
+        "\nWith a fixed workload, wider CP means less compute per device but more\n\
+         relayed KV for the static baseline — the paper's motivation for dynamic\n\
+         parallelization (Sec. 1, Fig. 1)."
+    );
+    write_results("scaling_report", &table.to_json());
+}

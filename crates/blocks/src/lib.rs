@@ -1,0 +1,592 @@
+//! Fine-grained data and computation block generation (paper Sec. 4.1).
+//!
+//! For every sequence in a training batch, DCP partitions the attention
+//! inputs (Q, K, V) and output (O) along the *head* and *sequence-length*
+//! dimensions into **data blocks**, and decomposes the attention computation
+//! into **computation blocks** — one per (Q-block, KV-block) pair whose
+//! corresponding attention-mask region is not entirely masked out. Masked
+//! pairs simply generate no computation block, which is how DCP skips work
+//! under sparse masks.
+//!
+//! The paper constrains the Q, KV and O blocks covering the *same tokens* to
+//! live on the same device (the input batch is partitioned across devices at
+//! token granularity). This crate therefore exposes a single placement unit,
+//! the [`TokenBlock`]: the Q + K + V + O slices of one token range for one
+//! head group. A [`CompBlock`] references the token block providing its
+//! queries (and receiving its output) and the token block providing its
+//! keys/values.
+//!
+//! [`BatchLayout`] is the complete block decomposition of a batch and is the
+//! input to the hypergraph placement (`dcp-hypergraph` via `dcp-core`) and
+//! the scheduler (`dcp-sched`).
+
+use dcp_mask::{Mask, MaskSpec};
+use dcp_types::{AttnSpec, Bytes, DcpError, DcpResult, Flops};
+use serde::{Deserialize, Serialize};
+
+/// Index of a [`TokenBlock`] within a [`BatchLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TokenBlockId(pub u32);
+
+/// Index of a [`CompBlock`] within a [`BatchLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompBlockId(pub u32);
+
+/// Block-partitioning hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockConfig {
+    /// Tokens per block along the sequence dimension (the paper's `B`;
+    /// swept over {512, 1024, 2048, 4096} in the evaluation).
+    pub block_size: u32,
+    /// Number of head groups the head dimension is split into. Each group
+    /// holds `q_heads / head_blocks` query heads and `kv_heads / head_blocks`
+    /// KV heads. Defaults to the number of KV heads (one KV head per group).
+    pub head_blocks: u32,
+}
+
+impl BlockConfig {
+    /// Config with the given block size and one head group per KV head.
+    pub fn with_block_size(attn: &AttnSpec, block_size: u32) -> Self {
+        BlockConfig {
+            block_size,
+            head_blocks: attn.kv_heads,
+        }
+    }
+}
+
+/// The placement unit: Q + K + V + O data blocks of one token range of one
+/// sequence, for one head group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenBlock {
+    /// Sequence index within the batch.
+    pub seq: u32,
+    /// Head-group index, `0..head_blocks`.
+    pub head_block: u32,
+    /// First token of the range, relative to the sequence start.
+    pub start: u32,
+    /// Number of tokens in the range.
+    pub len: u32,
+    /// Bytes of the Q slice.
+    pub q_bytes: Bytes,
+    /// Bytes of the K + V slices.
+    pub kv_bytes: Bytes,
+    /// Bytes of the O slice (including per-token softmax statistics).
+    pub o_bytes: Bytes,
+}
+
+impl TokenBlock {
+    /// End of the token range (exclusive), relative to the sequence start.
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+
+    /// Total bytes of all data blocks in this placement unit.
+    pub fn total_bytes(&self) -> Bytes {
+        self.q_bytes + self.kv_bytes + self.o_bytes
+    }
+}
+
+/// One unit of attention computation: queries from `q_block` against the
+/// keys/values of `kv_block`, contributing to the output block colocated
+/// with `q_block`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompBlock {
+    /// Sequence index within the batch.
+    pub seq: u32,
+    /// Head-group index.
+    pub head_block: u32,
+    /// Token block providing Q (and receiving O).
+    pub q_block: TokenBlockId,
+    /// Token block providing K and V.
+    pub kv_block: TokenBlockId,
+    /// Number of unmasked (query, key) token pairs in this block pair.
+    pub pairs: u64,
+    /// Forward FLOPs of this block.
+    pub flops: Flops,
+}
+
+/// The complete block decomposition of one training batch.
+///
+/// # Examples
+///
+/// ```
+/// use dcp_blocks::{BatchLayout, BlockConfig};
+/// use dcp_mask::MaskSpec;
+/// use dcp_types::AttnSpec;
+///
+/// let attn = AttnSpec::paper_micro();
+/// let cfg = BlockConfig { block_size: 1024, head_blocks: 2 };
+/// let layout = BatchLayout::build(
+///     attn,
+///     cfg,
+///     &[(4096, MaskSpec::Causal), (2048, MaskSpec::Causal)],
+/// )
+/// .unwrap();
+/// // 4 + 2 token blocks per head group, 2 head groups.
+/// assert_eq!(layout.token_blocks.len(), 12);
+/// // Causal: 4*5/2 + 2*3/2 = 13 block pairs per head group.
+/// assert_eq!(layout.comp_blocks.len(), 26);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchLayout {
+    /// The attention operator shape.
+    pub attn: AttnSpec,
+    /// The partitioning configuration used.
+    pub config: BlockConfig,
+    /// Per-sequence lengths.
+    pub seq_lens: Vec<u32>,
+    /// Per-sequence materialized masks.
+    pub masks: Vec<Mask>,
+    /// All token blocks, ordered by (sequence, head group, start).
+    pub token_blocks: Vec<TokenBlock>,
+    /// All computation blocks, ordered by (sequence, head group, q, kv).
+    pub comp_blocks: Vec<CompBlock>,
+    /// For each token block, the computation blocks consuming its Q slice
+    /// (equivalently, producing into its O slice).
+    pub q_consumers: Vec<Vec<CompBlockId>>,
+    /// For each token block, the computation blocks consuming its KV slice.
+    pub kv_consumers: Vec<Vec<CompBlockId>>,
+}
+
+impl BatchLayout {
+    /// Generates the block decomposition of a batch.
+    ///
+    /// Each `(len, mask)` entry describes one sequence. Sequence lengths need
+    /// not be multiples of the block size (the last block of a sequence is
+    /// short), and sequences shorter than one block produce a single block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the config is degenerate (zero block size, head
+    /// grouping that does not divide the head counts) or a mask fails to
+    /// instantiate.
+    pub fn build(attn: AttnSpec, config: BlockConfig, seqs: &[(u32, MaskSpec)]) -> DcpResult<Self> {
+        if config.block_size == 0 {
+            return Err(DcpError::invalid_argument("block size must be > 0"));
+        }
+        if config.head_blocks == 0
+            || attn.q_heads % config.head_blocks != 0
+            || attn.kv_heads % config.head_blocks != 0
+        {
+            return Err(DcpError::invalid_argument(format!(
+                "head_blocks ({}) must divide q_heads ({}) and kv_heads ({})",
+                config.head_blocks, attn.q_heads, attn.kv_heads
+            )));
+        }
+        let q_heads_per_block = (attn.q_heads / config.head_blocks) as u64;
+        let kv_heads_per_block = (attn.kv_heads / config.head_blocks) as u64;
+        let d = attn.head_dim as u64;
+        let eb = attn.dtype_bytes as u64;
+
+        let mut masks = Vec::with_capacity(seqs.len());
+        for (len, spec) in seqs {
+            masks.push(spec.instantiate(*len)?);
+        }
+
+        let mut token_blocks = Vec::new();
+        let mut comp_blocks = Vec::new();
+        for (seq_idx, (len, _)) in seqs.iter().enumerate() {
+            let mask = &masks[seq_idx];
+            let n_seq_blocks = len.div_ceil(config.block_size);
+            for hb in 0..config.head_blocks {
+                let first_id = token_blocks.len() as u32;
+                for bi in 0..n_seq_blocks {
+                    let start = bi * config.block_size;
+                    let blen = (config.block_size).min(len - start);
+                    let t = blen as u64;
+                    token_blocks.push(TokenBlock {
+                        seq: seq_idx as u32,
+                        head_block: hb,
+                        start,
+                        len: blen,
+                        q_bytes: t * q_heads_per_block * d * eb,
+                        kv_bytes: 2 * t * kv_heads_per_block * d * eb,
+                        o_bytes: t * q_heads_per_block * d * eb + t * q_heads_per_block * 4,
+                    });
+                }
+                // Computation blocks for this (sequence, head group).
+                //
+                // Per Q block, scatter every token's allowed ranges into
+                // per-KV-block pair counts with two difference arrays: point
+                // contributions for the (at most two) partially covered edge
+                // blocks, and a range-add of `block_size` for fully covered
+                // middle blocks. O(tokens + kv_blocks) per Q block — exactly
+                // equal to summing `mask.pair_count_block` per pair, but
+                // ~two orders of magnitude cheaper at long context (verified
+                // by the property test below).
+                let bs = config.block_size as u64;
+                let nb = n_seq_blocks as usize;
+                let mut point = vec![0u64; nb];
+                let mut covered = vec![0i64; nb + 1];
+                for qi in 0..n_seq_blocks {
+                    let q_id = TokenBlockId(first_id + qi);
+                    let (q_lo, q_hi) = {
+                        let b = &token_blocks[q_id.0 as usize];
+                        (b.start, b.end())
+                    };
+                    point.iter_mut().for_each(|x| *x = 0);
+                    covered.iter_mut().for_each(|x| *x = 0);
+                    for t in q_lo..q_hi {
+                        let rp = mask.allowed(t);
+                        let mut scatter = |s: u32, e: u32| {
+                            if s >= e {
+                                return;
+                            }
+                            let (s, e) = (s as u64, e as u64);
+                            let js = (s / bs) as usize;
+                            let je = ((e - 1) / bs) as usize;
+                            if js == je {
+                                point[js] += e - s;
+                            } else {
+                                point[js] += (js as u64 + 1) * bs - s;
+                                point[je] += e - je as u64 * bs;
+                                if je > js + 1 {
+                                    covered[js + 1] += 1;
+                                    covered[je] -= 1;
+                                }
+                            }
+                        };
+                        scatter(rp.a.0, rp.a.1);
+                        if let Some((b0, b1)) = rp.b {
+                            scatter(b0, b1);
+                        }
+                    }
+                    let mut full = 0i64;
+                    for ki in 0..n_seq_blocks {
+                        full += covered[ki as usize];
+                        let pairs = point[ki as usize] + full as u64 * bs;
+                        if pairs == 0 {
+                            continue;
+                        }
+                        comp_blocks.push(CompBlock {
+                            seq: seq_idx as u32,
+                            head_block: hb,
+                            q_block: q_id,
+                            kv_block: TokenBlockId(first_id + ki),
+                            pairs,
+                            flops: pairs * 4 * d * q_heads_per_block,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut q_consumers = vec![Vec::new(); token_blocks.len()];
+        let mut kv_consumers = vec![Vec::new(); token_blocks.len()];
+        for (i, c) in comp_blocks.iter().enumerate() {
+            q_consumers[c.q_block.0 as usize].push(CompBlockId(i as u32));
+            kv_consumers[c.kv_block.0 as usize].push(CompBlockId(i as u32));
+        }
+
+        Ok(BatchLayout {
+            attn,
+            config,
+            seq_lens: seqs.iter().map(|(l, _)| *l).collect(),
+            masks,
+            token_blocks,
+            comp_blocks,
+            q_consumers,
+            kv_consumers,
+        })
+    }
+
+    /// Number of sequences in the batch.
+    pub fn num_seqs(&self) -> usize {
+        self.seq_lens.len()
+    }
+
+    /// Total tokens in the batch.
+    pub fn total_tokens(&self) -> u64 {
+        self.seq_lens.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Total forward FLOPs of all computation blocks.
+    pub fn total_flops(&self) -> Flops {
+        self.comp_blocks.iter().map(|c| c.flops).sum()
+    }
+
+    /// Total bytes of all data blocks (Q + KV + O over all head groups).
+    pub fn total_bytes(&self) -> Bytes {
+        self.token_blocks.iter().map(TokenBlock::total_bytes).sum()
+    }
+
+    /// The token block providing queries for `comp`.
+    pub fn q_block_of(&self, comp: CompBlockId) -> &TokenBlock {
+        &self.token_blocks[self.comp_blocks[comp.0 as usize].q_block.0 as usize]
+    }
+
+    /// The token block providing keys/values for `comp`.
+    pub fn kv_block_of(&self, comp: CompBlockId) -> &TokenBlock {
+        &self.token_blocks[self.comp_blocks[comp.0 as usize].kv_block.0 as usize]
+    }
+
+    /// Ids of all token blocks of sequence `seq` (all head groups).
+    pub fn token_blocks_of_seq(&self, seq: u32) -> Vec<TokenBlockId> {
+        self.token_blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.seq == seq)
+            .map(|(i, _)| TokenBlockId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn micro() -> AttnSpec {
+        AttnSpec::paper_micro()
+    }
+
+    #[test]
+    fn causal_block_counts() {
+        let cfg = BlockConfig {
+            block_size: 1024,
+            head_blocks: 1,
+        };
+        let layout = BatchLayout::build(micro(), cfg, &[(4096, MaskSpec::Causal)]).unwrap();
+        assert_eq!(layout.token_blocks.len(), 4);
+        // Lower triangle of a 4x4 block grid.
+        assert_eq!(layout.comp_blocks.len(), 10);
+        // Diagonal blocks have B*(B+1)/2 pairs, off-diagonal B*B.
+        let diag = layout
+            .comp_blocks
+            .iter()
+            .find(|c| c.q_block == c.kv_block)
+            .unwrap();
+        assert_eq!(diag.pairs, 1024 * 1025 / 2);
+        let off = layout
+            .comp_blocks
+            .iter()
+            .find(|c| c.q_block != c.kv_block)
+            .unwrap();
+        assert_eq!(off.pairs, 1024 * 1024);
+    }
+
+    #[test]
+    fn head_blocks_replicate_structure() {
+        let cfg1 = BlockConfig {
+            block_size: 512,
+            head_blocks: 1,
+        };
+        let cfg2 = BlockConfig {
+            block_size: 512,
+            head_blocks: 2,
+        };
+        let seqs = [(2048, MaskSpec::Causal), (1024, MaskSpec::paper_lambda())];
+        let l1 = BatchLayout::build(micro(), cfg1, &seqs).unwrap();
+        let l2 = BatchLayout::build(micro(), cfg2, &seqs).unwrap();
+        assert_eq!(l2.token_blocks.len(), 2 * l1.token_blocks.len());
+        assert_eq!(l2.comp_blocks.len(), 2 * l1.comp_blocks.len());
+        // Total FLOPs and bytes are independent of head grouping.
+        assert_eq!(l1.total_flops(), l2.total_flops());
+        assert_eq!(l1.total_bytes(), l2.total_bytes());
+    }
+
+    #[test]
+    fn flops_match_mask_pair_total() {
+        let cfg = BlockConfig {
+            block_size: 256,
+            head_blocks: 2,
+        };
+        let spec = MaskSpec::paper_shared_question(4000);
+        let layout = BatchLayout::build(micro(), cfg, &[(4000, spec.clone())]).unwrap();
+        let mask = spec.instantiate(4000).unwrap();
+        let expected = mask.total_pairs() * 4 * 128 * 8; // all 8 q heads
+        assert_eq!(layout.total_flops(), expected);
+        let pair_total: u64 = layout.comp_blocks.iter().map(|c| c.pairs).sum();
+        // Pairs are counted once per head group.
+        assert_eq!(pair_total, mask.total_pairs() * 2);
+    }
+
+    #[test]
+    fn sparse_mask_skips_blocks() {
+        let cfg = BlockConfig {
+            block_size: 512,
+            head_blocks: 1,
+        };
+        let causal = BatchLayout::build(micro(), cfg, &[(16384, MaskSpec::Causal)]).unwrap();
+        let lambda = BatchLayout::build(
+            micro(),
+            cfg,
+            &[(
+                16384,
+                MaskSpec::Lambda {
+                    sink: 64,
+                    window: 1024,
+                },
+            )],
+        )
+        .unwrap();
+        assert!(
+            lambda.comp_blocks.len() < causal.comp_blocks.len() / 2,
+            "lambda {} vs causal {}",
+            lambda.comp_blocks.len(),
+            causal.comp_blocks.len()
+        );
+    }
+
+    #[test]
+    fn ragged_last_block() {
+        let cfg = BlockConfig {
+            block_size: 1000,
+            head_blocks: 1,
+        };
+        let layout = BatchLayout::build(micro(), cfg, &[(2500, MaskSpec::Causal)]).unwrap();
+        assert_eq!(layout.token_blocks.len(), 3);
+        assert_eq!(layout.token_blocks[2].len, 500);
+        assert_eq!(layout.token_blocks[2].start, 2000);
+        // Byte sizes scale with the short length.
+        assert_eq!(
+            layout.token_blocks[2].q_bytes * 2,
+            layout.token_blocks[0].q_bytes
+        );
+    }
+
+    #[test]
+    fn consumer_indexes_are_consistent() {
+        let cfg = BlockConfig {
+            block_size: 512,
+            head_blocks: 2,
+        };
+        let layout = BatchLayout::build(
+            micro(),
+            cfg,
+            &[(3000, MaskSpec::Causal), (1500, MaskSpec::paper_lambda())],
+        )
+        .unwrap();
+        for (tb, consumers) in layout.q_consumers.iter().enumerate() {
+            for &c in consumers {
+                assert_eq!(
+                    layout.comp_blocks[c.0 as usize].q_block,
+                    TokenBlockId(tb as u32)
+                );
+            }
+        }
+        for (tb, consumers) in layout.kv_consumers.iter().enumerate() {
+            for &c in consumers {
+                assert_eq!(
+                    layout.comp_blocks[c.0 as usize].kv_block,
+                    TokenBlockId(tb as u32)
+                );
+            }
+        }
+        // Every comp block appears exactly once in each index.
+        let nq: usize = layout.q_consumers.iter().map(Vec::len).sum();
+        let nkv: usize = layout.kv_consumers.iter().map(Vec::len).sum();
+        assert_eq!(nq, layout.comp_blocks.len());
+        assert_eq!(nkv, layout.comp_blocks.len());
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(BatchLayout::build(
+            micro(),
+            BlockConfig {
+                block_size: 0,
+                head_blocks: 1
+            },
+            &[(100, MaskSpec::Causal)]
+        )
+        .is_err());
+        assert!(BatchLayout::build(
+            micro(),
+            BlockConfig {
+                block_size: 512,
+                head_blocks: 3
+            },
+            &[(100, MaskSpec::Causal)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn blocks_never_cross_sequences() {
+        let cfg = BlockConfig {
+            block_size: 512,
+            head_blocks: 1,
+        };
+        let layout = BatchLayout::build(
+            micro(),
+            cfg,
+            &[(700, MaskSpec::Causal), (900, MaskSpec::Causal)],
+        )
+        .unwrap();
+        for c in &layout.comp_blocks {
+            let q = &layout.token_blocks[c.q_block.0 as usize];
+            let kv = &layout.token_blocks[c.kv_block.0 as usize];
+            assert_eq!(q.seq, kv.seq);
+            assert_eq!(q.head_block, kv.head_block);
+        }
+    }
+
+    proptest! {
+        /// Computation blocks cover exactly the nonzero block pairs of the
+        /// mask — no missing work, no wasted blocks (DESIGN.md invariant).
+        #[test]
+        fn comp_blocks_cover_exactly_mask_support(
+            len in 1u32..600,
+            bs in 1u32..130,
+            sink in 0u32..4,
+            window in 1u32..64,
+        ) {
+            let spec = MaskSpec::Lambda { sink, window };
+            let cfg = BlockConfig { block_size: bs, head_blocks: 1 };
+            let layout = BatchLayout::build(micro(), cfg, &[(len, spec.clone())]).unwrap();
+            let mask = spec.instantiate(len).unwrap();
+            let nb = len.div_ceil(bs);
+            let mut covered = std::collections::HashSet::new();
+            for c in &layout.comp_blocks {
+                prop_assert!(c.pairs > 0);
+                let q = &layout.token_blocks[c.q_block.0 as usize];
+                let kv = &layout.token_blocks[c.kv_block.0 as usize];
+                prop_assert_eq!(
+                    c.pairs,
+                    mask.pair_count_block(q.start, q.end(), kv.start, kv.end())
+                );
+                covered.insert((q.start / bs, kv.start / bs));
+            }
+            for qi in 0..nb {
+                for ki in 0..nb {
+                    let q_lo = qi * bs;
+                    let q_hi = (q_lo + bs).min(len);
+                    let k_lo = ki * bs;
+                    let k_hi = (k_lo + bs).min(len);
+                    let nonzero = mask.pair_count_block(q_lo, q_hi, k_lo, k_hi) > 0;
+                    prop_assert_eq!(covered.contains(&(qi, ki)), nonzero);
+                }
+            }
+        }
+
+        /// Token blocks tile each sequence exactly.
+        #[test]
+        fn token_blocks_tile_sequences(
+            l1 in 1u32..500,
+            l2 in 1u32..500,
+            bs in 1u32..100,
+        ) {
+            let cfg = BlockConfig { block_size: bs, head_blocks: 2 };
+            let layout = BatchLayout::build(
+                micro(), cfg, &[(l1, MaskSpec::Causal), (l2, MaskSpec::Causal)],
+            ).unwrap();
+            for (seq, len) in [(0u32, l1), (1u32, l2)] {
+                for hb in 0..2u32 {
+                    let mut blocks: Vec<_> = layout
+                        .token_blocks
+                        .iter()
+                        .filter(|b| b.seq == seq && b.head_block == hb)
+                        .collect();
+                    blocks.sort_by_key(|b| b.start);
+                    let mut cursor = 0;
+                    for b in &blocks {
+                        prop_assert_eq!(b.start, cursor);
+                        cursor = b.end();
+                    }
+                    prop_assert_eq!(cursor, len);
+                }
+            }
+        }
+    }
+}

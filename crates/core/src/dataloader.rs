@@ -1,0 +1,182 @@
+//! The look-ahead planning dataloader (paper Sec. 6.1).
+//!
+//! The paper overlaps planning with GPU execution: while iteration `i`
+//! runs, the plans for iterations `i+1 ..= i+kappa` are computed in
+//! parallel on CPU cores and shipped to devices through a key-value store.
+//! Here the "KV store" is an in-process channel per iteration and the CPU
+//! pool is rayon; the observable contract is the same — `next()` returns
+//! `(batch, plan)` pairs in order, with planning latency hidden behind the
+//! look-ahead window.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver};
+use dcp_data::Batch;
+use dcp_types::DcpResult;
+
+use crate::planner::{PlanOutput, Planner};
+
+/// An iterator over `(batch, plan)` pairs with asynchronous look-ahead
+/// planning.
+///
+/// # Examples
+///
+/// ```
+/// use dcp_core::{DcpDataloader, Planner, PlannerConfig};
+/// use dcp_data::{pack_batches, sample_lengths, DatasetKind, MaskSetting};
+/// use dcp_types::{AttnSpec, ClusterSpec};
+///
+/// let planner = Planner::new(
+///     ClusterSpec::p4de(1),
+///     AttnSpec::paper_micro(),
+///     PlannerConfig::default(),
+/// );
+/// let lengths = sample_lengths(DatasetKind::LongDataCollections, 20, 1.0, 16384, 0);
+/// let batches = pack_batches(&lengths, 32768, |l| MaskSetting::Causal.mask_for(l));
+/// let n = batches.len();
+/// let loader = DcpDataloader::new(planner, batches, 2);
+/// let mut count = 0;
+/// for item in loader {
+///     let (_batch, plan) = item.unwrap();
+///     assert_eq!(plan.num_devices(), 8);
+///     count += 1;
+/// }
+/// assert_eq!(count, n);
+/// ```
+pub struct DcpDataloader {
+    planner: Arc<Planner>,
+    batches: Vec<Batch>,
+    /// Next batch index to submit for planning.
+    submitted: usize,
+    /// Next batch index to hand out.
+    consumed: usize,
+    /// Look-ahead window κ.
+    lookahead: usize,
+    /// In-flight plan results, in batch order.
+    inflight: VecDeque<Receiver<DcpResult<PlanOutput>>>,
+}
+
+impl DcpDataloader {
+    /// Wraps `batches` with a planner and a look-ahead window of
+    /// `lookahead` iterations (κ in the paper; 0 plans synchronously).
+    pub fn new(planner: Planner, batches: Vec<Batch>, lookahead: usize) -> Self {
+        DcpDataloader {
+            planner: Arc::new(planner),
+            batches,
+            submitted: 0,
+            consumed: 0,
+            lookahead,
+            inflight: VecDeque::new(),
+        }
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether there are no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    fn submit_upto(&mut self, target: usize) {
+        while self.submitted < target.min(self.batches.len()) {
+            let (tx, rx) = bounded(1);
+            let planner = Arc::clone(&self.planner);
+            let seqs = self.batches[self.submitted].seqs.clone();
+            rayon::spawn(move || {
+                let _ = tx.send(planner.plan(&seqs));
+            });
+            self.inflight.push_back(rx);
+            self.submitted += 1;
+        }
+    }
+}
+
+impl Iterator for DcpDataloader {
+    type Item = DcpResult<(Batch, PlanOutput)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.consumed >= self.batches.len() {
+            return None;
+        }
+        // Keep the window `consumed .. consumed + 1 + kappa` planned.
+        self.submit_upto(self.consumed + 1 + self.lookahead);
+        let rx = self.inflight.pop_front().expect("submitted above");
+        let batch = self.batches[self.consumed].clone();
+        self.consumed += 1;
+        match rx.recv() {
+            Ok(Ok(plan)) => Some(Ok((batch, plan))),
+            Ok(Err(e)) => Some(Err(e)),
+            Err(_) => Some(Err(dcp_types::DcpError::invalid_plan(
+                "planning worker disappeared",
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerConfig;
+    use dcp_mask::MaskSpec;
+    use dcp_types::{AttnSpec, ClusterSpec};
+
+    fn batches(n: usize) -> Vec<Batch> {
+        (0..n)
+            .map(|i| Batch {
+                seqs: vec![(2048 + 512 * (i as u32 % 4), MaskSpec::Causal)],
+            })
+            .collect()
+    }
+
+    fn planner() -> Planner {
+        Planner::new(
+            ClusterSpec::single_node(4),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 512,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn yields_all_batches_in_order() {
+        let bs = batches(7);
+        let loader = DcpDataloader::new(planner(), bs.clone(), 3);
+        let got: Vec<Batch> = loader.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, bs);
+    }
+
+    #[test]
+    fn plans_match_synchronous_planning() {
+        let bs = batches(4);
+        let p = planner();
+        let direct: Vec<_> = bs.iter().map(|b| p.plan(&b.seqs).unwrap()).collect();
+        let loader = DcpDataloader::new(planner(), bs, 2);
+        for (item, expect) in loader.zip(direct) {
+            let (_, got) = item.unwrap();
+            assert_eq!(got.placement, expect.placement);
+            assert_eq!(got.plan, expect.plan);
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_still_works() {
+        let loader = DcpDataloader::new(planner(), batches(3), 0);
+        assert_eq!(loader.count(), 3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let loader = DcpDataloader::new(planner(), batches(5), 1);
+        assert_eq!(loader.len(), 5);
+        assert!(!loader.is_empty());
+        let empty = DcpDataloader::new(planner(), vec![], 1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.count(), 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! The per-batch DCP planner: block generation, hierarchical hypergraph
+//! placement, and division scheduling (paper Sec. 4).
+
+use std::time::Instant;
+
+use dcp_blocks::{BatchLayout, BlockConfig};
+use dcp_hypergraph::{partition, Hypergraph, HypergraphBuilder, PartitionConfig};
+use dcp_mask::MaskSpec;
+use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
+use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult};
+use serde::{Deserialize, Serialize};
+
+/// Planner hyper-parameters (the paper's defaults from Sec. 7.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Sequence-dimension block size (the paper searches {512, 1024, 2048,
+    /// 4096}).
+    pub block_size: u32,
+    /// Head groups; `None` uses one group per KV head.
+    pub head_blocks: Option<u32>,
+    /// Number of divisions for computation/communication overlap.
+    pub divisions: u32,
+    /// Inter-node computation imbalance tolerance (paper: 0.4).
+    pub eps_inter: f64,
+    /// Intra-node computation imbalance tolerance (paper: 0.1).
+    pub eps_intra: f64,
+    /// Partitioner seed (plans are deterministic given the seed).
+    pub seed: u64,
+    /// Hierarchical (machines → devices) placement; `false` partitions
+    /// directly over all devices (ablation).
+    pub hierarchical: bool,
+    /// Enable FM refinement in the partitioner (ablation).
+    pub refine: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            block_size: 1024,
+            head_blocks: None,
+            divisions: 4,
+            eps_inter: 0.4,
+            eps_intra: 0.1,
+            seed: 0xdc9,
+            hierarchical: true,
+            refine: true,
+        }
+    }
+}
+
+/// Wall-clock time spent in each planning stage (the paper's Fig. 18).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlanningTimes {
+    /// Block generation seconds.
+    pub block_gen: f64,
+    /// Hypergraph construction + partitioning seconds.
+    pub partition: f64,
+    /// Division scheduling + instruction emission seconds.
+    pub schedule: f64,
+}
+
+impl PlanningTimes {
+    /// Total planning seconds.
+    pub fn total(&self) -> f64 {
+        self.block_gen + self.partition + self.schedule
+    }
+}
+
+/// Everything the planner produces for one batch.
+#[derive(Debug, Clone)]
+pub struct PlanOutput {
+    /// The block decomposition.
+    pub layout: BatchLayout,
+    /// The device placement chosen by hypergraph partitioning.
+    pub placement: Placement,
+    /// The scheduled instruction streams.
+    pub plan: ExecutionPlan,
+    /// Stage timings.
+    pub times: PlanningTimes,
+}
+
+impl PlanOutput {
+    /// Number of devices the plan targets.
+    pub fn num_devices(&self) -> u32 {
+        self.plan.num_devices
+    }
+}
+
+/// The DCP planner, bound to a cluster and an attention operator shape.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cluster: ClusterSpec,
+    attn: AttnSpec,
+    cfg: PlannerConfig,
+}
+
+impl Planner {
+    /// Creates a planner for `cluster` and `attn` under `cfg`.
+    pub fn new(cluster: ClusterSpec, attn: AttnSpec, cfg: PlannerConfig) -> Self {
+        Planner { cluster, attn, cfg }
+    }
+
+    /// The planner's configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// The cluster this planner targets.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Plans one batch: generates blocks, places them, schedules divisions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout, partitioning or scheduling failures.
+    pub fn plan(&self, seqs: &[(u32, MaskSpec)]) -> DcpResult<PlanOutput> {
+        if seqs.is_empty() {
+            return Err(DcpError::invalid_argument("empty batch"));
+        }
+        let t0 = Instant::now();
+        let head_blocks = self.cfg.head_blocks.unwrap_or(self.attn.kv_heads);
+        let layout = BatchLayout::build(
+            self.attn,
+            BlockConfig {
+                block_size: self.cfg.block_size,
+                head_blocks,
+            },
+            seqs,
+        )?;
+        let t1 = Instant::now();
+        let placement = self.place(&layout)?;
+        let t2 = Instant::now();
+        let plan = build_plan(
+            &layout,
+            &placement,
+            &ScheduleConfig {
+                divisions: self.cfg.divisions,
+                ..Default::default()
+            },
+        )?;
+        let t3 = Instant::now();
+        Ok(PlanOutput {
+            layout,
+            placement,
+            plan,
+            times: PlanningTimes {
+                block_gen: (t1 - t0).as_secs_f64(),
+                partition: (t2 - t1).as_secs_f64(),
+                schedule: (t3 - t2).as_secs_f64(),
+            },
+        })
+    }
+
+    /// Builds the placement hypergraph of `layout`: one vertex per token
+    /// block (weight `[0, bytes]`) and per computation block (weight
+    /// `[flops, 0]`); per token block one hyperedge for Q+O (weight
+    /// `q_bytes + o_bytes` — identical pin sets, so they are merged) and one
+    /// for KV (weight `kv_bytes`), each connecting the token vertex to the
+    /// consuming computation blocks.
+    pub fn build_hypergraph(layout: &BatchLayout) -> Hypergraph {
+        let nt = layout.token_blocks.len();
+        let nc = layout.comp_blocks.len();
+        let mut b = HypergraphBuilder::new(nt + nc);
+        for (i, tb) in layout.token_blocks.iter().enumerate() {
+            b.set_vertex_weight(i, [0, tb.total_bytes()]);
+        }
+        for (i, cb) in layout.comp_blocks.iter().enumerate() {
+            b.set_vertex_weight(nt + i, [cb.flops, 0]);
+        }
+        let mut pins: Vec<u32> = Vec::new();
+        for (i, tb) in layout.token_blocks.iter().enumerate() {
+            // Q + O edge.
+            pins.clear();
+            pins.push(i as u32);
+            pins.extend(layout.q_consumers[i].iter().map(|c| nt as u32 + c.0));
+            if pins.len() > 1 {
+                b.add_edge(tb.q_bytes + tb.o_bytes, &pins);
+            }
+            // KV edge.
+            pins.clear();
+            pins.push(i as u32);
+            pins.extend(layout.kv_consumers[i].iter().map(|c| nt as u32 + c.0));
+            if pins.len() > 1 {
+                b.add_edge(tb.kv_bytes, &pins);
+            }
+        }
+        b.build().expect("pins are in range by construction")
+    }
+
+    fn place(&self, layout: &BatchLayout) -> DcpResult<Placement> {
+        let hg = Self::build_hypergraph(layout);
+        let nt = layout.token_blocks.len();
+        let x = self.cluster.nodes;
+        let y = self.cluster.devices_per_node;
+        let n = x * y;
+
+        let assignment: Vec<u32> = if !self.cfg.hierarchical || x == 1 {
+            let mut pc = PartitionConfig::new(n)
+                .with_epsilon(self.cfg.eps_intra)
+                .with_seed(self.cfg.seed);
+            pc.refine_enabled = self.cfg.refine;
+            partition(&hg, &pc)?.assignment
+        } else {
+            // Level 1: machines, minimizing inter-node volume.
+            let mut pc = PartitionConfig::new(x)
+                .with_epsilon(self.cfg.eps_inter)
+                .with_seed(self.cfg.seed);
+            pc.refine_enabled = self.cfg.refine;
+            let machine = partition(&hg, &pc)?;
+            // Level 2: devices within each machine. The per-machine
+            // subproblems are independent — solve them on the rayon pool
+            // (the paper parallelizes planning across CPU cores, Sec. 6.1).
+            use rayon::prelude::*;
+            let locals: Vec<DcpResult<(Vec<u32>, Vec<u32>)>> = (0..x)
+                .into_par_iter()
+                .map(|m| {
+                    let verts: Vec<u32> = (0..hg.num_vertices() as u32)
+                        .filter(|&v| machine.assignment[v as usize] == m)
+                        .collect();
+                    if verts.is_empty() {
+                        return Ok((Vec::new(), Vec::new()));
+                    }
+                    let (sub, map) = hg.induced_subgraph(&verts);
+                    let mut pc2 = PartitionConfig::new(y)
+                        .with_epsilon(self.cfg.eps_intra)
+                        .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
+                    pc2.refine_enabled = self.cfg.refine;
+                    let local = partition(&sub, &pc2)?;
+                    Ok((map, local.assignment))
+                })
+                .collect();
+            let mut assignment = vec![0u32; hg.num_vertices()];
+            for (m, res) in locals.into_iter().enumerate() {
+                let (map, local) = res?;
+                for (i, &orig) in map.iter().enumerate() {
+                    assignment[orig as usize] = m as u32 * y + local[i];
+                }
+            }
+            assignment
+        };
+
+        Ok(Placement {
+            num_devices: n,
+            token_to_dev: assignment[..nt].to_vec(),
+            comp_to_dev: assignment[nt..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_sched::schedule::validate_plan;
+
+    fn planner(nodes: u32) -> Planner {
+        Planner::new(
+            ClusterSpec::p4de(nodes),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn plan_is_valid_and_deterministic() {
+        let p = planner(1);
+        let seqs = vec![
+            (16384, MaskSpec::Causal),
+            (4096, MaskSpec::Causal),
+            (2048, MaskSpec::paper_lambda()),
+        ];
+        let a = p.plan(&seqs).unwrap();
+        validate_plan(&a.layout, &a.placement, &a.plan).unwrap();
+        let b = p.plan(&seqs).unwrap();
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn compute_is_balanced_within_tolerance() {
+        let p = planner(1);
+        let seqs = vec![(32768, MaskSpec::Causal), (32768, MaskSpec::Causal)];
+        let out = p.plan(&seqs).unwrap();
+        let loads = out.placement.comp_loads(&out.layout);
+        let total: u64 = loads.iter().sum();
+        let avg = total as f64 / loads.len() as f64;
+        let max = *loads.iter().max().unwrap() as f64;
+        // eps_intra = 0.1 plus a block of granularity slack.
+        let max_block = out
+            .layout
+            .comp_blocks
+            .iter()
+            .map(|c| c.flops)
+            .max()
+            .unwrap() as f64;
+        assert!(
+            max <= avg * 1.1 + max_block,
+            "max {max} vs avg {avg} (+block {max_block})"
+        );
+    }
+
+    #[test]
+    fn short_sequences_avoid_communication() {
+        // A batch of only short sequences (each smaller than a block)
+        // should be placeable with zero communication (pure DP).
+        let p = planner(1);
+        let seqs: Vec<(u32, MaskSpec)> = (0..16).map(|_| (1024, MaskSpec::Causal)).collect();
+        let out = p.plan(&seqs).unwrap();
+        assert_eq!(
+            out.plan.total_comm_bytes(),
+            0,
+            "every sequence fits on one device"
+        );
+    }
+
+    #[test]
+    fn hierarchical_reduces_inter_node_volume() {
+        let seqs = vec![
+            (65536, MaskSpec::Causal),
+            (16384, MaskSpec::Causal),
+            (16384, MaskSpec::Causal),
+            (8192, MaskSpec::Causal),
+        ];
+        let cluster = ClusterSpec::p4de(2);
+        let mk = |hier: bool| {
+            Planner::new(
+                cluster.clone(),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    hierarchical: hier,
+                    ..Default::default()
+                },
+            )
+        };
+        let inter_bytes = |out: &PlanOutput| {
+            let c = &cluster;
+            out.plan.fwd.comm_bytes_where(|a, b| {
+                c.node_of(dcp_types::DeviceId(a)) != c.node_of(dcp_types::DeviceId(b))
+            })
+        };
+        let hier = mk(true).plan(&seqs).unwrap();
+        let flat = mk(false).plan(&seqs).unwrap();
+        assert!(
+            inter_bytes(&hier) <= inter_bytes(&flat),
+            "hier {} > flat {}",
+            inter_bytes(&hier),
+            inter_bytes(&flat)
+        );
+    }
+
+    #[test]
+    fn looser_epsilon_no_more_comm() {
+        let seqs = vec![(32768, MaskSpec::Causal), (8192, MaskSpec::Causal)];
+        let comm = |eps: f64| {
+            let p = Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    eps_intra: eps,
+                    ..Default::default()
+                },
+            );
+            p.plan(&seqs).unwrap().plan.fwd.total_comm_bytes()
+        };
+        let tight = comm(0.02);
+        let loose = comm(0.8);
+        assert!(loose <= tight, "loose {loose} > tight {tight}");
+    }
+
+    #[test]
+    fn sparse_masks_cut_comm_vs_causal() {
+        let p = planner(2);
+        let causal = p.plan(&[(131072, MaskSpec::Causal)]).unwrap();
+        let lambda = p.plan(&[(131072, MaskSpec::paper_lambda())]).unwrap();
+        assert!(
+            lambda.plan.total_comm_bytes() < causal.plan.total_comm_bytes() / 2,
+            "lambda {} vs causal {}",
+            lambda.plan.total_comm_bytes(),
+            causal.plan.total_comm_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(planner(1).plan(&[]).is_err());
+    }
+
+    #[test]
+    fn hypergraph_cost_matches_plan_forward_comm() {
+        // The connectivity−1 objective is exactly the forward communication
+        // volume the schedule realizes.
+        let p = planner(1);
+        let seqs = vec![(16384, MaskSpec::Causal), (4096, MaskSpec::paper_lambda())];
+        let out = p.plan(&seqs).unwrap();
+        let hg = Planner::build_hypergraph(&out.layout);
+        let nt = out.layout.token_blocks.len();
+        let mut assignment = out.placement.token_to_dev.clone();
+        assignment.extend_from_slice(&out.placement.comp_to_dev);
+        let cost = hg.connectivity_cost(&assignment, out.placement.num_devices);
+        assert_eq!(cost, out.plan.fwd.total_comm_bytes());
+        let _ = nt;
+    }
+}

@@ -1,0 +1,907 @@
+//! A cooperative multi-device interpreter for execution plans.
+//!
+//! Each plan device is simulated as a state machine stepping through its
+//! instruction stream; devices are driven round-robin, blocking on
+//! `CommWait` until the matching data has been deposited. Transfers move
+//! through a mailbox keyed by (operation, payload):
+//!
+//! - *input* payloads (Q, KV, dO) are deposited when the **receiver**
+//!   launches the operation (model inputs exist from the start of the phase,
+//!   matching the scheduler's eager-send assumption);
+//! - *partial* payloads (O/dQ/dKV) are deposited when the **producer**
+//!   launches, i.e. after it finishes computing.
+//!
+//! Crucially, a device may only read block data it **owns** or that
+//! **arrived** through a waited operation. A plan that forgets a transfer
+//! fails with [`DcpError::InvalidPlan`] rather than silently producing
+//! correct-looking results — executing a plan is itself a verification.
+
+use std::collections::HashMap;
+
+use dcp_blocks::{BatchLayout, TokenBlockId};
+use dcp_sched::{ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan, Placement};
+use dcp_types::{DcpError, DcpResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernels::{
+    attn_block_bwd, attn_block_fwd, merge_outputs, BlockAcc, BlockArgs, BlockBwdArgs,
+};
+
+/// Per-token-block input tensors of one batch.
+///
+/// Block `t` holds `q: [len, qh, dim]`, `k`/`v`: `[len, kvh, dim]` where
+/// `qh`/`kvh` are the per-head-group head counts of the layout.
+#[derive(Debug, Clone)]
+pub struct BatchData {
+    /// Q slices, indexed by token block.
+    pub q: Vec<Vec<f32>>,
+    /// K slices.
+    pub k: Vec<Vec<f32>>,
+    /// V slices.
+    pub v: Vec<Vec<f32>>,
+}
+
+impl BatchData {
+    /// Per-head-group (query, kv) head counts of `layout`.
+    pub fn head_counts(layout: &BatchLayout) -> (usize, usize) {
+        (
+            (layout.attn.q_heads / layout.config.head_blocks) as usize,
+            (layout.attn.kv_heads / layout.config.head_blocks) as usize,
+        )
+    }
+
+    /// Random input data for every token block (token blocks tile the batch
+    /// disjointly, so independent blocks form a coherent batch).
+    pub fn random(layout: &BatchLayout, seed: u64) -> Self {
+        let (qh, kvh) = Self::head_counts(layout);
+        let dim = layout.attn.head_dim as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect() };
+        let mut q = Vec::new();
+        let mut k = Vec::new();
+        let mut v = Vec::new();
+        for tb in &layout.token_blocks {
+            let len = tb.len as usize;
+            q.push(gen(len * qh * dim));
+            k.push(gen(len * kvh * dim));
+            v.push(gen(len * kvh * dim));
+        }
+        BatchData { q, k, v }
+    }
+
+    /// Assembles the full `[len, heads, dim]` tensors of sequence `seq`
+    /// from its blocks (all head groups), for comparison against the dense
+    /// reference. Returns `(q, k, v)`.
+    pub fn assemble_sequence(
+        &self,
+        layout: &BatchLayout,
+        seq: u32,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (qh, kvh) = Self::head_counts(layout);
+        let dim = layout.attn.head_dim as usize;
+        let hb = layout.config.head_blocks as usize;
+        let len = layout.seq_lens[seq as usize] as usize;
+        let total_qh = qh * hb;
+        let total_kvh = kvh * hb;
+        let mut q = vec![0.0f32; len * total_qh * dim];
+        let mut k = vec![0.0f32; len * total_kvh * dim];
+        let mut v = vec![0.0f32; len * total_kvh * dim];
+        for (i, tb) in layout.token_blocks.iter().enumerate() {
+            if tb.seq != seq {
+                continue;
+            }
+            let h0q = tb.head_block as usize * qh;
+            let h0kv = tb.head_block as usize * kvh;
+            for t in 0..tb.len as usize {
+                let abs = tb.start as usize + t;
+                for h in 0..qh {
+                    for d in 0..dim {
+                        q[(abs * total_qh + h0q + h) * dim + d] = self.q[i][(t * qh + h) * dim + d];
+                    }
+                }
+                for h in 0..kvh {
+                    for d in 0..dim {
+                        k[(abs * total_kvh + h0kv + h) * dim + d] =
+                            self.k[i][(t * kvh + h) * dim + d];
+                        v[(abs * total_kvh + h0kv + h) * dim + d] =
+                            self.v[i][(t * kvh + h) * dim + d];
+                    }
+                }
+            }
+        }
+        (q, k, v)
+    }
+}
+
+/// Final attention output of one token block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockOut {
+    /// Normalized output, `[len, qh, dim]`.
+    pub o: Vec<f32>,
+    /// Log-sum-exp, `[len * qh]`.
+    pub lse: Vec<f32>,
+}
+
+/// Gradients of one token block's inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockGrads {
+    /// `[len, qh, dim]`.
+    pub dq: Vec<f32>,
+    /// `[len, kvh, dim]`.
+    pub dk: Vec<f32>,
+    /// `[len, kvh, dim]`.
+    pub dv: Vec<f32>,
+}
+
+/// Data moving through the mailbox.
+#[derive(Debug, Clone)]
+enum Data {
+    Q(Vec<f32>),
+    Kv(Vec<f32>, Vec<f32>),
+    /// dO plus the forward O and lse of the same rows (the paper's backward
+    /// kernels need O and the softmax statistics alongside dO).
+    OutGrad {
+        d_o: Vec<f32>,
+        o: Vec<f32>,
+        lse: Vec<f32>,
+    },
+    PartialO {
+        o: Vec<f32>,
+        lse: Vec<f32>,
+    },
+    PartialDq(Vec<f32>),
+    PartialDkv(Vec<f32>, Vec<f32>),
+}
+
+/// Shared interpreter scaffolding for one phase.
+struct Interp<'a> {
+    phase: &'a PhasePlan,
+    mailbox: HashMap<(u32, Payload), Data>,
+    /// Per device: payloads that have arrived (moved out of the mailbox).
+    avail: Vec<HashMap<Payload, Data>>,
+    /// Per device instruction pointer.
+    ip: Vec<usize>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(placement: &Placement, phase: &'a PhasePlan) -> Self {
+        let n = placement.num_devices as usize;
+        Interp {
+            phase,
+            mailbox: HashMap::new(),
+            avail: vec![HashMap::new(); n],
+            ip: vec![0; n],
+        }
+    }
+
+    /// Runs the round-robin loop; `step` executes one instruction and
+    /// returns `Ok(true)` on progress, `Ok(false)` when blocked.
+    fn run(
+        &mut self,
+        mut step: impl FnMut(&mut Self, u32, &Instr) -> DcpResult<bool>,
+    ) -> DcpResult<()> {
+        let n = self.avail.len();
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            for d in 0..n {
+                loop {
+                    let idx = self.ip[d];
+                    let Some(ins) = self.phase.devices[d].instrs.get(idx) else {
+                        break;
+                    };
+                    all_done = false;
+                    let ins = ins.clone();
+                    if step(self, d as u32, &ins)? {
+                        self.ip[d] += 1;
+                        progressed = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+            if !progressed {
+                return Err(DcpError::invalid_plan(
+                    "interpreter deadlock: no device can make progress",
+                ));
+            }
+        }
+    }
+
+    /// Handles `CommWait`: returns false (blocked) if data is missing.
+    fn try_wait(&mut self, dev: u32, cid: u32) -> bool {
+        let op = &self.phase.comms[cid as usize];
+        let incoming: Vec<Payload> = op
+            .transfers
+            .iter()
+            .filter(|t| t.to == dev)
+            .map(|t| t.payload)
+            .collect();
+        if incoming
+            .iter()
+            .any(|p| !self.mailbox.contains_key(&(cid, *p)))
+        {
+            return false;
+        }
+        for p in incoming {
+            let data = self.mailbox.remove(&(cid, p)).expect("checked present");
+            self.avail[dev as usize].insert(p, data);
+        }
+        true
+    }
+}
+
+/// Executes the forward phase of `plan`, returning the final `(O, lse)` of
+/// every token block (keyed by id).
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidPlan`] if the plan reads data that was never
+/// communicated, deadlocks, or references unknown blocks.
+pub fn execute_forward(
+    layout: &BatchLayout,
+    placement: &Placement,
+    plan: &ExecutionPlan,
+    data: &BatchData,
+) -> DcpResult<HashMap<TokenBlockId, BlockOut>> {
+    placement.validate(layout)?;
+    let (qh, kvh) = BatchData::head_counts(layout);
+    let dim = layout.attn.head_dim as usize;
+    let scale = 1.0 / (dim as f32).sqrt();
+    let n = placement.num_devices as usize;
+
+    let mut accs: Vec<HashMap<TokenBlockId, BlockAcc>> = vec![HashMap::new(); n];
+    let mut finals: HashMap<TokenBlockId, BlockOut> = HashMap::new();
+
+    let mut interp = Interp::new(placement, &plan.fwd);
+    interp.run(|it, dev, ins| {
+        match ins {
+            Instr::CommLaunch(cid) => {
+                let op = &it.phase.comms[cid.0 as usize];
+                for tr in &op.transfers {
+                    let tb = tr.payload.token_block();
+                    match tr.payload {
+                        Payload::Q(_) if tr.to == dev => {
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::Q(data.q[tb.0 as usize].clone()),
+                            );
+                        }
+                        Payload::Kv(_) if tr.to == dev => {
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::Kv(
+                                    data.k[tb.0 as usize].clone(),
+                                    data.v[tb.0 as usize].clone(),
+                                ),
+                            );
+                        }
+                        Payload::PartialO(_, producer) if tr.from == dev => {
+                            debug_assert_eq!(producer, dev);
+                            let acc = accs[dev as usize].get(&tb).ok_or_else(|| {
+                                DcpError::invalid_plan(format!(
+                                    "device {dev} sends partial O for {tb:?} it never computed"
+                                ))
+                            })?;
+                            let (o, lse) = acc.finalize();
+                            it.mailbox
+                                .insert((cid.0, tr.payload), Data::PartialO { o, lse });
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(true)
+            }
+            Instr::CommWait(cid) => Ok(it.try_wait(dev, cid.0)),
+            Instr::Attn { items, .. } => {
+                for &c in items {
+                    let cb = layout.comp_blocks[c.0 as usize];
+                    let qb = cb.q_block;
+                    let kb = cb.kv_block;
+                    let q_owned = placement.token_dev(qb) == dev;
+                    let kv_owned = placement.token_dev(kb) == dev;
+                    let qdata: &[f32] = if q_owned {
+                        &data.q[qb.0 as usize]
+                    } else {
+                        match it.avail[dev as usize].get(&Payload::Q(qb)) {
+                            Some(Data::Q(v)) => v,
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} computes {c:?} without Q({qb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let (kdata, vdata): (&[f32], &[f32]) = if kv_owned {
+                        (&data.k[kb.0 as usize], &data.v[kb.0 as usize])
+                    } else {
+                        match it.avail[dev as usize].get(&Payload::Kv(kb)) {
+                            Some(Data::Kv(k, v)) => (k, v),
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} computes {c:?} without KV({kb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let qtb = layout.token_blocks[qb.0 as usize];
+                    let ktb = layout.token_blocks[kb.0 as usize];
+                    let acc = accs[dev as usize]
+                        .entry(qb)
+                        .or_insert_with(|| BlockAcc::new(qtb.len as usize, qh, dim));
+                    let mask = &layout.masks[qtb.seq as usize];
+                    attn_block_fwd(
+                        acc,
+                        BlockArgs {
+                            q: qdata,
+                            k: kdata,
+                            v: vdata,
+                            qh,
+                            kvh,
+                            dim,
+                            q_len: qtb.len as usize,
+                            kv_len: ktb.len as usize,
+                            q_start: qtb.start,
+                            kv_start: ktb.start,
+                            mask,
+                            scale,
+                        },
+                    );
+                }
+                Ok(true)
+            }
+            Instr::Reduce { items, .. } => {
+                for item in items {
+                    if item.kind != PayloadKind::PartialO {
+                        return Err(DcpError::invalid_plan(
+                            "forward reduce with non-O payload kind",
+                        ));
+                    }
+                    let tb = item.target;
+                    // Start from the device's own partial (if it computed
+                    // locally for this block).
+                    let mut merged: Option<(Vec<f32>, Vec<f32>)> =
+                        accs[dev as usize].get(&tb).map(BlockAcc::finalize);
+                    for &src in &item.sources {
+                        let p = Payload::PartialO(tb, src);
+                        let (po, plse) = match it.avail[dev as usize].get(&p) {
+                            Some(Data::PartialO { o, lse }) => (o.clone(), lse.clone()),
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} reduces {tb:?} without partial from {src}"
+                                )))
+                            }
+                        };
+                        merged = Some(match merged {
+                            None => (po, plse),
+                            Some((o, lse)) => merge_outputs(&o, &lse, &po, &plse, dim),
+                        });
+                    }
+                    let (o, lse) = merged.expect("at least one source");
+                    finals.insert(tb, BlockOut { o, lse });
+                }
+                Ok(true)
+            }
+            Instr::AttnBwd { .. } => Err(DcpError::invalid_plan("backward instr in forward phase")),
+            Instr::Copy { .. } => Ok(true),
+        }
+    })?;
+
+    // Owned blocks whose outputs were computed entirely locally.
+    for (i, _) in layout.token_blocks.iter().enumerate() {
+        let tb = TokenBlockId(i as u32);
+        if finals.contains_key(&tb) {
+            continue;
+        }
+        let owner = placement.token_dev(tb) as usize;
+        let out = match accs[owner].get(&tb) {
+            Some(acc) => {
+                let (o, lse) = acc.finalize();
+                BlockOut { o, lse }
+            }
+            None => {
+                // No computation targets this block (possible only when the
+                // mask has no pairs in its rows).
+                let len = layout.token_blocks[i].len as usize;
+                BlockOut {
+                    o: vec![0.0; len * qh * dim],
+                    lse: vec![f32::NEG_INFINITY; len * qh],
+                }
+            }
+        };
+        finals.insert(tb, out);
+    }
+    Ok(finals)
+}
+
+/// Executes the backward phase of `plan`, returning the gradients of every
+/// token block. `fwd_out` is the forward result (from [`execute_forward`])
+/// and `d_o` the per-block output gradients.
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidPlan`] on under-communication or deadlock, and
+/// [`DcpError::InvalidArgument`] if `d_o` is missing a block.
+pub fn execute_backward(
+    layout: &BatchLayout,
+    placement: &Placement,
+    plan: &ExecutionPlan,
+    data: &BatchData,
+    fwd_out: &HashMap<TokenBlockId, BlockOut>,
+    d_o: &HashMap<TokenBlockId, Vec<f32>>,
+) -> DcpResult<HashMap<TokenBlockId, BlockGrads>> {
+    placement.validate(layout)?;
+    let (qh, kvh) = BatchData::head_counts(layout);
+    let dim = layout.attn.head_dim as usize;
+    let scale = 1.0 / (dim as f32).sqrt();
+    let n = placement.num_devices as usize;
+    for i in 0..layout.token_blocks.len() {
+        let tb = TokenBlockId(i as u32);
+        if !d_o.contains_key(&tb) || !fwd_out.contains_key(&tb) {
+            return Err(DcpError::invalid_argument(format!(
+                "missing forward output or dO for {tb:?}"
+            )));
+        }
+    }
+
+    // Per device gradient accumulators.
+    let mut dq_acc: Vec<HashMap<TokenBlockId, Vec<f32>>> = vec![HashMap::new(); n];
+    let mut dkv_acc: Vec<HashMap<TokenBlockId, (Vec<f32>, Vec<f32>)>> = vec![HashMap::new(); n];
+
+    let mut interp = Interp::new(placement, &plan.bwd);
+    interp.run(|it, dev, ins| {
+        match ins {
+            Instr::CommLaunch(cid) => {
+                let op = &it.phase.comms[cid.0 as usize];
+                for tr in &op.transfers {
+                    let tb = tr.payload.token_block();
+                    match tr.payload {
+                        Payload::Q(_) if tr.to == dev => {
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::Q(data.q[tb.0 as usize].clone()),
+                            );
+                        }
+                        Payload::Kv(_) if tr.to == dev => {
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::Kv(
+                                    data.k[tb.0 as usize].clone(),
+                                    data.v[tb.0 as usize].clone(),
+                                ),
+                            );
+                        }
+                        Payload::DO(_) if tr.to == dev => {
+                            let out = &fwd_out[&tb];
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::OutGrad {
+                                    d_o: d_o[&tb].clone(),
+                                    o: out.o.clone(),
+                                    lse: out.lse.clone(),
+                                },
+                            );
+                        }
+                        Payload::PartialDq(_, producer) if tr.from == dev => {
+                            debug_assert_eq!(producer, dev);
+                            let g = dq_acc[dev as usize].get(&tb).ok_or_else(|| {
+                                DcpError::invalid_plan(format!(
+                                    "device {dev} sends dQ partial for {tb:?} it never computed"
+                                ))
+                            })?;
+                            it.mailbox
+                                .insert((cid.0, tr.payload), Data::PartialDq(g.clone()));
+                        }
+                        Payload::PartialDkv(_, producer) if tr.from == dev => {
+                            debug_assert_eq!(producer, dev);
+                            let (gk, gv) = dkv_acc[dev as usize].get(&tb).ok_or_else(|| {
+                                DcpError::invalid_plan(format!(
+                                    "device {dev} sends dKV partial for {tb:?} it never computed"
+                                ))
+                            })?;
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::PartialDkv(gk.clone(), gv.clone()),
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(true)
+            }
+            Instr::CommWait(cid) => Ok(it.try_wait(dev, cid.0)),
+            Instr::AttnBwd { items, .. } => {
+                for &c in items {
+                    let cb = layout.comp_blocks[c.0 as usize];
+                    let qb = cb.q_block;
+                    let kb = cb.kv_block;
+                    let q_owned = placement.token_dev(qb) == dev;
+                    let kv_owned = placement.token_dev(kb) == dev;
+                    let qtb = layout.token_blocks[qb.0 as usize];
+                    let ktb = layout.token_blocks[kb.0 as usize];
+                    // Gather inputs, cloning small slices to satisfy the
+                    // borrow checker across the accumulator mutation below.
+                    let qdata: Vec<f32> = if q_owned {
+                        data.q[qb.0 as usize].clone()
+                    } else {
+                        match it.avail[dev as usize].get(&Payload::Q(qb)) {
+                            Some(Data::Q(v)) => v.clone(),
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} bwd {c:?} without Q({qb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let (kdata, vdata): (Vec<f32>, Vec<f32>) = if kv_owned {
+                        (data.k[kb.0 as usize].clone(), data.v[kb.0 as usize].clone())
+                    } else {
+                        match it.avail[dev as usize].get(&Payload::Kv(kb)) {
+                            Some(Data::Kv(k, v)) => (k.clone(), v.clone()),
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} bwd {c:?} without KV({kb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let (dob, ob, lseb): (Vec<f32>, Vec<f32>, Vec<f32>) = if q_owned {
+                        let out = &fwd_out[&qb];
+                        (d_o[&qb].clone(), out.o.clone(), out.lse.clone())
+                    } else {
+                        match it.avail[dev as usize].get(&Payload::DO(qb)) {
+                            Some(Data::OutGrad { d_o, o, lse }) => {
+                                (d_o.clone(), o.clone(), lse.clone())
+                            }
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} bwd {c:?} without dO({qb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let dq = dq_acc[dev as usize]
+                        .entry(qb)
+                        .or_insert_with(|| vec![0.0; qtb.len as usize * qh * dim]);
+                    let kv_entry = dkv_acc[dev as usize].entry(kb).or_insert_with(|| {
+                        (
+                            vec![0.0; ktb.len as usize * kvh * dim],
+                            vec![0.0; ktb.len as usize * kvh * dim],
+                        )
+                    });
+                    let (dk, dv) = (&mut kv_entry.0, &mut kv_entry.1);
+                    let mask = &layout.masks[qtb.seq as usize];
+                    attn_block_bwd(
+                        BlockBwdArgs {
+                            fwd: BlockArgs {
+                                q: &qdata,
+                                k: &kdata,
+                                v: &vdata,
+                                qh,
+                                kvh,
+                                dim,
+                                q_len: qtb.len as usize,
+                                kv_len: ktb.len as usize,
+                                q_start: qtb.start,
+                                kv_start: ktb.start,
+                                mask,
+                                scale,
+                            },
+                            o: &ob,
+                            lse: &lseb,
+                            d_o: &dob,
+                        },
+                        dq,
+                        dk,
+                        dv,
+                    );
+                }
+                Ok(true)
+            }
+            Instr::Reduce { items, .. } => {
+                for item in items {
+                    let tb = item.target;
+                    match item.kind {
+                        PayloadKind::PartialDq => {
+                            let len = layout.token_blocks[tb.0 as usize].len as usize;
+                            let acc = dq_acc[dev as usize]
+                                .entry(tb)
+                                .or_insert_with(|| vec![0.0; len * qh * dim]);
+                            for &src in &item.sources {
+                                match it.avail[dev as usize].get(&Payload::PartialDq(tb, src)) {
+                                    Some(Data::PartialDq(g)) => {
+                                        for (a, b) in acc.iter_mut().zip(g) {
+                                            *a += b;
+                                        }
+                                    }
+                                    _ => {
+                                        return Err(DcpError::invalid_plan(format!(
+                                            "missing dQ partial for {tb:?} from {src}"
+                                        )))
+                                    }
+                                }
+                            }
+                        }
+                        PayloadKind::PartialDkv => {
+                            let len = layout.token_blocks[tb.0 as usize].len as usize;
+                            let acc = dkv_acc[dev as usize].entry(tb).or_insert_with(|| {
+                                (vec![0.0; len * kvh * dim], vec![0.0; len * kvh * dim])
+                            });
+                            for &src in &item.sources {
+                                match it.avail[dev as usize].get(&Payload::PartialDkv(tb, src)) {
+                                    Some(Data::PartialDkv(gk, gv)) => {
+                                        for (a, b) in acc.0.iter_mut().zip(gk) {
+                                            *a += b;
+                                        }
+                                        for (a, b) in acc.1.iter_mut().zip(gv) {
+                                            *a += b;
+                                        }
+                                    }
+                                    _ => {
+                                        return Err(DcpError::invalid_plan(format!(
+                                            "missing dKV partial for {tb:?} from {src}"
+                                        )))
+                                    }
+                                }
+                            }
+                        }
+                        _ => {
+                            return Err(DcpError::invalid_plan(
+                                "backward reduce with forward payload kind",
+                            ))
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            Instr::Attn { .. } => Err(DcpError::invalid_plan("forward instr in backward phase")),
+            Instr::Copy { .. } => Ok(true),
+        }
+    })?;
+
+    // Assemble owned gradients.
+    let mut grads = HashMap::new();
+    for (i, tb) in layout.token_blocks.iter().enumerate() {
+        let id = TokenBlockId(i as u32);
+        let owner = placement.token_dev(id) as usize;
+        let len = tb.len as usize;
+        let dq = dq_acc[owner]
+            .remove(&id)
+            .unwrap_or_else(|| vec![0.0; len * qh * dim]);
+        let (dk, dv) = dkv_acc[owner]
+            .remove(&id)
+            .unwrap_or_else(|| (vec![0.0; len * kvh * dim], vec![0.0; len * kvh * dim]));
+        grads.insert(id, BlockGrads { dq, dk, dv });
+    }
+    Ok(grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use dcp_blocks::BlockConfig;
+    use dcp_mask::MaskSpec;
+    use dcp_sched::{build_plan, ScheduleConfig};
+    use dcp_types::AttnSpec;
+
+    fn small_attn() -> AttnSpec {
+        AttnSpec::new(4, 2, 8, 2)
+    }
+
+    fn build(seqs: &[(u32, MaskSpec)], bs: u32, hb: u32) -> BatchLayout {
+        BatchLayout::build(
+            small_attn(),
+            BlockConfig {
+                block_size: bs,
+                head_blocks: hb,
+            },
+            seqs,
+        )
+        .unwrap()
+    }
+
+    fn ring_placement(l: &BatchLayout, n: u32) -> Placement {
+        let token_to_dev: Vec<u32> = (0..l.token_blocks.len() as u32).map(|i| i % n).collect();
+        let comp_to_dev: Vec<u32> = l
+            .comp_blocks
+            .iter()
+            .map(|c| token_to_dev[c.q_block.0 as usize])
+            .collect();
+        Placement {
+            num_devices: n,
+            token_to_dev,
+            comp_to_dev,
+        }
+    }
+
+    /// Compares a plan execution against the dense reference for all
+    /// sequences in the layout. Panics with context on mismatch.
+    pub(crate) fn check_against_reference(
+        l: &BatchLayout,
+        p: &Placement,
+        tol_fwd: f32,
+        tol_bwd: f32,
+    ) {
+        let plan = build_plan(l, p, &ScheduleConfig::default()).unwrap();
+        dcp_sched::schedule::validate_plan(l, p, &plan).unwrap();
+        let data = BatchData::random(l, 77);
+        let out = execute_forward(l, p, &plan, &data).unwrap();
+
+        let (qh, kvh) = BatchData::head_counts(l);
+        let dim = l.attn.head_dim as usize;
+        let hb = l.config.head_blocks as usize;
+
+        // dO: random but deterministic.
+        let mut d_o = HashMap::new();
+        {
+            let mut rng = SmallRng::seed_from_u64(123);
+            for (i, tb) in l.token_blocks.iter().enumerate() {
+                let v: Vec<f32> = (0..tb.len as usize * qh * dim)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                d_o.insert(TokenBlockId(i as u32), v);
+            }
+        }
+        let grads = execute_backward(l, p, &plan, &data, &out, &d_o).unwrap();
+
+        for seq in 0..l.num_seqs() as u32 {
+            let (q, k, v) = data.assemble_sequence(l, seq);
+            let len = l.seq_lens[seq as usize] as usize;
+            let total_qh = qh * hb;
+            let total_kvh = kvh * hb;
+            let mask = &l.masks[seq as usize];
+            let (ro, rlse) = reference::attention(&q, &k, &v, len, total_qh, total_kvh, dim, mask);
+            // Assemble dO for the full sequence.
+            let mut full_do = vec![0.0f32; len * total_qh * dim];
+            for (i, tb) in l.token_blocks.iter().enumerate() {
+                if tb.seq != seq {
+                    continue;
+                }
+                let h0 = tb.head_block as usize * qh;
+                let blk = &d_o[&TokenBlockId(i as u32)];
+                for t in 0..tb.len as usize {
+                    for h in 0..qh {
+                        for d in 0..dim {
+                            full_do[((tb.start as usize + t) * total_qh + h0 + h) * dim + d] =
+                                blk[(t * qh + h) * dim + d];
+                        }
+                    }
+                }
+            }
+            let (rdq, rdk, rdv) = reference::attention_bwd(
+                &q, &k, &v, &ro, &rlse, &full_do, len, total_qh, total_kvh, dim, mask,
+            );
+            // Compare every block slice.
+            for (i, tb) in l.token_blocks.iter().enumerate() {
+                if tb.seq != seq {
+                    continue;
+                }
+                let id = TokenBlockId(i as u32);
+                let got = &out[&id];
+                let g = &grads[&id];
+                let h0q = tb.head_block as usize * qh;
+                let h0kv = tb.head_block as usize * kvh;
+                for t in 0..tb.len as usize {
+                    let abs = tb.start as usize + t;
+                    for h in 0..qh {
+                        let rr = (abs * total_qh + h0q + h) * dim;
+                        let br = (t * qh + h) * dim;
+                        for d in 0..dim {
+                            let diff = (got.o[br + d] - ro[rr + d]).abs();
+                            assert!(
+                                diff < tol_fwd,
+                                "seq {seq} block {i} O mismatch {diff} at t={t},h={h},d={d}"
+                            );
+                            let gdiff = (g.dq[br + d] - rdq[rr + d]).abs();
+                            assert!(gdiff < tol_bwd, "seq {seq} block {i} dQ mismatch {gdiff}");
+                        }
+                        let lse_ref = rlse[abs * total_qh + h0q + h];
+                        let lse_got = got.lse[t * qh + h];
+                        if lse_ref == f32::NEG_INFINITY {
+                            assert_eq!(lse_got, f32::NEG_INFINITY);
+                        } else {
+                            assert!((lse_got - lse_ref).abs() < tol_fwd);
+                        }
+                    }
+                    for h in 0..kvh {
+                        let rr = (abs * total_kvh + h0kv + h) * dim;
+                        let br = (t * kvh + h) * dim;
+                        for d in 0..dim {
+                            assert!(
+                                (g.dk[br + d] - rdk[rr + d]).abs() < tol_bwd,
+                                "seq {seq} block {i} dK mismatch"
+                            );
+                            assert!(
+                                (g.dv[br + d] - rdv[rr + d]).abs() < tol_bwd,
+                                "seq {seq} block {i} dV mismatch"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_plan_matches_reference_causal() {
+        let l = build(&[(64, MaskSpec::Causal), (32, MaskSpec::Causal)], 16, 1);
+        let p = ring_placement(&l, 3);
+        check_against_reference(&l, &p, 1e-4, 1e-3);
+    }
+
+    #[test]
+    fn ring_plan_matches_reference_masks() {
+        for spec in [
+            MaskSpec::Lambda { sink: 3, window: 9 },
+            MaskSpec::SharedQuestion {
+                question_len: 20,
+                answer_lens: vec![20, 24],
+            },
+            MaskSpec::CausalBlockwise {
+                block: 8,
+                window_blocks: 2,
+                sink_blocks: 1,
+            },
+        ] {
+            let l = build(&[(64, spec)], 16, 2);
+            let p = ring_placement(&l, 4);
+            check_against_reference(&l, &p, 1e-4, 1e-3);
+        }
+    }
+
+    #[test]
+    fn single_device_matches_reference() {
+        let l = build(&[(48, MaskSpec::Causal)], 16, 1);
+        let p = Placement::all_on_zero(&l, 1);
+        check_against_reference(&l, &p, 1e-4, 1e-3);
+    }
+
+    #[test]
+    fn random_placements_match_reference() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for trial in 0..5 {
+            let l = build(
+                &[
+                    (40, MaskSpec::Causal),
+                    (24, MaskSpec::Lambda { sink: 2, window: 8 }),
+                ],
+                8,
+                1,
+            );
+            let n = 3u32;
+            let token_to_dev: Vec<u32> = (0..l.token_blocks.len())
+                .map(|_| rng.gen_range(0..n))
+                .collect();
+            let comp_to_dev: Vec<u32> = (0..l.comp_blocks.len())
+                .map(|_| rng.gen_range(0..n))
+                .collect();
+            let p = Placement {
+                num_devices: n,
+                token_to_dev,
+                comp_to_dev,
+            };
+            check_against_reference(&l, &p, 1e-4, 1e-3);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn tampered_plan_is_rejected() {
+        // Removing a transfer makes the executor fail loudly.
+        let l = build(&[(64, MaskSpec::Causal)], 16, 1);
+        let p = ring_placement(&l, 2);
+        let mut plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let data = BatchData::random(&l, 7);
+        // Drop all transfers of the first forward comm op.
+        if let Some(op) = plan.fwd.comms.first_mut() {
+            op.transfers.clear();
+        }
+        let res = execute_forward(&l, &p, &plan, &data);
+        assert!(res.is_err(), "under-communicating plan must fail");
+    }
+}

@@ -1,0 +1,439 @@
+//! Blockwise attention kernels: online-softmax forward, partial-output
+//! merging, and the exact backward for one (Q-block, KV-block) pair.
+//!
+//! Data layout: all tensors are row-major `[tokens, heads, dim]`, i.e.
+//! element `(t, h, d)` lives at `(t * heads + h) * dim + d`. GQA is handled
+//! by mapping query head `h` to KV head `h / (q_heads / kv_heads)`.
+
+use dcp_mask::Mask;
+
+/// The running state of one output block's online softmax: the unnormalized
+/// accumulator plus per-(token, head) running max and sum-of-exponentials.
+#[derive(Debug, Clone)]
+pub struct BlockAcc {
+    /// Q-block token count.
+    pub len: usize,
+    /// Query heads in this head group.
+    pub qh: usize,
+    /// Head dimension.
+    pub dim: usize,
+    /// Running row maxima, `[len * qh]`, `-inf` when untouched.
+    pub m: Vec<f32>,
+    /// Running sum of exponentials, `[len * qh]`.
+    pub l: Vec<f32>,
+    /// Unnormalized output accumulator, `[len * qh * dim]`.
+    pub o: Vec<f32>,
+}
+
+impl BlockAcc {
+    /// A fresh (empty) accumulator.
+    pub fn new(len: usize, qh: usize, dim: usize) -> Self {
+        BlockAcc {
+            len,
+            qh,
+            dim,
+            m: vec![f32::NEG_INFINITY; len * qh],
+            l: vec![0.0; len * qh],
+            o: vec![0.0; len * qh * dim],
+        }
+    }
+
+    /// Normalizes the accumulator into `(O, lse)`. Rows that attended to
+    /// nothing produce zero output and `lse = -inf`.
+    pub fn finalize(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut out = vec![0.0f32; self.len * self.qh * self.dim];
+        let mut lse = vec![f32::NEG_INFINITY; self.len * self.qh];
+        for r in 0..self.len * self.qh {
+            if self.l[r] > 0.0 {
+                lse[r] = self.m[r] + self.l[r].ln();
+                let inv = 1.0 / self.l[r];
+                for d in 0..self.dim {
+                    out[r * self.dim + d] = self.o[r * self.dim + d] * inv;
+                }
+            }
+        }
+        (out, lse)
+    }
+}
+
+/// Arguments describing one computation block for the forward kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockArgs<'a> {
+    /// Q slice of the query block, `[q_len, qh, dim]`.
+    pub q: &'a [f32],
+    /// K slice of the KV block, `[kv_len, kvh, dim]`.
+    pub k: &'a [f32],
+    /// V slice of the KV block, `[kv_len, kvh, dim]`.
+    pub v: &'a [f32],
+    /// Query heads in the group.
+    pub qh: usize,
+    /// KV heads in the group.
+    pub kvh: usize,
+    /// Head dimension.
+    pub dim: usize,
+    /// Tokens in the query block.
+    pub q_len: usize,
+    /// Tokens in the KV block.
+    pub kv_len: usize,
+    /// Absolute token index of the query block's first token.
+    pub q_start: u32,
+    /// Absolute token index of the KV block's first token.
+    pub kv_start: u32,
+    /// The sequence's mask.
+    pub mask: &'a Mask,
+    /// Softmax scale (`1/sqrt(dim)`).
+    pub scale: f32,
+}
+
+/// Computes the masked attention of one (Q-block, KV-block) pair,
+/// accumulating into `acc` with the online-softmax rescale (Listing 1 line 5
+/// of the paper; the fused rescale of the paper's Blockwise Attention
+/// instruction).
+pub fn attn_block_fwd(acc: &mut BlockAcc, a: BlockArgs<'_>) {
+    debug_assert_eq!(acc.len, a.q_len);
+    debug_assert_eq!(acc.qh, a.qh);
+    let group = a.qh / a.kvh;
+    let mut scores = vec![0.0f32; a.kv_len];
+    let mut allowed = vec![false; a.kv_len];
+    for t in 0..a.q_len {
+        let abs_q = a.q_start + t as u32;
+        let ranges = a.mask.allowed(abs_q);
+        let mut any = false;
+        for (j, al) in allowed.iter_mut().enumerate() {
+            *al = ranges.contains(a.kv_start + j as u32);
+            any |= *al;
+        }
+        if !any {
+            continue;
+        }
+        for h in 0..a.qh {
+            let kvh_idx = h / group;
+            let r = t * a.qh + h;
+            let qrow = &a.q[(t * a.qh + h) * a.dim..(t * a.qh + h + 1) * a.dim];
+            // Scores for allowed keys.
+            let mut row_max = f32::NEG_INFINITY;
+            for j in 0..a.kv_len {
+                if !allowed[j] {
+                    continue;
+                }
+                let krow = &a.k[(j * a.kvh + kvh_idx) * a.dim..(j * a.kvh + kvh_idx + 1) * a.dim];
+                let mut s = 0.0f32;
+                for d in 0..a.dim {
+                    s += qrow[d] * krow[d];
+                }
+                s *= a.scale;
+                scores[j] = s;
+                row_max = row_max.max(s);
+            }
+            if row_max == f32::NEG_INFINITY {
+                continue;
+            }
+            // Online-softmax rescale.
+            let new_m = acc.m[r].max(row_max);
+            let correction = if acc.m[r] == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (acc.m[r] - new_m).exp()
+            };
+            acc.l[r] *= correction;
+            for d in 0..a.dim {
+                acc.o[r * a.dim + d] *= correction;
+            }
+            acc.m[r] = new_m;
+            for j in 0..a.kv_len {
+                if !allowed[j] {
+                    continue;
+                }
+                let p = (scores[j] - new_m).exp();
+                acc.l[r] += p;
+                let vrow = &a.v[(j * a.kvh + kvh_idx) * a.dim..(j * a.kvh + kvh_idx + 1) * a.dim];
+                for d in 0..a.dim {
+                    acc.o[r * a.dim + d] += p * vrow[d];
+                }
+            }
+        }
+    }
+}
+
+/// Merges two *normalized* partial outputs `(o, lse)` of the same rows into
+/// one (the paper's Blockwise Reduction). Rows absent from one side
+/// (`lse = -inf`) pass through from the other.
+pub fn merge_outputs(
+    o1: &[f32],
+    lse1: &[f32],
+    o2: &[f32],
+    lse2: &[f32],
+    dim: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    debug_assert_eq!(o1.len(), o2.len());
+    debug_assert_eq!(lse1.len(), lse2.len());
+    let rows = lse1.len();
+    let mut o = vec![0.0f32; o1.len()];
+    let mut lse = vec![f32::NEG_INFINITY; rows];
+    for r in 0..rows {
+        let (a, b) = (lse1[r], lse2[r]);
+        if a == f32::NEG_INFINITY && b == f32::NEG_INFINITY {
+            continue;
+        }
+        let m = a.max(b);
+        let ea = if a == f32::NEG_INFINITY {
+            0.0
+        } else {
+            (a - m).exp()
+        };
+        let eb = if b == f32::NEG_INFINITY {
+            0.0
+        } else {
+            (b - m).exp()
+        };
+        let sum = ea + eb;
+        lse[r] = m + sum.ln();
+        let (wa, wb) = (ea / sum, eb / sum);
+        for d in 0..dim {
+            o[r * dim + d] = wa * o1[r * dim + d] + wb * o2[r * dim + d];
+        }
+    }
+    (o, lse)
+}
+
+/// Backward-pass arguments for one computation block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockBwdArgs<'a> {
+    /// Forward arguments (Q, K, V, mask, geometry).
+    pub fwd: BlockArgs<'a>,
+    /// Final normalized output of the query block, `[q_len, qh, dim]`.
+    pub o: &'a [f32],
+    /// Final log-sum-exp of the query block, `[q_len * qh]`.
+    pub lse: &'a [f32],
+    /// Output gradient of the query block, `[q_len, qh, dim]`.
+    pub d_o: &'a [f32],
+}
+
+/// Computes the exact gradients of one (Q-block, KV-block) pair, adding into
+/// `dq` (`[q_len, qh, dim]`), `dk` and `dv` (`[kv_len, kvh, dim]`).
+///
+/// Uses the FlashAttention backward identities: with
+/// `P = exp(S - lse_row)` (the exact softmax restricted to this block),
+/// `dV += P^T dO`, `dP = dO V^T`, `delta = rowsum(dO * O)`,
+/// `dS = P * (dP - delta)`, `dQ += dS K * scale`, `dK += dS^T Q * scale`.
+pub fn attn_block_bwd(args: BlockBwdArgs<'_>, dq: &mut [f32], dk: &mut [f32], dv: &mut [f32]) {
+    let a = args.fwd;
+    let group = a.qh / a.kvh;
+    for t in 0..a.q_len {
+        let abs_q = a.q_start + t as u32;
+        let ranges = a.mask.allowed(abs_q);
+        for h in 0..a.qh {
+            let r = t * a.qh + h;
+            if args.lse[r] == f32::NEG_INFINITY {
+                continue;
+            }
+            let kvh_idx = h / group;
+            let qrow = &a.q[r * a.dim..(r + 1) * a.dim];
+            let orow = &args.o[r * a.dim..(r + 1) * a.dim];
+            let dorow = &args.d_o[r * a.dim..(r + 1) * a.dim];
+            // delta = rowsum(dO * O).
+            let mut delta = 0.0f32;
+            for d in 0..a.dim {
+                delta += dorow[d] * orow[d];
+            }
+            for j in 0..a.kv_len {
+                if !ranges.contains(a.kv_start + j as u32) {
+                    continue;
+                }
+                let kbase = (j * a.kvh + kvh_idx) * a.dim;
+                let krow = &a.k[kbase..kbase + a.dim];
+                let vrow = &a.v[kbase..kbase + a.dim];
+                let mut s = 0.0f32;
+                for d in 0..a.dim {
+                    s += qrow[d] * krow[d];
+                }
+                s *= a.scale;
+                let p = (s - args.lse[r]).exp();
+                // dV += p * dO.
+                for d in 0..a.dim {
+                    dv[kbase + d] += p * dorow[d];
+                }
+                // dP = dO . V ; dS = p * (dP - delta).
+                let mut dp = 0.0f32;
+                for d in 0..a.dim {
+                    dp += dorow[d] * vrow[d];
+                }
+                let ds = p * (dp - delta) * a.scale;
+                for d in 0..a.dim {
+                    dq[r * a.dim + d] += ds * krow[d];
+                    dk[kbase + d] += ds * qrow[d];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_mask::MaskSpec;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randv(n: usize, rng: &mut SmallRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Single block covering the whole sequence must equal a direct softmax.
+    #[test]
+    fn single_block_matches_direct_softmax() {
+        let (len, qh, kvh, dim) = (6usize, 2usize, 1usize, 4usize);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let q = randv(len * qh * dim, &mut rng);
+        let k = randv(len * kvh * dim, &mut rng);
+        let v = randv(len * kvh * dim, &mut rng);
+        let mask = MaskSpec::Causal.instantiate(len as u32).unwrap();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let mut acc = BlockAcc::new(len, qh, dim);
+        attn_block_fwd(
+            &mut acc,
+            BlockArgs {
+                q: &q,
+                k: &k,
+                v: &v,
+                qh,
+                kvh,
+                dim,
+                q_len: len,
+                kv_len: len,
+                q_start: 0,
+                kv_start: 0,
+                mask: &mask,
+                scale,
+            },
+        );
+        let (o, lse) = acc.finalize();
+        // Direct computation for one (t, h).
+        for t in 0..len {
+            for h in 0..qh {
+                let mut scores = Vec::new();
+                for j in 0..=t {
+                    let mut s = 0.0f32;
+                    for d in 0..dim {
+                        s += q[(t * qh + h) * dim + d] * k[(j * kvh) * dim + d];
+                    }
+                    scores.push(s * scale);
+                }
+                let m = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let l: f32 = scores.iter().map(|s| (s - m).exp()).sum();
+                let expect_lse = m + l.ln();
+                assert!((lse[t * qh + h] - expect_lse).abs() < 1e-5);
+                for d in 0..dim {
+                    let mut val = 0.0f32;
+                    for (j, s) in scores.iter().enumerate() {
+                        val += (s - m).exp() / l * v[(j * kvh) * dim + d];
+                    }
+                    assert!((o[(t * qh + h) * dim + d] - val).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    /// Splitting KV into two blocks and accumulating must equal one block.
+    #[test]
+    fn kv_split_accumulation_is_exact() {
+        let (len, qh, kvh, dim) = (8usize, 4usize, 2usize, 8usize);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let q = randv(len * qh * dim, &mut rng);
+        let k = randv(len * kvh * dim, &mut rng);
+        let v = randv(len * kvh * dim, &mut rng);
+        let mask = MaskSpec::Causal.instantiate(len as u32).unwrap();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let run = |splits: &[(usize, usize)]| -> (Vec<f32>, Vec<f32>) {
+            let mut acc = BlockAcc::new(len, qh, dim);
+            for &(s, e) in splits {
+                attn_block_fwd(
+                    &mut acc,
+                    BlockArgs {
+                        q: &q,
+                        k: &k[s * kvh * dim..e * kvh * dim],
+                        v: &v[s * kvh * dim..e * kvh * dim],
+                        qh,
+                        kvh,
+                        dim,
+                        q_len: len,
+                        kv_len: e - s,
+                        q_start: 0,
+                        kv_start: s as u32,
+                        mask: &mask,
+                        scale,
+                    },
+                );
+            }
+            acc.finalize()
+        };
+        let (o1, l1) = run(&[(0, len)]);
+        let (o2, l2) = run(&[(0, 3), (3, len)]);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in l1.iter().zip(&l2) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Merging partials from disjoint KV halves equals the full result.
+    #[test]
+    fn merge_equals_joint_accumulation() {
+        let (len, qh, kvh, dim) = (5usize, 2usize, 2usize, 4usize);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let q = randv(len * qh * dim, &mut rng);
+        let k = randv(len * kvh * dim, &mut rng);
+        let v = randv(len * kvh * dim, &mut rng);
+        let mask = MaskSpec::Full.instantiate(len as u32).unwrap();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let part = |s: usize, e: usize| -> (Vec<f32>, Vec<f32>) {
+            let mut acc = BlockAcc::new(len, qh, dim);
+            attn_block_fwd(
+                &mut acc,
+                BlockArgs {
+                    q: &q,
+                    k: &k[s * kvh * dim..e * kvh * dim],
+                    v: &v[s * kvh * dim..e * kvh * dim],
+                    qh,
+                    kvh,
+                    dim,
+                    q_len: len,
+                    kv_len: e - s,
+                    q_start: 0,
+                    kv_start: s as u32,
+                    mask: &mask,
+                    scale,
+                },
+            );
+            acc.finalize()
+        };
+        let (oa, la) = part(0, 2);
+        let (ob, lb) = part(2, len);
+        let (om, lm) = merge_outputs(&oa, &la, &ob, &lb, dim);
+        let (of, lf) = part(0, len);
+        for (a, b) in om.iter().zip(&of) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in lm.iter().zip(&lf) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Fully masked rows produce zero output and -inf lse, and merging with
+    /// an empty partial is the identity.
+    #[test]
+    fn empty_rows_and_identity_merge() {
+        let (len, qh, kvh, dim) = (3usize, 1usize, 1usize, 2usize);
+        let acc = BlockAcc::new(len, qh, dim);
+        let (o, lse) = acc.finalize();
+        assert!(o.iter().all(|&x| x == 0.0));
+        assert!(lse.iter().all(|&x| x == f32::NEG_INFINITY));
+        let o2 = vec![1.0f32; len * qh * dim];
+        let l2 = vec![0.5f32; len * qh];
+        let (om, lm) = merge_outputs(&o, &lse, &o2, &l2, dim);
+        assert_eq!(om, o2);
+        assert_eq!(lm, l2);
+        let _ = kvh;
+    }
+}

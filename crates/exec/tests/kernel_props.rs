@@ -1,0 +1,148 @@
+//! Property tests for the numerical kernels: the online-softmax algebra
+//! must be exact under arbitrary splits, orders and masks.
+
+use dcp_exec::kernels::{attn_block_fwd, merge_outputs, BlockAcc, BlockArgs};
+use dcp_exec::reference;
+use dcp_mask::MaskSpec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn randv(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn arb_mask() -> impl Strategy<Value = MaskSpec> {
+    prop_oneof![
+        Just(MaskSpec::Causal),
+        Just(MaskSpec::Full),
+        (0u32..3, 1u32..12).prop_map(|(sink, window)| MaskSpec::Lambda { sink, window }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Accumulating KV splits in any order equals the dense reference.
+    #[test]
+    fn split_order_invariance(
+        len in 2usize..24,
+        splits in prop::collection::vec(1usize..6, 1..5),
+        mask in arb_mask(),
+        seed in 0u64..1000,
+        reverse in any::<bool>(),
+    ) {
+        let (qh, kvh, dim) = (2usize, 1usize, 4usize);
+        let q = randv(len * qh * dim, seed);
+        let k = randv(len * kvh * dim, seed ^ 1);
+        let v = randv(len * kvh * dim, seed ^ 2);
+        let mask = mask.instantiate(len as u32).unwrap();
+        let scale = 1.0 / (dim as f32).sqrt();
+
+        // Build split boundaries covering [0, len).
+        let mut bounds = vec![0usize];
+        let mut cur = 0;
+        for s in splits {
+            cur = (cur + s).min(len);
+            if cur > *bounds.last().unwrap() {
+                bounds.push(cur);
+            }
+            if cur == len {
+                break;
+            }
+        }
+        if *bounds.last().unwrap() != len {
+            bounds.push(len);
+        }
+        let mut chunks: Vec<(usize, usize)> =
+            bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        if reverse {
+            chunks.reverse();
+        }
+
+        let mut acc = BlockAcc::new(len, qh, dim);
+        for (s, e) in chunks {
+            attn_block_fwd(
+                &mut acc,
+                BlockArgs {
+                    q: &q,
+                    k: &k[s * kvh * dim..e * kvh * dim],
+                    v: &v[s * kvh * dim..e * kvh * dim],
+                    qh,
+                    kvh,
+                    dim,
+                    q_len: len,
+                    kv_len: e - s,
+                    q_start: 0,
+                    kv_start: s as u32,
+                    mask: &mask,
+                    scale,
+                },
+            );
+        }
+        let (o, lse) = acc.finalize();
+        let (ro, rlse) =
+            reference::attention(&q, &k, &v, len, qh, kvh, dim, &mask);
+        for (a, b) in o.iter().zip(&ro) {
+            prop_assert!((a - b).abs() < 1e-4, "O {a} vs {b}");
+        }
+        for (a, b) in lse.iter().zip(&rlse) {
+            if *b == f32::NEG_INFINITY {
+                prop_assert_eq!(*a, f32::NEG_INFINITY);
+            } else {
+                prop_assert!((a - b).abs() < 1e-4, "lse {a} vs {b}");
+            }
+        }
+    }
+
+    /// merge(x, y) == merge(y, x): partial-output reduction commutes,
+    /// so the owner may reduce partials in arrival order.
+    #[test]
+    fn merge_commutes(
+        rows in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let dim = 4usize;
+        let o1 = randv(rows * dim, seed);
+        let o2 = randv(rows * dim, seed ^ 7);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 9);
+        let l1: Vec<f32> = (0..rows).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let l2: Vec<f32> = (0..rows).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let (oa, la) = merge_outputs(&o1, &l1, &o2, &l2, dim);
+        let (ob, lb) = merge_outputs(&o2, &l2, &o1, &l1, dim);
+        for (a, b) in oa.iter().zip(&ob) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in la.iter().zip(&lb) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// merge is associative up to float noise: (x+y)+z == x+(y+z).
+    #[test]
+    fn merge_associates(
+        rows in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let dim = 3usize;
+        let parts: Vec<(Vec<f32>, Vec<f32>)> = (0..3u64)
+            .map(|i| {
+                let o = randv(rows * dim, seed ^ i);
+                let mut rng = SmallRng::seed_from_u64(seed ^ (i + 10));
+                let l: Vec<f32> = (0..rows).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                (o, l)
+            })
+            .collect();
+        let (oxy, lxy) = merge_outputs(&parts[0].0, &parts[0].1, &parts[1].0, &parts[1].1, dim);
+        let (left_o, left_l) = merge_outputs(&oxy, &lxy, &parts[2].0, &parts[2].1, dim);
+        let (oyz, lyz) = merge_outputs(&parts[1].0, &parts[1].1, &parts[2].0, &parts[2].1, dim);
+        let (right_o, right_l) = merge_outputs(&parts[0].0, &parts[0].1, &oyz, &lyz, dim);
+        for (a, b) in left_o.iter().zip(&right_o) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in left_l.iter().zip(&right_l) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

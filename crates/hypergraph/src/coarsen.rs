@@ -1,0 +1,291 @@
+//! Coarsening: heavy-edge matching and hypergraph contraction.
+//!
+//! Each level matches pairs of vertices that share heavy edges (rating
+//! `sum_e w_e / (|e| - 1)`, the classic heavy-edge rating for hypergraphs)
+//! and contracts matched pairs into single coarse vertices. Contraction
+//! dedups pins, drops edges that collapse below two pins, and merges
+//! parallel edges (identical pin sets) by summing their weights.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::graph::{Hypergraph, VertexWeight};
+
+/// One coarsening level: the coarse hypergraph plus the mapping from fine
+/// vertices to coarse vertices.
+#[derive(Debug)]
+pub struct Level {
+    /// The coarse hypergraph.
+    pub coarse: Hypergraph,
+    /// `fine_to_coarse[v]` is the coarse vertex containing fine vertex `v`.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+/// Skip edges larger than this during match rating: huge edges carry almost
+/// no locality signal (`w/(|e|-1)` is tiny) and dominate the runtime.
+const MAX_RATED_EDGE: usize = 512;
+
+/// Computes one level of heavy-edge matching.
+///
+/// `max_cluster` caps the weight of a merged pair per dimension so the
+/// coarsest graph stays partitionable. When `parts` is given, only vertices
+/// in the same part may match (V-cycle coarsening that respects an existing
+/// partition). Returns `None` when matching cannot reduce the vertex count
+/// by at least ~5% (coarsening has converged).
+pub fn match_level(
+    hg: &Hypergraph,
+    max_cluster: VertexWeight,
+    rng: &mut SmallRng,
+    parts: Option<&[u32]>,
+) -> Option<Level> {
+    let n = hg.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut mate = vec![u32::MAX; n];
+    // Scratch rating accumulator, reset per vertex via a touch list.
+    let mut rating: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for &v in &order {
+        if mate[v as usize] != u32::MAX {
+            continue;
+        }
+        let vw = hg.vertex_weight(v);
+        touched.clear();
+        for &e in hg.incident_edges(v) {
+            let pins = hg.pins(e);
+            if pins.len() < 2 || pins.len() > MAX_RATED_EDGE {
+                continue;
+            }
+            let score = hg.edge_weight(e) as f64 / (pins.len() - 1) as f64;
+            for &u in pins {
+                if u == v || mate[u as usize] != u32::MAX {
+                    continue;
+                }
+                if let Some(parts) = parts {
+                    if parts[u as usize] != parts[v as usize] {
+                        continue;
+                    }
+                }
+                if rating[u as usize] == 0.0 {
+                    touched.push(u);
+                }
+                rating[u as usize] += score;
+            }
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for &u in &touched {
+            let uw = hg.vertex_weight(u);
+            let fits = vw[0] + uw[0] <= max_cluster[0] && vw[1] + uw[1] <= max_cluster[1];
+            if fits {
+                let r = rating[u as usize];
+                if best.map_or(true, |(_, br)| r > br) {
+                    best = Some((u, r));
+                }
+            }
+            rating[u as usize] = 0.0;
+        }
+        if let Some((u, _)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+        }
+    }
+
+    // Assign coarse ids.
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut nc = 0u32;
+    for v in 0..n as u32 {
+        if fine_to_coarse[v as usize] != u32::MAX {
+            continue;
+        }
+        fine_to_coarse[v as usize] = nc;
+        let m = mate[v as usize];
+        if m != u32::MAX {
+            fine_to_coarse[m as usize] = nc;
+        }
+        nc += 1;
+    }
+    if (nc as usize) as f64 > 0.95 * n as f64 {
+        return None;
+    }
+    Some(Level {
+        coarse: contract(hg, &fine_to_coarse, nc),
+        fine_to_coarse,
+    })
+}
+
+/// Contracts `hg` according to `fine_to_coarse` (values in `0..nc`).
+pub fn contract(hg: &Hypergraph, fine_to_coarse: &[u32], nc: u32) -> Hypergraph {
+    let mut vwts = vec![[0u64; 2]; nc as usize];
+    for v in 0..hg.num_vertices() {
+        let w = hg.vertex_weight(v as u32);
+        let c = fine_to_coarse[v] as usize;
+        vwts[c][0] += w[0];
+        vwts[c][1] += w[1];
+    }
+    // Map pins, dedupe, drop degenerate edges, merge parallel edges.
+    let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    for e in 0..hg.num_edges() as u32 {
+        scratch.clear();
+        scratch.extend(hg.pins(e).iter().map(|&p| fine_to_coarse[p as usize]));
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.len() < 2 {
+            continue;
+        }
+        *merged.entry(scratch.clone()).or_insert(0) += hg.edge_weight(e);
+    }
+    let mut ewts = Vec::with_capacity(merged.len());
+    let mut pin_lists = Vec::with_capacity(merged.len());
+    // Deterministic order for reproducibility.
+    let mut entries: Vec<(Vec<u32>, u64)> = merged.into_iter().collect();
+    entries.sort_unstable();
+    for (pins, w) in entries {
+        ewts.push(w);
+        pin_lists.push(pins);
+    }
+    Hypergraph::from_parts(vwts, ewts, pin_lists)
+}
+
+/// Coarsens until `target` vertices or convergence; returns the levels from
+/// finest to coarsest.
+pub fn coarsen_to(
+    hg: &Hypergraph,
+    target: usize,
+    max_cluster: VertexWeight,
+    rng: &mut SmallRng,
+) -> Vec<Level> {
+    coarsen_to_respecting(hg, target, max_cluster, rng, None)
+}
+
+/// Like [`coarsen_to`] but optionally restricting matches to vertices in
+/// the same part of `parts` (the V-cycle variant; the returned levels then
+/// preserve the partition under projection).
+pub fn coarsen_to_respecting(
+    hg: &Hypergraph,
+    target: usize,
+    max_cluster: VertexWeight,
+    rng: &mut SmallRng,
+    parts: Option<&[u32]>,
+) -> Vec<Level> {
+    let mut levels: Vec<Level> = Vec::new();
+    let mut steps = 0;
+    // Project `parts` down level by level as we coarsen.
+    let mut cur_parts: Option<Vec<u32>> = parts.map(<[u32]>::to_vec);
+    loop {
+        let current = levels.last().map_or(hg, |l| &l.coarse);
+        if current.num_vertices() <= target || steps > 64 {
+            break;
+        }
+        match match_level(current, max_cluster, rng, cur_parts.as_deref()) {
+            Some(level) => {
+                if let Some(p) = &cur_parts {
+                    let mut coarse_parts = vec![0u32; level.coarse.num_vertices()];
+                    for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+                        coarse_parts[c as usize] = p[v];
+                    }
+                    cur_parts = Some(coarse_parts);
+                }
+                levels.push(level);
+            }
+            None => break,
+        }
+        steps += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HypergraphBuilder;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(n);
+        for v in 0..n {
+            b.set_vertex_weight(v, [1, 1]);
+        }
+        for v in 0..n - 1 {
+            b.add_edge(1, &[v as u32, v as u32 + 1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matching_halves_a_chain() {
+        let hg = chain(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let level = match_level(&hg, [1000, 1000], &mut rng, None).unwrap();
+        let nc = level.coarse.num_vertices();
+        assert!(nc >= 32 && nc < 61, "nc = {nc}");
+        // Weights conserved.
+        assert_eq!(level.coarse.total_weight(), hg.total_weight());
+    }
+
+    #[test]
+    fn contraction_merges_parallel_edges() {
+        // Two vertices joined by two edges; contract the other pair.
+        let mut b = HypergraphBuilder::new(4);
+        for v in 0..4 {
+            b.set_vertex_weight(v, [1, 0]);
+        }
+        b.add_edge(3, &[0, 1]);
+        b.add_edge(5, &[0, 2, 3]); // after contracting 2,3 becomes {0, C}
+        b.add_edge(7, &[0, 2]); // also becomes {0, C}
+        let hg = b.build().unwrap();
+        let coarse = contract(&hg, &[0, 1, 2, 2], 3);
+        assert_eq!(coarse.num_vertices(), 3);
+        // Edge {0,1} kept, the two {0, C} edges merged into one of weight 12.
+        assert_eq!(coarse.num_edges(), 2);
+        let total_w: u64 = (0..coarse.num_edges() as u32)
+            .map(|e| coarse.edge_weight(e))
+            .sum();
+        assert_eq!(total_w, 15);
+        let has_merged = (0..coarse.num_edges() as u32).any(|e| coarse.edge_weight(e) == 12);
+        assert!(has_merged);
+    }
+
+    #[test]
+    fn contraction_drops_collapsed_edges() {
+        let hg = chain(3);
+        // Contract all three into one vertex: every edge collapses.
+        let coarse = contract(&hg, &[0, 0, 0], 1);
+        assert_eq!(coarse.num_edges(), 0);
+        assert_eq!(coarse.total_weight(), [3, 3]);
+    }
+
+    #[test]
+    fn cluster_weight_cap_respected() {
+        let hg = chain(16);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let level = match_level(&hg, [1, 1], &mut rng, None);
+        // Cap of 1 per dim forbids every merge (each vertex already weighs 1).
+        assert!(level.is_none());
+    }
+
+    #[test]
+    fn coarsen_to_target() {
+        let hg = chain(256);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let levels = coarsen_to(&hg, 16, [64, 64], &mut rng);
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().coarse;
+        assert!(coarsest.num_vertices() <= 32, "{}", coarsest.num_vertices());
+        assert_eq!(coarsest.total_weight(), hg.total_weight());
+        // fine_to_coarse maps compose level by level.
+        let mut assignment: Vec<u32> = (0..hg.num_vertices() as u32).collect();
+        for level in &levels {
+            assignment = assignment
+                .iter()
+                .map(|&v| level.fine_to_coarse[v as usize])
+                .collect();
+        }
+        let max = *assignment.iter().max().unwrap() as usize;
+        assert!(max < coarsest.num_vertices());
+    }
+}

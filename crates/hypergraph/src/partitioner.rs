@@ -1,0 +1,398 @@
+//! The multilevel partitioning driver.
+
+use dcp_types::{DcpError, DcpResult};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::coarsen::{coarsen_to, coarsen_to_respecting};
+use crate::graph::{Hypergraph, VertexWeight};
+use crate::initial::{initial_partition, is_balanced};
+use crate::refine::{rebalance, refine};
+
+/// Configuration of one partitioning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Number of parts.
+    pub k: u32,
+    /// Imbalance tolerance per weight dimension: part weight may exceed the
+    /// average by this fraction. The paper uses `[epsilon, ~0]` — a
+    /// user-visible compute tolerance and data blocks kept "as balanced as
+    /// possible" (we allow a small granularity slack on data).
+    pub eps: [f64; 2],
+    /// RNG seed (plans are deterministic given the seed).
+    pub seed: u64,
+    /// Stop coarsening at this many vertices (0 = auto: `64 * k`).
+    pub coarsen_target: usize,
+    /// Refinement passes per level.
+    pub refine_passes: u32,
+    /// Initial-partitioning portfolio size.
+    pub initial_tries: u32,
+    /// Disable refinement entirely (for ablation benchmarks).
+    pub refine_enabled: bool,
+    /// Number of V-cycles after the initial multilevel pass: each V-cycle
+    /// re-coarsens the hypergraph *respecting* the current partition and
+    /// refines on the way back up, escaping local minima the single pass
+    /// left behind.
+    pub vcycles: u32,
+}
+
+impl PartitionConfig {
+    /// A sensible default configuration for `k` parts: compute tolerance
+    /// 10%, data tolerance 5%, multilevel with refinement.
+    pub fn new(k: u32) -> Self {
+        PartitionConfig {
+            k,
+            eps: [0.10, 0.05],
+            seed: 0x5eed,
+            coarsen_target: 0,
+            refine_passes: 8,
+            initial_tries: 4,
+            refine_enabled: true,
+            vcycles: 1,
+        }
+    }
+
+    /// Sets the compute-imbalance tolerance (the paper's epsilon).
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.eps[0] = eps;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of a partitioning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// Part of each vertex, in `0..k`.
+    pub assignment: Vec<u32>,
+    /// Final connectivity−1 cost (total communication volume).
+    pub cost: u64,
+    /// Per-part total vertex weight.
+    pub part_weights: Vec<VertexWeight>,
+    /// Whether the balance caps were satisfied.
+    pub balanced: bool,
+    /// The caps that were enforced.
+    pub caps: VertexWeight,
+}
+
+/// Computes the per-part balance caps for `hg` under `cfg`.
+///
+/// `cap[d] = max(ceil((1 + eps[d]) * avg), floor(avg) + max_vertex[d])` with
+/// `avg = total[d] / k`. The second term grants one vertex of granularity
+/// slack: without it, a tolerance smaller than a single block's share of a
+/// part (e.g. the tight data tolerance with large block sizes) would make
+/// the instance infeasible no matter how the blocks are placed.
+pub fn balance_caps(hg: &Hypergraph, cfg: &PartitionConfig) -> VertexWeight {
+    let total = hg.total_weight();
+    let maxv = hg.max_vertex_weight();
+    let mut caps = [0u64; 2];
+    for d in 0..2 {
+        let avg = total[d] as f64 / cfg.k as f64;
+        caps[d] = (((1.0 + cfg.eps[d]) * avg).ceil() as u64).max(avg as u64 + maxv[d]);
+    }
+    caps
+}
+
+/// Partitions `hg` into `cfg.k` balanced parts minimizing the
+/// connectivity−1 metric, using the multilevel scheme.
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidArgument`] if `k == 0` or the hypergraph has no
+/// vertices.
+pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition> {
+    if cfg.k == 0 {
+        return Err(DcpError::invalid_argument("k must be > 0"));
+    }
+    if hg.num_vertices() == 0 {
+        return Err(DcpError::invalid_argument(
+            "cannot partition an empty hypergraph",
+        ));
+    }
+    let k = cfg.k;
+    let caps = balance_caps(hg, cfg);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    if k == 1 {
+        let assignment = vec![0u32; hg.num_vertices()];
+        return Ok(finish(hg, assignment, k, caps));
+    }
+
+    // Coarsen.
+    let target = if cfg.coarsen_target == 0 {
+        (4 * k as usize).max(16)
+    } else {
+        cfg.coarsen_target
+    };
+    let total = hg.total_weight();
+    let max_cluster = [
+        (total[0] / (k as u64 * 8)).max(1),
+        (total[1] / (k as u64 * 8)).max(1),
+    ];
+    let levels = coarsen_to(hg, target, max_cluster, &mut rng);
+    let coarsest = levels.last().map_or(hg, |l| &l.coarse);
+
+    // Initial partition on the coarsest level.
+    let mut assignment = initial_partition(coarsest, k, caps, cfg.initial_tries, &mut rng);
+    if cfg.refine_enabled {
+        refine(
+            coarsest,
+            &mut assignment,
+            k,
+            caps,
+            cfg.refine_passes,
+            &mut rng,
+        );
+    }
+
+    // Uncoarsen: project through the levels, refining at each.
+    for i in (0..levels.len()).rev() {
+        let fine: &Hypergraph = if i == 0 { hg } else { &levels[i - 1].coarse };
+        let map = &levels[i].fine_to_coarse;
+        let mut fine_assignment = vec![0u32; fine.num_vertices()];
+        for v in 0..fine.num_vertices() {
+            fine_assignment[v] = assignment[map[v] as usize];
+        }
+        assignment = fine_assignment;
+        if cfg.refine_enabled {
+            refine(fine, &mut assignment, k, caps, cfg.refine_passes, &mut rng);
+        }
+    }
+
+    // Final balance repair and polish at the finest level.
+    if !is_balanced(hg, &assignment, k, caps) {
+        rebalance(hg, &mut assignment, k, caps);
+    }
+    if cfg.refine_enabled {
+        refine(hg, &mut assignment, k, caps, cfg.refine_passes, &mut rng);
+    }
+
+    // V-cycles: re-coarsen respecting the partition, refine back up.
+    for _ in 0..cfg.vcycles {
+        if !cfg.refine_enabled {
+            break;
+        }
+        let before = hg.connectivity_cost(&assignment, k);
+        let levels = coarsen_to_respecting(hg, target, max_cluster, &mut rng, Some(&assignment));
+        if levels.is_empty() {
+            break;
+        }
+        // Project the assignment to the coarsest level (well defined:
+        // matched vertices share a part by construction).
+        let mut coarse = assignment.clone();
+        for level in &levels {
+            let mut next = vec![0u32; level.coarse.num_vertices()];
+            for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+                next[c as usize] = coarse[v];
+            }
+            coarse = next;
+        }
+        let mut a = coarse;
+        let coarsest = &levels.last().expect("nonempty").coarse;
+        refine(coarsest, &mut a, k, caps, cfg.refine_passes, &mut rng);
+        for i in (0..levels.len()).rev() {
+            let fine: &Hypergraph = if i == 0 { hg } else { &levels[i - 1].coarse };
+            let map = &levels[i].fine_to_coarse;
+            let mut fine_assignment = vec![0u32; fine.num_vertices()];
+            for v in 0..fine.num_vertices() {
+                fine_assignment[v] = a[map[v] as usize];
+            }
+            a = fine_assignment;
+            refine(fine, &mut a, k, caps, cfg.refine_passes, &mut rng);
+        }
+        let after = hg.connectivity_cost(&a, k);
+        if after < before && is_balanced(hg, &a, k, caps) == is_balanced(hg, &assignment, k, caps) {
+            assignment = a;
+        } else if after >= before {
+            break;
+        }
+    }
+    Ok(finish(hg, assignment, k, caps))
+}
+
+fn finish(hg: &Hypergraph, assignment: Vec<u32>, k: u32, caps: VertexWeight) -> Partition {
+    let cost = hg.connectivity_cost(&assignment, k);
+    let part_weights = hg.part_weights(&assignment, k);
+    let balanced = part_weights
+        .iter()
+        .all(|w| w[0] <= caps[0] && w[1] <= caps[1]);
+    Partition {
+        assignment,
+        cost,
+        part_weights,
+        balanced,
+        caps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HypergraphBuilder;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    /// A planted partition: `k` groups of `m` vertices with heavy intra-group
+    /// edges and light random inter-group edges.
+    fn planted(k: u32, m: usize, seed: u64) -> (Hypergraph, Vec<u32>) {
+        let n = k as usize * m;
+        let mut b = HypergraphBuilder::new(n);
+        let mut truth = Vec::with_capacity(n);
+        for g in 0..k {
+            for i in 0..m {
+                let v = g as usize * m + i;
+                b.set_vertex_weight(v, [1 + (i as u64 % 3), 1]);
+                truth.push(g);
+                // Heavy edge to the next member of the same group.
+                let u = g as usize * m + (i + 1) % m;
+                b.add_edge(100, &[v as u32, u as u32]);
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..n / 4 {
+            let a = rng.gen_range(0..n) as u32;
+            let c = rng.gen_range(0..n) as u32;
+            if a != c {
+                b.add_edge(1, &[a, c]);
+            }
+        }
+        (b.build().unwrap(), truth)
+    }
+
+    #[test]
+    fn recovers_planted_bisection() {
+        let (hg, truth) = planted(2, 32, 7);
+        let part = partition(&hg, &PartitionConfig::new(2)).unwrap();
+        assert!(part.balanced);
+        // Cost should be at most the planted cut (only light edges cross).
+        let planted_cost = hg.connectivity_cost(&truth, 2);
+        assert!(
+            part.cost <= planted_cost,
+            "cost {} > planted {}",
+            part.cost,
+            planted_cost
+        );
+    }
+
+    #[test]
+    fn k_way_partition_is_balanced() {
+        let (hg, _) = planted(8, 24, 3);
+        let cfg = PartitionConfig::new(8).with_epsilon(0.1);
+        let part = partition(&hg, &cfg).unwrap();
+        assert!(part.balanced, "part weights: {:?}", part.part_weights);
+        assert_eq!(part.part_weights.len(), 8);
+        let used: std::collections::HashSet<u32> = part.assignment.iter().copied().collect();
+        assert_eq!(used.len(), 8, "all parts used");
+    }
+
+    #[test]
+    fn k1_is_free() {
+        let (hg, _) = planted(2, 16, 1);
+        let part = partition(&hg, &PartitionConfig::new(1)).unwrap();
+        assert_eq!(part.cost, 0);
+        assert!(part.assignment.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (hg, _) = planted(4, 20, 5);
+        let cfg = PartitionConfig::new(4).with_seed(42);
+        let a = partition(&hg, &cfg).unwrap();
+        let b = partition(&hg, &cfg).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn refinement_not_worse_than_disabled() {
+        let (hg, _) = planted(4, 32, 9);
+        let on = partition(&hg, &PartitionConfig::new(4)).unwrap();
+        let mut cfg_off = PartitionConfig::new(4);
+        cfg_off.refine_enabled = false;
+        let off = partition(&hg, &cfg_off).unwrap();
+        assert!(
+            on.cost <= off.cost,
+            "refine {} > no-refine {}",
+            on.cost,
+            off.cost
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let (hg, _) = planted(2, 4, 1);
+        assert!(partition(&hg, &PartitionConfig::new(0)).is_err());
+        let empty = HypergraphBuilder::new(0).build().unwrap();
+        assert!(partition(&empty, &PartitionConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn more_parts_than_vertices_spreads() {
+        let mut b = HypergraphBuilder::new(3);
+        for v in 0..3 {
+            b.set_vertex_weight(v, [1, 1]);
+        }
+        b.add_edge(1, &[0, 1, 2]);
+        let hg = b.build().unwrap();
+        let part = partition(&hg, &PartitionConfig::new(5)).unwrap();
+        assert_eq!(part.assignment.len(), 3);
+        assert!(part.assignment.iter().all(|&p| p < 5));
+    }
+
+    #[test]
+    fn loose_epsilon_never_increases_cost() {
+        // Fig. 20's trade-off: larger epsilon -> no more communication.
+        let (hg, _) = planted(4, 32, 13);
+        let tight = partition(&hg, &PartitionConfig::new(4).with_epsilon(0.02)).unwrap();
+        let loose = partition(&hg, &PartitionConfig::new(4).with_epsilon(0.8)).unwrap();
+        assert!(
+            loose.cost <= tight.cost,
+            "loose {} > tight {}",
+            loose.cost,
+            tight.cost
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Partition invariants on random hypergraphs: every vertex assigned
+        /// to a valid part, cost matches recomputation, part weights match.
+        #[test]
+        fn partition_invariants(
+            n in 2usize..120,
+            ne in 1usize..200,
+            k in 2u32..6,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut b = HypergraphBuilder::new(n);
+            for v in 0..n {
+                b.set_vertex_weight(v, [rng.gen_range(0..10), rng.gen_range(0..10)]);
+            }
+            for _ in 0..ne {
+                let deg = rng.gen_range(2..6usize.min(n + 1).max(3));
+                let pins: Vec<u32> = (0..deg).map(|_| rng.gen_range(0..n) as u32).collect();
+                b.add_edge(rng.gen_range(1..20), &pins);
+            }
+            let hg = b.build().unwrap();
+            let cfg = PartitionConfig::new(k).with_seed(seed);
+            let part = partition(&hg, &cfg).unwrap();
+            prop_assert_eq!(part.assignment.len(), n);
+            prop_assert!(part.assignment.iter().all(|&p| p < k));
+            prop_assert_eq!(part.cost, hg.connectivity_cost(&part.assignment, k));
+            let pw = hg.part_weights(&part.assignment, k);
+            prop_assert_eq!(pw, part.part_weights.clone());
+            // Weight conservation.
+            let sum: [u64; 2] = part.part_weights.iter().fold([0, 0], |a, w| {
+                [a[0] + w[0], a[1] + w[1]]
+            });
+            prop_assert_eq!(sum, hg.total_weight());
+        }
+    }
+}

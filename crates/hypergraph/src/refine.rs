@@ -1,0 +1,476 @@
+//! FM refinement and balance repair.
+//!
+//! Refinement maintains, for every hyperedge, the number of its pins in each
+//! part (`lambda` table). The gain of moving vertex `v` from part `a` to
+//! part `b` under the connectivity−1 objective is
+//!
+//! ```text
+//!   gain = sum_{e ∋ v} w_e * ( [Lambda(e,a) == 1] - [Lambda(e,b) == 0] )
+//! ```
+//!
+//! i.e. edges that would stop spanning `a` minus edges that would start
+//! spanning `b`.
+//!
+//! [`refine`] runs Fiduccia–Mattheyses passes: each pass greedily applies the
+//! best available move (including negative-gain moves, which lets it climb
+//! out of local minima), locks the moved vertex, and finally rolls back to
+//! the best prefix of the move sequence. Moves are drawn from a lazily
+//! revalidated max-heap. Balance caps are enforced on every move.
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::graph::{Hypergraph, VertexWeight};
+use crate::initial::Caps;
+
+/// Incremental state for k-way refinement.
+pub struct RefineState {
+    k: u32,
+    /// `lambda[e * k + p]`: pins of edge `e` in part `p`.
+    lambda: Vec<u32>,
+    /// Per-part total weight.
+    pub loads: Vec<VertexWeight>,
+    /// Current connectivity−1 cost.
+    pub cost: u64,
+}
+
+impl RefineState {
+    /// Builds the lambda table and loads for `assignment`.
+    pub fn new(hg: &Hypergraph, assignment: &[u32], k: u32) -> Self {
+        let mut lambda = vec![0u32; hg.num_edges() * k as usize];
+        for e in 0..hg.num_edges() as u32 {
+            for &p in hg.pins(e) {
+                lambda[e as usize * k as usize + assignment[p as usize] as usize] += 1;
+            }
+        }
+        RefineState {
+            k,
+            lambda,
+            loads: hg.part_weights(assignment, k),
+            cost: hg.connectivity_cost(assignment, k),
+        }
+    }
+
+    #[inline]
+    fn lam(&self, e: u32, p: u32) -> u32 {
+        self.lambda[e as usize * self.k as usize + p as usize]
+    }
+
+    /// Connectivity gain of moving `v` from `from` to `to` (positive is an
+    /// improvement).
+    pub fn gain(&self, hg: &Hypergraph, v: u32, from: u32, to: u32) -> i64 {
+        let mut g = 0i64;
+        for &e in hg.incident_edges(v) {
+            let w = hg.edge_weight(e) as i64;
+            if self.lam(e, from) == 1 {
+                g += w;
+            }
+            if self.lam(e, to) == 0 {
+                g -= w;
+            }
+        }
+        g
+    }
+
+    /// Applies the move, updating lambda, loads and cost.
+    pub fn apply(&mut self, hg: &Hypergraph, v: u32, from: u32, to: u32) {
+        debug_assert_ne!(from, to);
+        let g = self.gain(hg, v, from, to);
+        for &e in hg.incident_edges(v) {
+            let base = e as usize * self.k as usize;
+            self.lambda[base + from as usize] -= 1;
+            self.lambda[base + to as usize] += 1;
+        }
+        let w = hg.vertex_weight(v);
+        self.loads[from as usize][0] -= w[0];
+        self.loads[from as usize][1] -= w[1];
+        self.loads[to as usize][0] += w[0];
+        self.loads[to as usize][1] += w[1];
+        self.cost = (self.cost as i64 - g) as u64;
+    }
+
+    /// Whether `v` touches an edge spanning more than one part.
+    pub fn is_boundary(&self, hg: &Hypergraph, v: u32) -> bool {
+        hg.incident_edges(v).iter().any(|&e| {
+            let pins = hg.pins(e).len() as u32;
+            // Edge spans > 1 part iff no part holds all its pins.
+            (0..self.k).all(|p| self.lam(e, p) < pins)
+        })
+    }
+
+    /// Best feasible move for `v`: `(to, gain)` maximizing gain, tie-broken
+    /// toward the lighter destination. `None` when no destination fits.
+    fn best_move(
+        &self,
+        hg: &Hypergraph,
+        v: u32,
+        from: u32,
+        caps: Caps,
+        total: VertexWeight,
+    ) -> Option<(u32, i64)> {
+        let w = hg.vertex_weight(v);
+        let mut best: Option<(u32, i64, f64)> = None;
+        for to in 0..self.k {
+            if to == from {
+                continue;
+            }
+            let l = self.loads[to as usize];
+            if !admissible(l, w, caps) {
+                continue;
+            }
+            let g = self.gain(hg, v, from, to);
+            let load_after = norm_load(total, [l[0] + w[0], l[1] + w[1]]);
+            let better = match best {
+                None => true,
+                Some((_, bg, bl)) => g > bg || (g == bg && load_after < bl),
+            };
+            if better {
+                best = Some((to, g, load_after));
+            }
+        }
+        best.map(|(to, g, _)| (to, g))
+    }
+}
+
+/// Whether moving a vertex of weight `w` into a part with load `l` is
+/// admissible under `caps`: each dimension the move actually increases must
+/// stay under its cap. Dimensions the move leaves unchanged may already be
+/// over cap (otherwise a part over its *data* cap could never accept the
+/// *compute*-only vertices needed to repair a compute imbalance elsewhere).
+#[inline]
+fn admissible(l: VertexWeight, w: VertexWeight, caps: Caps) -> bool {
+    (0..2).all(|d| w[d] == 0 || l[d] + w[d] <= caps[d])
+}
+
+fn norm_load(total: VertexWeight, w: VertexWeight) -> f64 {
+    let a = if total[0] > 0 {
+        w[0] as f64 / total[0] as f64
+    } else {
+        0.0
+    };
+    let b = if total[1] > 0 {
+        w[1] as f64 / total[1] as f64
+    } else {
+        0.0
+    };
+    a.max(b)
+}
+
+/// A heap entry: cached best move of a vertex. Lazily revalidated on pop.
+#[derive(PartialEq, Eq)]
+struct Entry {
+    gain: i64,
+    v: u32,
+    to: u32,
+    /// Random tiebreaker so equal-gain pops are not index-ordered.
+    salt: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.gain, self.salt, self.v, self.to).cmp(&(other.gain, other.salt, other.v, other.to))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// How many consecutive non-improving moves an FM pass tolerates before
+/// giving up on the current trajectory.
+const STALL_LIMIT: usize = 48;
+
+/// One FM pass. Returns `true` if the pass improved the cost.
+fn fm_pass(
+    hg: &Hypergraph,
+    assignment: &mut [u32],
+    state: &mut RefineState,
+    caps: Caps,
+    rng: &mut SmallRng,
+) -> bool {
+    let n = hg.num_vertices();
+    let total = hg.total_weight();
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    for v in 0..n as u32 {
+        if !state.is_boundary(hg, v) {
+            continue;
+        }
+        if let Some((to, gain)) = state.best_move(hg, v, assignment[v as usize], caps, total) {
+            heap.push(Entry {
+                gain,
+                v,
+                to,
+                salt: rng.gen(),
+            });
+        }
+    }
+
+    let start_cost = state.cost;
+    let mut best_cost = state.cost;
+    let mut moves: Vec<(u32, u32)> = Vec::new(); // (vertex, previous part)
+    let mut best_len = 0usize;
+    let mut stall = 0usize;
+
+    while let Some(Entry { gain, v, to, .. }) = heap.pop() {
+        if locked[v as usize] {
+            continue;
+        }
+        let from = assignment[v as usize];
+        // Revalidate lazily: the cached move may be stale.
+        match state.best_move(hg, v, from, caps, total) {
+            Some((to2, g2)) => {
+                if to2 != to || g2 != gain {
+                    heap.push(Entry {
+                        gain: g2,
+                        v,
+                        to: to2,
+                        salt: rng.gen(),
+                    });
+                    continue;
+                }
+            }
+            None => continue,
+        }
+        state.apply(hg, v, from, to);
+        assignment[v as usize] = to;
+        locked[v as usize] = true;
+        moves.push((v, from));
+        if state.cost < best_cost {
+            best_cost = state.cost;
+            best_len = moves.len();
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall > STALL_LIMIT {
+                break;
+            }
+        }
+        // Refresh neighbors whose gains may have changed.
+        for &e in hg.incident_edges(v) {
+            for &u in hg.pins(e) {
+                if locked[u as usize] || u == v {
+                    continue;
+                }
+                if let Some((uto, ug)) = state.best_move(hg, u, assignment[u as usize], caps, total)
+                {
+                    heap.push(Entry {
+                        gain: ug,
+                        v: u,
+                        to: uto,
+                        salt: rng.gen(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Roll back past the best prefix.
+    while moves.len() > best_len {
+        let (v, prev) = moves.pop().unwrap();
+        let cur = assignment[v as usize];
+        state.apply(hg, v, cur, prev);
+        assignment[v as usize] = prev;
+    }
+    debug_assert_eq!(state.cost, best_cost);
+    best_cost < start_cost
+}
+
+/// Runs up to `passes` FM passes over `assignment` in place. Returns the
+/// resulting connectivity cost.
+pub fn refine(
+    hg: &Hypergraph,
+    assignment: &mut [u32],
+    k: u32,
+    caps: Caps,
+    passes: u32,
+    rng: &mut SmallRng,
+) -> u64 {
+    let mut state = RefineState::new(hg, assignment, k);
+    for _ in 0..passes {
+        if !fm_pass(hg, assignment, &mut state, caps, rng) {
+            break;
+        }
+    }
+    state.cost
+}
+
+/// Moves vertices out of parts exceeding `caps` until the assignment is
+/// balanced or no improving move exists. Chooses, at each step, the move that
+/// minimizes the connectivity cost increase per unit of overload relieved.
+/// Returns whether the final assignment satisfies the caps.
+pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) -> bool {
+    let mut state = RefineState::new(hg, assignment, k);
+    // Bounded number of moves to guarantee termination.
+    let max_moves = hg.num_vertices() * 2;
+    for _ in 0..max_moves {
+        // Find the most overloaded (part, dim), comparing overloads as a
+        // fraction of the dimension's cap (FLOPs and bytes are not
+        // commensurable in absolute terms).
+        let mut worst: Option<(u32, usize, f64)> = None;
+        for p in 0..k {
+            for d in 0..2 {
+                let over = state.loads[p as usize][d].saturating_sub(caps[d]);
+                if over == 0 {
+                    continue;
+                }
+                let frac = over as f64 / caps[d].max(1) as f64;
+                if worst.map_or(true, |(_, _, o)| frac > o) {
+                    worst = Some((p, d, frac));
+                }
+            }
+        }
+        let Some((from, dim, _)) = worst else {
+            return true;
+        };
+        // Best (vertex, destination): minimal cost increase per unit of the
+        // overloaded dimension relieved; destination must fit.
+        let mut best: Option<(u32, u32, f64)> = None;
+        for v in 0..hg.num_vertices() as u32 {
+            if assignment[v as usize] != from {
+                continue;
+            }
+            let w = hg.vertex_weight(v);
+            if w[dim] == 0 {
+                continue;
+            }
+            for to in 0..k {
+                if to == from {
+                    continue;
+                }
+                let l = state.loads[to as usize];
+                if !admissible(l, w, caps) {
+                    continue;
+                }
+                let g = state.gain(hg, v, from, to);
+                let score = (-g) as f64 / w[dim] as f64;
+                if best.map_or(true, |(_, _, s)| score < s) {
+                    best = Some((v, to, score));
+                }
+            }
+        }
+        let Some((v, to, _)) = best else {
+            return false;
+        };
+        state.apply(hg, v, from, to);
+        assignment[v as usize] = to;
+    }
+    state
+        .loads
+        .iter()
+        .all(|l| l[0] <= caps[0] && l[1] <= caps[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HypergraphBuilder;
+    use rand::SeedableRng;
+
+    fn ring(n: usize, w: u64) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(n);
+        for v in 0..n {
+            b.set_vertex_weight(v, [1, 1]);
+        }
+        for v in 0..n {
+            b.add_edge(w, &[v as u32, ((v + 1) % n) as u32]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gain_matches_recomputation() {
+        let hg = ring(8, 3);
+        let assignment = vec![0, 0, 1, 1, 0, 1, 0, 1];
+        let state = RefineState::new(&hg, &assignment, 2);
+        for v in 0..8u32 {
+            let from = assignment[v as usize];
+            let to = 1 - from;
+            let g = state.gain(&hg, v, from, to);
+            let mut after = assignment.clone();
+            after[v as usize] = to;
+            let recomputed = hg.connectivity_cost(&assignment, 2) as i64
+                - hg.connectivity_cost(&after, 2) as i64;
+            assert_eq!(g, recomputed, "v={v}");
+        }
+    }
+
+    #[test]
+    fn apply_keeps_cost_in_sync() {
+        let hg = ring(8, 2);
+        let mut assignment = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let mut state = RefineState::new(&hg, &assignment, 2);
+        for v in [1u32, 3, 5] {
+            let from = assignment[v as usize];
+            state.apply(&hg, v, from, 1 - from);
+            assignment[v as usize] = 1 - from;
+            assert_eq!(state.cost, hg.connectivity_cost(&assignment, 2));
+        }
+    }
+
+    #[test]
+    fn refine_untangles_alternating_ring() {
+        let hg = ring(16, 5);
+        // Worst-case alternating assignment: every edge cut.
+        let mut assignment: Vec<u32> = (0..16).map(|v| (v % 2) as u32).collect();
+        let before = hg.connectivity_cost(&assignment, 2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let after = refine(&hg, &mut assignment, 2, [10, 10], 16, &mut rng);
+        // FM with negative-gain moves should reach the optimum: two arcs,
+        // two cut edges.
+        assert_eq!(after, hg.connectivity_cost(&assignment, 2));
+        assert!(after <= 4 * 5, "{after} vs before {before}");
+        // Balance maintained.
+        let pw = hg.part_weights(&assignment, 2);
+        assert!(pw.iter().all(|w| w[0] <= 10));
+    }
+
+    #[test]
+    fn refine_respects_caps() {
+        let hg = ring(8, 1);
+        let mut assignment = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut rng = SmallRng::seed_from_u64(8);
+        refine(&hg, &mut assignment, 2, [4, 4], 8, &mut rng);
+        let pw = hg.part_weights(&assignment, 2);
+        assert!(pw.iter().all(|w| w[0] <= 4 && w[1] <= 4));
+    }
+
+    #[test]
+    fn refine_never_worsens() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for n in [6usize, 12, 30] {
+            let hg = ring(n, 2);
+            let mut assignment: Vec<u32> = (0..n).map(|v| (v as u32 * 3) % 3).collect();
+            let before = hg.connectivity_cost(&assignment, 3);
+            let after = refine(&hg, &mut assignment, 3, [n as u64, n as u64], 8, &mut rng);
+            assert!(after <= before);
+        }
+    }
+
+    #[test]
+    fn rebalance_fixes_overload() {
+        let hg = ring(8, 1);
+        // Everything on part 0.
+        let mut assignment = vec![0u32; 8];
+        let ok = rebalance(&hg, &mut assignment, 2, [5, 5]);
+        assert!(ok);
+        let pw = hg.part_weights(&assignment, 2);
+        assert!(pw.iter().all(|w| w[0] <= 5 && w[1] <= 5));
+    }
+
+    #[test]
+    fn rebalance_reports_impossible() {
+        // One giant vertex cannot be split.
+        let mut b = HypergraphBuilder::new(2);
+        b.set_vertex_weight(0, [100, 0]);
+        b.set_vertex_weight(1, [1, 0]);
+        b.add_edge(1, &[0, 1]);
+        let hg = b.build().unwrap();
+        let mut assignment = vec![0, 0];
+        assert!(!rebalance(&hg, &mut assignment, 2, [50, 50]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the partitioner: refinement preserves feasibility,
+//! V-cycles never worsen cost, determinism.
+
+use dcp_hypergraph::refine::refine;
+use dcp_hypergraph::{partition, HypergraphBuilder, PartitionConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_hypergraph(n: usize, ne: usize, seed: u64) -> dcp_hypergraph::Hypergraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = HypergraphBuilder::new(n);
+    for v in 0..n {
+        b.set_vertex_weight(v, [rng.gen_range(0..8), rng.gen_range(0..8)]);
+    }
+    for _ in 0..ne {
+        let deg = rng.gen_range(2..5.min(n + 1).max(3));
+        let pins: Vec<u32> = (0..deg).map(|_| rng.gen_range(0..n) as u32).collect();
+        b.add_edge(rng.gen_range(1..16), &pins);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Starting from a cap-feasible assignment, FM refinement keeps it
+    /// cap-feasible and never increases the cost.
+    #[test]
+    fn refine_preserves_feasibility(
+        n in 4usize..80,
+        ne in 1usize..120,
+        k in 2u32..5,
+        seed in 0u64..500,
+    ) {
+        let hg = random_hypergraph(n, ne, seed);
+        // Round-robin start: compute generous caps from it so it is
+        // feasible by construction.
+        let mut assignment: Vec<u32> = (0..n as u32).map(|v| v % k).collect();
+        let pw = hg.part_weights(&assignment, k);
+        let caps = [
+            pw.iter().map(|w| w[0]).max().unwrap().max(1),
+            pw.iter().map(|w| w[1]).max().unwrap().max(1),
+        ];
+        let before = hg.connectivity_cost(&assignment, k);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xf00d);
+        let after = refine(&hg, &mut assignment, k, caps, 6, &mut rng);
+        prop_assert!(after <= before, "refine worsened: {before} -> {after}");
+        prop_assert_eq!(after, hg.connectivity_cost(&assignment, k));
+        let pw = hg.part_weights(&assignment, k);
+        for w in pw {
+            prop_assert!(w[0] <= caps[0] && w[1] <= caps[1], "caps violated");
+        }
+    }
+
+    /// Adding V-cycles never yields a worse partition than none.
+    #[test]
+    fn vcycles_never_worsen(
+        n in 8usize..100,
+        ne in 4usize..150,
+        k in 2u32..5,
+        seed in 0u64..500,
+    ) {
+        let hg = random_hypergraph(n, ne, seed);
+        let mut base = PartitionConfig::new(k).with_seed(seed);
+        base.vcycles = 0;
+        let mut cycled = base.clone();
+        cycled.vcycles = 2;
+        let a = partition(&hg, &base).unwrap();
+        let b = partition(&hg, &cycled).unwrap();
+        prop_assert!(
+            b.cost <= a.cost,
+            "vcycles worsened: {} -> {}",
+            a.cost,
+            b.cost
+        );
+    }
+
+    /// Partitioning is deterministic for a fixed seed, including V-cycles.
+    #[test]
+    fn deterministic_with_vcycles(
+        n in 8usize..60,
+        ne in 4usize..100,
+        seed in 0u64..300,
+    ) {
+        let hg = random_hypergraph(n, ne, seed);
+        let cfg = PartitionConfig::new(3).with_seed(42);
+        let a = partition(&hg, &cfg).unwrap();
+        let b = partition(&hg, &cfg).unwrap();
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,352 @@
+//! A fluid-flow network with max-min fair bandwidth sharing.
+//!
+//! Flows are point-to-point transfers. Each flow consumes one unit of
+//! capacity on every *resource* along its path:
+//!
+//! - intra-node (`src` and `dst` on the same node): the per-device NVSwitch
+//!   egress of `src` and ingress of `dst`;
+//! - inter-node: the per-node NIC egress of the source node and NIC ingress
+//!   of the destination node (shared by all devices of the node).
+//!
+//! Rates are allocated by progressive filling (water-filling): repeatedly
+//! find the resource with the smallest fair share and freeze its flows at
+//! that rate. This is the classic max-min fair allocation; it captures the
+//! NIC-contention effects that motivate LoongTrain's double-ring and DCP's
+//! hierarchical placement.
+
+use std::collections::HashMap;
+
+use dcp_types::{ClusterSpec, DeviceId};
+
+/// Identifies a capacity-constrained port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resource {
+    DevEgress(u32),
+    DevIngress(u32),
+    NicEgress(u32),
+    NicIngress(u32),
+}
+
+/// A transfer in flight.
+#[derive(Debug, Clone)]
+struct Flow {
+    src: u32,
+    dst: u32,
+    remaining: f64,
+    rate: f64,
+    /// Time the flow starts moving data (creation + link latency).
+    active_at: f64,
+    done: bool,
+}
+
+/// Opaque flow handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// The fluid network simulator.
+///
+/// Time only moves forward: callers alternate [`Network::advance_to`] with
+/// flow insertion/completion queries.
+#[derive(Debug)]
+pub struct Network {
+    cluster: ClusterSpec,
+    flows: Vec<Flow>,
+    now: f64,
+}
+
+impl Network {
+    /// An empty network over `cluster`.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Network {
+            cluster,
+            flows: Vec::new(),
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time of the network.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Adds a flow of `bytes` from `src` to `dst` at time `t` (must be
+    /// `>= now`). The flow begins moving data after the link latency.
+    /// Returns its id and the time it becomes active.
+    pub fn add_flow(&mut self, t: f64, src: u32, dst: u32, bytes: u64) -> (FlowId, f64) {
+        self.advance_to(t);
+        let lat = self.cluster.latency(DeviceId(src), DeviceId(dst));
+        let active_at = t + lat;
+        self.flows.push(Flow {
+            src,
+            dst,
+            remaining: bytes as f64,
+            rate: 0.0,
+            active_at,
+            done: bytes == 0,
+        });
+        self.recompute();
+        (FlowId(self.flows.len() - 1), active_at)
+    }
+
+    /// Whether the flow has delivered all its bytes.
+    pub fn is_done(&self, f: FlowId) -> bool {
+        self.flows[f.0].done
+    }
+
+    /// Advances network time to `t`, draining active flows at their current
+    /// rates. Callers must not skip past completion or activation events
+    /// (use [`Network::next_event`]).
+    pub fn advance_to(&mut self, t: f64) {
+        debug_assert!(
+            t + 1e-12 >= self.now,
+            "time went backwards: {t} < {}",
+            self.now
+        );
+        let dt = (t - self.now).max(0.0);
+        // Sweep even when `dt == 0`: a flow whose completion time is below
+        // the floating-point resolution of `now` must still be completed,
+        // or the event loop would spin at a frozen clock. "Done" therefore
+        // means: would finish within a nanosecond at the current rate.
+        let mut activated = false;
+        for f in &mut self.flows {
+            if f.done {
+                continue;
+            }
+            if f.active_at <= self.now {
+                f.remaining -= f.rate * dt;
+                if f.remaining <= f.rate * 1e-9 + 1e-6 {
+                    f.remaining = 0.0;
+                    f.done = true;
+                    activated = true; // rates must change
+                }
+            } else if f.active_at <= t {
+                activated = true;
+            }
+        }
+        self.now = t;
+        if activated {
+            self.recompute();
+        }
+    }
+
+    /// The earliest future event (flow activation or completion), if any.
+    pub fn next_event(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for f in &self.flows {
+            if f.done {
+                continue;
+            }
+            let t = if f.active_at > self.now {
+                f.active_at
+            } else if f.rate > 0.0 {
+                self.now + f.remaining / f.rate
+            } else {
+                continue;
+            };
+            best = Some(best.map_or(t, |b: f64| b.min(t)));
+        }
+        best
+    }
+
+    /// Recomputes max-min fair rates for all active flows.
+    fn recompute(&mut self) {
+        // Collect unfrozen active flows and their resources.
+        let mut cap: HashMap<Resource, f64> = HashMap::new();
+        let mut members: HashMap<Resource, Vec<usize>> = HashMap::new();
+        let mut unfrozen: Vec<usize> = Vec::new();
+        let now = self.now;
+        let intra_bw = self.cluster.intra_bw;
+        let inter_bw = self.cluster.inter_bw;
+        let resources: Vec<Vec<Resource>> = self
+            .flows
+            .iter()
+            .map(|f| self.resources_of(f.src, f.dst))
+            .collect();
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if f.done {
+                f.rate = 0.0;
+                continue;
+            }
+            if f.active_at > now {
+                f.rate = 0.0;
+                continue;
+            }
+            unfrozen.push(i);
+            for &r in &resources[i] {
+                let c = match r {
+                    Resource::DevEgress(_) | Resource::DevIngress(_) => intra_bw,
+                    Resource::NicEgress(_) | Resource::NicIngress(_) => inter_bw,
+                };
+                cap.entry(r).or_insert(c);
+                members.entry(r).or_default().push(i);
+            }
+        }
+        let mut frozen: HashMap<usize, f64> = HashMap::new();
+        let mut active_count: HashMap<Resource, usize> =
+            members.iter().map(|(r, m)| (*r, m.len())).collect();
+        while frozen.len() < unfrozen.len() {
+            // Resource with the smallest fair share.
+            let mut best: Option<(Resource, f64)> = None;
+            for (&r, &count) in &active_count {
+                if count == 0 {
+                    continue;
+                }
+                let share = cap[&r] / count as f64;
+                if best.map_or(true, |(_, s)| share < s) {
+                    best = Some((r, share));
+                }
+            }
+            let Some((r, share)) = best else { break };
+            // Freeze every unfrozen flow on r at `share`.
+            let to_freeze: Vec<usize> = members[&r]
+                .iter()
+                .copied()
+                .filter(|i| !frozen.contains_key(i))
+                .collect();
+            for i in to_freeze {
+                frozen.insert(i, share);
+                for &r2 in &resources[i] {
+                    *cap.get_mut(&r2).expect("resource present") -= share;
+                    *active_count.get_mut(&r2).expect("resource present") -= 1;
+                }
+            }
+            active_count.insert(r, 0);
+        }
+        for (&i, &rate) in &frozen {
+            self.flows[i].rate = rate;
+        }
+    }
+
+    fn resources_of(&self, src: u32, dst: u32) -> Vec<Resource> {
+        let ns = self.cluster.node_of(DeviceId(src)).0;
+        let nd = self.cluster.node_of(DeviceId(dst)).0;
+        if ns == nd {
+            vec![Resource::DevEgress(src), Resource::DevIngress(dst)]
+        } else {
+            vec![Resource::NicEgress(ns), Resource::NicIngress(nd)]
+        }
+    }
+
+    /// Current rate of a flow (testing / instrumentation).
+    pub fn rate(&self, f: FlowId) -> f64 {
+        self.flows[f.0].rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_done(net: &mut Network) -> f64 {
+        while let Some(t) = net.next_event() {
+            net.advance_to(t);
+        }
+        net.now()
+    }
+
+    #[test]
+    fn single_intra_node_flow_runs_at_link_rate() {
+        let c = ClusterSpec::p4de(1);
+        let bw = c.intra_bw;
+        let lat = c.intra_latency;
+        let mut net = Network::new(c);
+        let bytes = 3_000_000_000u64;
+        let (f, _) = net.add_flow(0.0, 0, 1, bytes);
+        let t = run_until_done(&mut net);
+        assert!(net.is_done(f));
+        let expect = lat + bytes as f64 / bw;
+        assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn two_flows_sharing_egress_halve() {
+        let c = ClusterSpec::p4de(1);
+        let mut net = Network::new(c.clone());
+        let (f1, a1) = net.add_flow(0.0, 0, 1, 1_000_000);
+        let (f2, _) = net.add_flow(0.0, 0, 2, 1_000_000);
+        net.advance_to(a1);
+        // Both share device 0's egress.
+        assert!((net.rate(f1) - c.intra_bw / 2.0).abs() < 1.0);
+        assert!((net.rate(f2) - c.intra_bw / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn disjoint_flows_get_full_rate() {
+        let c = ClusterSpec::p4de(1);
+        let mut net = Network::new(c.clone());
+        let (f1, a) = net.add_flow(0.0, 0, 1, 1_000_000);
+        let (f2, _) = net.add_flow(0.0, 2, 3, 1_000_000);
+        net.advance_to(a);
+        assert!((net.rate(f1) - c.intra_bw).abs() < 1.0);
+        assert!((net.rate(f2) - c.intra_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_node_flows_share_nic() {
+        let c = ClusterSpec::p4de(2);
+        let mut net = Network::new(c.clone());
+        // Four flows from node 0 to node 1, different device pairs: all
+        // share the node NIC.
+        let mut ids = Vec::new();
+        for i in 0..4u32 {
+            let (f, a) = net.add_flow(0.0, i, 8 + i, 1_000_000_000);
+            ids.push((f, a));
+        }
+        net.advance_to(ids[0].1);
+        for (f, _) in &ids {
+            assert!((net.rate(*f) - c.inter_bw / 4.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn intra_beats_inter_for_same_bytes() {
+        let c = ClusterSpec::p4de(2);
+        let bytes = 1_000_000_000u64;
+        let mut n1 = Network::new(c.clone());
+        n1.add_flow(0.0, 0, 1, bytes);
+        let t_intra = run_until_done(&mut n1);
+        let mut n2 = Network::new(c);
+        n2.add_flow(0.0, 0, 8, bytes);
+        let t_inter = run_until_done(&mut n2);
+        assert!(t_intra < t_inter / 3.0, "intra {t_intra} inter {t_inter}");
+    }
+
+    #[test]
+    fn conservation_all_flows_complete() {
+        let c = ClusterSpec::p4de(2);
+        let mut net = Network::new(c);
+        let mut ids = Vec::new();
+        for i in 0..16u32 {
+            // Non-decreasing start times (the network is forward-only).
+            let (f, _) = net.add_flow((i / 6) as f64 * 1e-4, i % 16, (i * 7 + 3) % 16, 10_000_000);
+            ids.push(f);
+        }
+        run_until_done(&mut net);
+        for f in ids {
+            assert!(net.is_done(f));
+        }
+        assert!(net.next_event().is_none());
+    }
+
+    #[test]
+    fn rates_never_exceed_capacity() {
+        let c = ClusterSpec::p4de(2);
+        let mut net = Network::new(c.clone());
+        let mut ids = Vec::new();
+        for i in 0..12u32 {
+            let (f, a) = net.add_flow(0.0, i % 8, 8 + (i % 8), 500_000_000);
+            ids.push((f, a));
+        }
+        net.advance_to(ids[0].1);
+        let total: f64 = ids.iter().map(|(f, _)| net.rate(*f)).sum();
+        assert!(total <= c.inter_bw * 1.0001, "NIC egress exceeded: {total}");
+    }
+
+    #[test]
+    fn zero_byte_flow_is_immediately_done() {
+        let c = ClusterSpec::p4de(1);
+        let mut net = Network::new(c);
+        let (f, _) = net.add_flow(0.0, 0, 1, 0);
+        assert!(net.is_done(f));
+    }
+}

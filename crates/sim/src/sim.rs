@@ -1,0 +1,588 @@
+//! The discrete-event execution of plan instruction streams.
+
+use std::collections::HashMap;
+
+use dcp_sched::{CommId, ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan};
+use dcp_types::{ClusterSpec, DcpError, DcpResult};
+use serde::{Deserialize, Serialize};
+
+use crate::network::{FlowId, Network};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Per-device timing breakdown of one simulated phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTimeline {
+    /// Seconds spent in attention kernels.
+    pub attn: f64,
+    /// Seconds spent in reduction kernels.
+    pub reduce: f64,
+    /// Seconds spent in copy kernels.
+    pub copy: f64,
+    /// Seconds blocked in `CommWait` (exposed, non-overlapped comm).
+    pub exposed_wait: f64,
+    /// Wall-clock seconds during which at least one flow touched this
+    /// device.
+    pub comm_active: f64,
+    /// Portion of `comm_active` concurrent with this device's compute
+    /// (communication successfully hidden).
+    pub overlap: f64,
+    /// Time this device finished its stream.
+    pub finish: f64,
+}
+
+impl DeviceTimeline {
+    /// Total compute seconds (attention + reduce + copy).
+    pub fn compute(&self) -> f64 {
+        self.attn + self.reduce + self.copy
+    }
+}
+
+/// The result of simulating one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSim {
+    /// Completion time of the slowest device.
+    pub makespan: f64,
+    /// Per-device breakdowns.
+    pub devices: Vec<DeviceTimeline>,
+}
+
+impl PhaseSim {
+    /// Maximum exposed communication across devices.
+    pub fn max_exposed(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.exposed_wait)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The result of simulating a full plan (forward, then backward).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSim {
+    /// Forward phase result.
+    pub fwd: PhaseSim,
+    /// Backward phase result.
+    pub bwd: PhaseSim,
+}
+
+impl PlanSim {
+    /// Total attention-operator time: forward + backward makespans (the
+    /// backward starts only after the loss, i.e. after the forward
+    /// completes globally).
+    pub fn total(&self) -> f64 {
+        self.fwd.makespan + self.bwd.makespan
+    }
+}
+
+fn is_input(p: &Payload) -> bool {
+    matches!(p.kind(), PayloadKind::Q | PayloadKind::Kv | PayloadKind::DO)
+}
+
+/// Simulates one phase of a plan on `cluster`. Plan ranks map to cluster
+/// ranks identically.
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidPlan`] if the streams deadlock (a wait on a
+/// transfer that is never launched) or reference devices outside the
+/// cluster.
+pub fn simulate_phase(cluster: &ClusterSpec, phase: &PhasePlan) -> DcpResult<PhaseSim> {
+    Ok(simulate_phase_traced(cluster, phase)?.0)
+}
+
+/// Like [`simulate_phase`], additionally returning the execution trace
+/// (compute segments, exposed waits and transfers) for rendering with
+/// [`crate::trace::to_chrome_trace`] or [`crate::trace::ascii_gantt`].
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_phase`].
+pub fn simulate_phase_traced(
+    cluster: &ClusterSpec,
+    phase: &PhasePlan,
+) -> DcpResult<(PhaseSim, Vec<TraceEvent>)> {
+    let n = phase.devices.len();
+    if n as u32 > cluster.num_devices() {
+        return Err(DcpError::invalid_plan(format!(
+            "plan uses {n} devices, cluster has {}",
+            cluster.num_devices()
+        )));
+    }
+    let mut net = Network::new(cluster.clone());
+    let eff = cluster.effective_flops();
+    let eps = 1e-15;
+
+    // Per (comm op, src, dst): the flow carrying all of that op's transfers
+    // between the pair, coalesced so large fused operations (e.g. a ring
+    // step relaying hundreds of KV blocks) cost one flow, not hundreds.
+    let mut flows: HashMap<(u32, u32, u32), FlowId> = HashMap::new();
+    // Flow bookkeeping for interval accounting.
+    struct FlowMeta {
+        id: FlowId,
+        src: u32,
+        dst: u32,
+        active_at: f64,
+        end: Option<f64>,
+    }
+    let mut metas: Vec<FlowMeta> = Vec::new();
+
+    let mut ip = vec![0usize; n];
+    let mut ready = vec![0.0f64; n];
+    let mut blocked: Vec<Option<CommId>> = vec![None; n];
+    let mut wait_start = vec![0.0f64; n];
+    let mut tl = vec![DeviceTimeline::default(); n];
+    // Compute busy intervals per device for overlap accounting.
+    let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let mut trace: Vec<TraceEvent> = Vec::new();
+
+    let mut now = 0.0f64;
+    loop {
+        // Mark completions at the current time.
+        for m in metas.iter_mut() {
+            if m.end.is_none() && net.is_done(m.id) {
+                m.end = Some(now.max(m.active_at));
+            }
+        }
+        // Fixpoint: let every runnable device execute.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for d in 0..n {
+                // Try to unblock.
+                if let Some(cid) = blocked[d] {
+                    if wait_done(phase, cid, d as u32, &flows, &net) {
+                        tl[d].exposed_wait += now - wait_start[d];
+                        if now > wait_start[d] {
+                            trace.push(TraceEvent {
+                                device: d as u32,
+                                kind: TraceKind::Wait,
+                                start: wait_start[d],
+                                end: now,
+                            });
+                        }
+                        tl[d].finish = tl[d].finish.max(now);
+                        blocked[d] = None;
+                        changed = true;
+                    } else {
+                        continue;
+                    }
+                }
+                while blocked[d].is_none() && ready[d] <= now + eps {
+                    let Some(ins) = phase.devices[d].instrs.get(ip[d]) else {
+                        break;
+                    };
+                    match ins {
+                        Instr::CommLaunch(cid) => {
+                            let op = &phase.comms[cid.0 as usize];
+                            // Coalesce this device's transfers by (src, dst).
+                            let mut pair_bytes: HashMap<(u32, u32), u64> = HashMap::new();
+                            for tr in &op.transfers {
+                                let mine = if is_input(&tr.payload) {
+                                    tr.to == d as u32
+                                } else {
+                                    tr.from == d as u32
+                                };
+                                if mine && !flows.contains_key(&(cid.0, tr.from, tr.to)) {
+                                    *pair_bytes.entry((tr.from, tr.to)).or_insert(0) += tr.bytes;
+                                }
+                            }
+                            let mut pairs: Vec<((u32, u32), u64)> =
+                                pair_bytes.into_iter().collect();
+                            pairs.sort_unstable();
+                            for ((from, to), bytes) in pairs {
+                                let (fid, active_at) = net.add_flow(now, from, to, bytes);
+                                flows.insert((cid.0, from, to), fid);
+                                metas.push(FlowMeta {
+                                    id: fid,
+                                    src: from,
+                                    dst: to,
+                                    active_at,
+                                    end: if net.is_done(fid) {
+                                        Some(active_at)
+                                    } else {
+                                        None
+                                    },
+                                });
+                            }
+                            ip[d] += 1;
+                            changed = true;
+                        }
+                        Instr::CommWait(cid) => {
+                            if wait_done(phase, *cid, d as u32, &flows, &net) {
+                                ip[d] += 1;
+                                changed = true;
+                            } else {
+                                blocked[d] = Some(*cid);
+                                wait_start[d] = now;
+                                ip[d] += 1;
+                            }
+                        }
+                        Instr::Attn { flops, .. } | Instr::AttnBwd { flops, .. } => {
+                            let dur = *flops as f64 / eff + cluster.kernel_overhead;
+                            tl[d].attn += dur;
+                            trace.push(TraceEvent {
+                                device: d as u32,
+                                kind: if matches!(ins, Instr::Attn { .. }) {
+                                    TraceKind::Attn
+                                } else {
+                                    TraceKind::AttnBwd
+                                },
+                                start: now,
+                                end: now + dur,
+                            });
+                            busy[d].push((now, now + dur));
+                            ready[d] = now + dur;
+                            tl[d].finish = tl[d].finish.max(now + dur);
+                            ip[d] += 1;
+                            changed = true;
+                        }
+                        Instr::Reduce { bytes, .. } => {
+                            let dur = *bytes as f64 / cluster.mem_bw + cluster.kernel_overhead;
+                            tl[d].reduce += dur;
+                            trace.push(TraceEvent {
+                                device: d as u32,
+                                kind: TraceKind::Reduce,
+                                start: now,
+                                end: now + dur,
+                            });
+                            busy[d].push((now, now + dur));
+                            ready[d] = now + dur;
+                            tl[d].finish = tl[d].finish.max(now + dur);
+                            ip[d] += 1;
+                            changed = true;
+                        }
+                        Instr::Copy { bytes } => {
+                            let dur = *bytes as f64 / cluster.mem_bw + cluster.kernel_overhead;
+                            tl[d].copy += dur;
+                            trace.push(TraceEvent {
+                                device: d as u32,
+                                kind: TraceKind::Copy,
+                                start: now,
+                                end: now + dur,
+                            });
+                            busy[d].push((now, now + dur));
+                            ready[d] = now + dur;
+                            tl[d].finish = tl[d].finish.max(now + dur);
+                            ip[d] += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Done?
+        let all_done =
+            (0..n).all(|d| ip[d] >= phase.devices[d].instrs.len() && blocked[d].is_none());
+        if all_done && (0..n).all(|d| ready[d] <= now + eps) {
+            break;
+        }
+
+        // Next event: earliest device wake-up or network event.
+        let mut next: Option<f64> = None;
+        for d in 0..n {
+            if blocked[d].is_none() && ready[d] > now + eps {
+                next = Some(next.map_or(ready[d], |x: f64| x.min(ready[d])));
+            }
+        }
+        if let Some(t) = net.next_event() {
+            next = Some(next.map_or(t, |x: f64| x.min(t)));
+        }
+        let Some(t) = next else {
+            return Err(DcpError::invalid_plan(
+                "simulation deadlock: blocked devices with no pending events",
+            ));
+        };
+        net.advance_to(t);
+        now = t;
+    }
+
+    // Interval accounting: per device, comm_active = |union of its flow
+    // intervals|, overlap = |union(flows) ∩ union(busy)|.
+    let mut per_dev_flows: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    for m in &metas {
+        let end = m.end.unwrap_or(now).max(m.active_at);
+        if end > m.active_at {
+            if (m.src as usize) < n {
+                per_dev_flows[m.src as usize].push((m.active_at, end));
+            }
+            if (m.dst as usize) < n {
+                per_dev_flows[m.dst as usize].push((m.active_at, end));
+            }
+        }
+    }
+    for d in 0..n {
+        let fu = union_intervals(&mut per_dev_flows[d]);
+        let bu = union_intervals(&mut busy[d]);
+        tl[d].comm_active = total_len(&fu);
+        tl[d].overlap = intersect_len(&fu, &bu);
+    }
+
+    // Transfer events (one per flow, attributed to the receiving device).
+    for m in &metas {
+        let end = m.end.unwrap_or(now).max(m.active_at);
+        if end > m.active_at && (m.dst as usize) < n {
+            trace.push(TraceEvent {
+                device: m.dst,
+                kind: TraceKind::Transfer { from: m.src },
+                start: m.active_at,
+                end,
+            });
+        }
+    }
+    trace.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("no NaN"));
+
+    let makespan = tl.iter().map(|t| t.finish).fold(0.0, f64::max);
+    Ok((
+        PhaseSim {
+            makespan,
+            devices: tl,
+        },
+        trace,
+    ))
+}
+
+fn wait_done(
+    phase: &PhasePlan,
+    cid: CommId,
+    dev: u32,
+    flows: &HashMap<(u32, u32, u32), FlowId>,
+    net: &Network,
+) -> bool {
+    let op = &phase.comms[cid.0 as usize];
+    op.transfers.iter().all(|tr| {
+        if tr.to != dev {
+            return true;
+        }
+        match flows.get(&(cid.0, tr.from, tr.to)) {
+            Some(f) => net.is_done(*f),
+            None => false,
+        }
+    })
+}
+
+fn union_intervals(v: &mut Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for &(s, e) in v.iter() {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn total_len(v: &[(f64, f64)]) -> f64 {
+    v.iter().map(|(s, e)| e - s).sum()
+}
+
+fn intersect_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j) = (0, 0);
+    let mut total = 0.0;
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if e > s {
+            total += e - s;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Simulates the forward then the backward phase of `plan`.
+///
+/// # Errors
+///
+/// Propagates phase-simulation failures.
+pub fn simulate_plan(cluster: &ClusterSpec, plan: &ExecutionPlan) -> DcpResult<PlanSim> {
+    Ok(PlanSim {
+        fwd: simulate_phase(cluster, &plan.fwd)?,
+        bwd: simulate_phase(cluster, &plan.bwd)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_blocks::{BatchLayout, BlockConfig};
+    use dcp_mask::MaskSpec;
+    use dcp_sched::{build_plan, Placement, ScheduleConfig};
+    use dcp_types::AttnSpec;
+
+    fn layout(len: u32, bs: u32) -> BatchLayout {
+        BatchLayout::build(
+            AttnSpec::paper_micro(),
+            BlockConfig {
+                block_size: bs,
+                head_blocks: 1,
+            },
+            &[(len, MaskSpec::Causal)],
+        )
+        .unwrap()
+    }
+
+    fn ring_placement(l: &BatchLayout, n: u32) -> Placement {
+        let token_to_dev: Vec<u32> = (0..l.token_blocks.len() as u32).map(|i| i % n).collect();
+        let comp_to_dev: Vec<u32> = l
+            .comp_blocks
+            .iter()
+            .map(|c| token_to_dev[c.q_block.0 as usize])
+            .collect();
+        Placement {
+            num_devices: n,
+            token_to_dev,
+            comp_to_dev,
+        }
+    }
+
+    #[test]
+    fn local_plan_time_is_pure_compute() {
+        let l = layout(4096, 1024);
+        let p = Placement::all_on_zero(&l, 1);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let sim = simulate_phase(&c, &plan.fwd).unwrap();
+        let flops: u64 = l.comp_blocks.iter().map(|b| b.flops).sum();
+        let expect = flops as f64 / c.effective_flops() + c.kernel_overhead;
+        assert!((sim.makespan - expect).abs() < 1e-12);
+        assert_eq!(sim.devices[0].exposed_wait, 0.0);
+        assert_eq!(sim.devices[0].comm_active, 0.0);
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_compute_and_comm() {
+        let l = layout(16384, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1); // 4 devices used of 8
+        let sim = simulate_phase(&c, &plan.fwd).unwrap();
+        let comp_lb = plan
+            .fwd
+            .comp_loads()
+            .iter()
+            .map(|&f| f as f64 / c.effective_flops())
+            .fold(0.0, f64::max);
+        assert!(sim.makespan >= comp_lb, "{} < {}", sim.makespan, comp_lb);
+        // Communication happened and some of it overlapped.
+        let any_comm: f64 = sim.devices.iter().map(|d| d.comm_active).sum();
+        assert!(any_comm > 0.0);
+    }
+
+    #[test]
+    fn more_divisions_improve_overlap() {
+        let l = layout(65536, 1024);
+        let p = ring_placement(&l, 8);
+        let c = ClusterSpec::p4de(1);
+        let t1 = {
+            let plan = build_plan(
+                &l,
+                &p,
+                &ScheduleConfig {
+                    divisions: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            simulate_phase(&c, &plan.fwd).unwrap().makespan
+        };
+        let t4 = {
+            let plan = build_plan(
+                &l,
+                &p,
+                &ScheduleConfig {
+                    divisions: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            simulate_phase(&c, &plan.fwd).unwrap().makespan
+        };
+        // With one division nothing overlaps (all comm waits precede all
+        // compute of remote blocks); four divisions must not be slower.
+        assert!(t4 <= t1 * 1.001, "T=4 {t4} vs T=1 {t1}");
+    }
+
+    #[test]
+    fn cross_node_placement_slower_than_single_node() {
+        let l = layout(32768, 1024);
+        // 8 devices within one node vs 8 devices spread across 4 nodes
+        // (2 per node).
+        let p_intra = ring_placement(&l, 8);
+        let c_intra = ClusterSpec::p4de(1);
+        let plan = build_plan(&l, &p_intra, &ScheduleConfig::default()).unwrap();
+        let t_intra = simulate_phase(&c_intra, &plan.fwd).unwrap().makespan;
+        let mut c_spread = ClusterSpec::p4de(4);
+        c_spread.devices_per_node = 2;
+        let t_spread = simulate_phase(&c_spread, &plan.fwd).unwrap().makespan;
+        assert!(
+            t_spread > t_intra,
+            "cross-node {t_spread} should exceed intra {t_intra}"
+        );
+    }
+
+    #[test]
+    fn backward_slower_than_forward() {
+        let l = layout(16384, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let sim = simulate_plan(&c, &plan).unwrap();
+        assert!(sim.bwd.makespan > sim.fwd.makespan);
+        assert!((sim.total() - (sim.fwd.makespan + sim.bwd.makespan)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Handcraft a stream waiting on a partial op that nobody launches.
+        use dcp_sched::{CommOp, DeviceStream, Transfer};
+        let phase = PhasePlan {
+            comms: vec![CommOp {
+                transfers: vec![Transfer {
+                    from: 1,
+                    to: 0,
+                    payload: Payload::PartialO(dcp_blocks::TokenBlockId(0), 1),
+                    bytes: 100,
+                }],
+            }],
+            devices: vec![
+                DeviceStream {
+                    device: 0,
+                    instrs: vec![Instr::CommWait(CommId(0))],
+                    buffer: Default::default(),
+                },
+                DeviceStream {
+                    device: 1,
+                    instrs: vec![],
+                    buffer: Default::default(),
+                },
+            ],
+        };
+        let c = ClusterSpec::p4de(1);
+        assert!(simulate_phase(&c, &phase).is_err());
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let mut v = vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0)];
+        let u = union_intervals(&mut v);
+        assert_eq!(u, vec![(0.0, 2.0), (3.0, 4.0)]);
+        assert!((total_len(&u) - 3.0).abs() < 1e-12);
+        let b = vec![(1.5, 3.5)];
+        assert!((intersect_len(&u, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_plan_larger_than_cluster() {
+        let l = layout(4096, 512);
+        let p = ring_placement(&l, 8);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let tiny = ClusterSpec::single_node(4);
+        assert!(simulate_phase(&tiny, &plan.fwd).is_err());
+    }
+}

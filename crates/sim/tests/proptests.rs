@@ -1,0 +1,115 @@
+//! Property tests for the simulator: conservation, lower bounds, and
+//! monotonicity (DESIGN.md Sec. 6).
+
+use dcp_blocks::{BatchLayout, BlockConfig};
+use dcp_mask::MaskSpec;
+use dcp_sched::{build_plan, Placement, ScheduleConfig};
+use dcp_sim::simulate_phase;
+use dcp_types::{AttnSpec, ClusterSpec};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_case()(
+        lens in prop::collection::vec(8u32..300, 1..4),
+        bs in 4u32..64,
+        n in 1u32..8,
+        seed in 0u64..500,
+    ) -> (Vec<u32>, u32, u32, u64) {
+        (lens, bs, n, seed)
+    }
+}
+
+fn build_case(
+    lens: &[u32],
+    bs: u32,
+    n: u32,
+    seed: u64,
+) -> (BatchLayout, Placement, dcp_sched::ExecutionPlan) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let seqs: Vec<(u32, MaskSpec)> = lens.iter().map(|&l| (l, MaskSpec::Causal)).collect();
+    let layout = BatchLayout::build(
+        AttnSpec::new(2, 2, 4, 2),
+        BlockConfig {
+            block_size: bs,
+            head_blocks: 1,
+        },
+        &seqs,
+    )
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let placement = Placement {
+        num_devices: n,
+        token_to_dev: (0..layout.token_blocks.len())
+            .map(|_| rng.gen_range(0..n))
+            .collect(),
+        comp_to_dev: (0..layout.comp_blocks.len())
+            .map(|_| rng.gen_range(0..n))
+            .collect(),
+    };
+    let plan = build_plan(&layout, &placement, &ScheduleConfig::default()).unwrap();
+    (layout, placement, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The makespan is bounded below by every device's pure compute time,
+    /// and every phase completes (no deadlock) for arbitrary placements.
+    #[test]
+    fn makespan_lower_bound((lens, bs, n, seed) in arb_case()) {
+        let cluster = ClusterSpec::single_node(8);
+        let (_, _, plan) = build_case(&lens, bs, n, seed);
+        let sim = simulate_phase(&cluster, &plan.fwd).unwrap();
+        let eff = cluster.effective_flops();
+        for (d, load) in plan.fwd.comp_loads().iter().enumerate() {
+            let lb = *load as f64 / eff;
+            prop_assert!(
+                sim.devices[d].finish + 1e-12 >= lb,
+                "device {d}: finish {} < compute lb {}",
+                sim.devices[d].finish,
+                lb
+            );
+        }
+        prop_assert!(sim.makespan >= 0.0);
+    }
+
+    /// Doubling every link bandwidth never slows the phase down.
+    #[test]
+    fn faster_network_never_hurts((lens, bs, n, seed) in arb_case()) {
+        let slow = ClusterSpec::p4de(1);
+        let mut fast = slow.clone();
+        fast.intra_bw *= 2.0;
+        fast.inter_bw *= 2.0;
+        let (_, _, plan) = build_case(&lens, bs, n, seed);
+        let t_slow = simulate_phase(&slow, &plan.fwd).unwrap().makespan;
+        let t_fast = simulate_phase(&fast, &plan.fwd).unwrap().makespan;
+        prop_assert!(t_fast <= t_slow * 1.0001, "fast {t_fast} > slow {t_slow}");
+    }
+
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic((lens, bs, n, seed) in arb_case()) {
+        let cluster = ClusterSpec::p4de(1);
+        let (_, _, plan) = build_case(&lens, bs, n, seed);
+        let a = simulate_phase(&cluster, &plan.fwd).unwrap();
+        let b = simulate_phase(&cluster, &plan.fwd).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Overlap accounting is consistent: overlapped communication never
+    /// exceeds either total comm activity or total compute on a device,
+    /// and exposed waits are non-negative.
+    #[test]
+    fn overlap_accounting_consistent((lens, bs, n, seed) in arb_case()) {
+        let cluster = ClusterSpec::p4de(1);
+        let (_, _, plan) = build_case(&lens, bs, n, seed);
+        let sim = simulate_phase(&cluster, &plan.fwd).unwrap();
+        for d in &sim.devices {
+            prop_assert!(d.exposed_wait >= 0.0);
+            prop_assert!(d.overlap <= d.comm_active + 1e-9);
+            prop_assert!(d.overlap <= d.compute() + 1e-9);
+            prop_assert!(d.finish <= sim.makespan + 1e-12);
+        }
+    }
+}

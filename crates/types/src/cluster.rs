@@ -1,0 +1,204 @@
+//! Cluster topology description.
+//!
+//! A [`ClusterSpec`] describes the machines the planner places work onto and
+//! the simulator models: a set of nodes, each with a fixed number of devices,
+//! intra-node links (NVSwitch-style, per-device), and an inter-node NIC whose
+//! bandwidth is shared by all devices on the node.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{gbit_to_bytes_per_sec, gbps_to_bytes_per_sec, tflops_to_flops_per_sec};
+
+/// Identifies one device (GPU) in the cluster by its global rank.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DeviceId(pub u32);
+
+/// Identifies one node (machine) in the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The hardware topology of a training cluster.
+///
+/// Bandwidths are stored in bytes/second, throughput in FLOP/s, and latencies
+/// in seconds, so the simulator can consume them directly.
+///
+/// # Examples
+///
+/// ```
+/// use dcp_types::ClusterSpec;
+///
+/// let cluster = ClusterSpec::p4de(4);
+/// assert_eq!(cluster.num_devices(), 32);
+/// assert_eq!(cluster.node_of(dcp_types::DeviceId(9)).0, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes (machines).
+    pub nodes: u32,
+    /// Number of devices (GPUs) per node.
+    pub devices_per_node: u32,
+    /// Per-device intra-node link bandwidth, each direction, bytes/s.
+    pub intra_bw: f64,
+    /// Per-node inter-node NIC bandwidth, each direction, bytes/s (shared by
+    /// all devices on the node).
+    pub inter_bw: f64,
+    /// Fixed latency added to every intra-node transfer, seconds.
+    pub intra_latency: f64,
+    /// Fixed latency added to every inter-node transfer, seconds.
+    pub inter_latency: f64,
+    /// Peak dense compute throughput per device, FLOP/s.
+    pub device_flops: f64,
+    /// Fraction of peak the attention kernels achieve (model flops
+    /// utilization of the kernel, not of the whole model).
+    pub kernel_efficiency: f64,
+    /// Fixed overhead charged per fused kernel launch, seconds.
+    pub kernel_overhead: f64,
+    /// Device memory bandwidth, bytes/s (used for on-device copy/reduction).
+    pub mem_bw: f64,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes` Amazon EC2 `p4de.24xlarge` instances, matching the
+    /// paper's testbed: 8x A100-80GB per node, NVSwitch with 600 GB/s
+    /// bidirectional bandwidth per GPU (300 GB/s each direction), and 4x100
+    /// Gbps EFA NICs per node (50 GB/s each direction).
+    pub fn p4de(nodes: u32) -> Self {
+        ClusterSpec {
+            nodes,
+            devices_per_node: 8,
+            intra_bw: gbps_to_bytes_per_sec(300),
+            inter_bw: gbit_to_bytes_per_sec(400),
+            intra_latency: 10e-6,
+            inter_latency: 30e-6,
+            // A100 BF16 tensor core peak.
+            device_flops: tflops_to_flops_per_sec(312),
+            kernel_efficiency: 0.55,
+            kernel_overhead: 25e-6,
+            mem_bw: gbps_to_bytes_per_sec(1600),
+        }
+    }
+
+    /// A single-node cluster with `devices` devices, NVSwitch only.
+    pub fn single_node(devices: u32) -> Self {
+        let mut c = Self::p4de(1);
+        c.devices_per_node = devices;
+        c
+    }
+
+    /// Total number of devices in the cluster.
+    pub fn num_devices(&self) -> u32 {
+        self.nodes * self.devices_per_node
+    }
+
+    /// The node hosting device `dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is out of range for this cluster.
+    pub fn node_of(&self, dev: DeviceId) -> NodeId {
+        assert!(
+            dev.0 < self.num_devices(),
+            "device {dev} out of range for cluster with {} devices",
+            self.num_devices()
+        );
+        NodeId(dev.0 / self.devices_per_node)
+    }
+
+    /// The local index of device `dev` within its node.
+    pub fn local_rank(&self, dev: DeviceId) -> u32 {
+        dev.0 % self.devices_per_node
+    }
+
+    /// The global rank of the `local`-th device on node `node`.
+    pub fn device_on(&self, node: NodeId, local: u32) -> DeviceId {
+        assert!(node.0 < self.nodes && local < self.devices_per_node);
+        DeviceId(node.0 * self.devices_per_node + local)
+    }
+
+    /// Whether two devices are on the same node.
+    pub fn same_node(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// All device ids, in rank order.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.num_devices()).map(DeviceId)
+    }
+
+    /// Point-to-point latency between two devices.
+    pub fn latency(&self, a: DeviceId, b: DeviceId) -> f64 {
+        if self.same_node(a, b) {
+            self.intra_latency
+        } else {
+            self.inter_latency
+        }
+    }
+
+    /// Effective attention-kernel throughput per device, FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.device_flops * self.kernel_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4de_topology() {
+        let c = ClusterSpec::p4de(4);
+        assert_eq!(c.num_devices(), 32);
+        assert_eq!(c.node_of(DeviceId(0)), NodeId(0));
+        assert_eq!(c.node_of(DeviceId(7)), NodeId(0));
+        assert_eq!(c.node_of(DeviceId(8)), NodeId(1));
+        assert_eq!(c.node_of(DeviceId(31)), NodeId(3));
+        assert_eq!(c.local_rank(DeviceId(13)), 5);
+        assert_eq!(c.device_on(NodeId(2), 3), DeviceId(19));
+    }
+
+    #[test]
+    fn same_node_and_latency() {
+        let c = ClusterSpec::p4de(2);
+        assert!(c.same_node(DeviceId(0), DeviceId(7)));
+        assert!(!c.same_node(DeviceId(7), DeviceId(8)));
+        assert!(c.latency(DeviceId(0), DeviceId(1)) < c.latency(DeviceId(0), DeviceId(9)));
+    }
+
+    #[test]
+    fn devices_iterates_in_rank_order() {
+        let c = ClusterSpec::single_node(4);
+        let ids: Vec<u32> = c.devices().map(|d| d.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_rejects_out_of_range() {
+        let c = ClusterSpec::single_node(2);
+        let _ = c.node_of(DeviceId(2));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ClusterSpec::p4de(8);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,77 @@
+//! The common error type shared by all DCP crates.
+
+use std::fmt;
+
+/// Result alias using [`DcpError`].
+pub type DcpResult<T> = Result<T, DcpError>;
+
+/// Errors produced anywhere in the DCP stack.
+///
+/// The variants are deliberately coarse: each one carries a human readable
+/// message describing the precise failure, and the variant selects the
+/// subsystem so callers can match on the class of failure without parsing
+/// strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcpError {
+    /// An argument violated a documented precondition.
+    InvalidArgument(String),
+    /// A mask specification is inconsistent with the sequence it is applied
+    /// to (e.g. boundaries out of range).
+    InvalidMask(String),
+    /// The hypergraph partitioner could not produce a feasible partition
+    /// under the requested balance constraints.
+    Infeasible(String),
+    /// An execution plan is malformed (e.g. a `CommWait` without a matching
+    /// `CommLaunch`, or a buffer index out of range).
+    InvalidPlan(String),
+    /// A numerical execution failed an internal consistency check.
+    Numerics(String),
+    /// Plan (de)serialization failed.
+    Serialization(String),
+}
+
+impl DcpError {
+    /// Convenience constructor for [`DcpError::InvalidArgument`].
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        DcpError::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for [`DcpError::InvalidPlan`].
+    pub fn invalid_plan(msg: impl Into<String>) -> Self {
+        DcpError::InvalidPlan(msg.into())
+    }
+}
+
+impl fmt::Display for DcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcpError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            DcpError::InvalidMask(m) => write!(f, "invalid mask: {m}"),
+            DcpError::Infeasible(m) => write!(f, "infeasible partition: {m}"),
+            DcpError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            DcpError::Numerics(m) => write!(f, "numerical check failed: {m}"),
+            DcpError::Serialization(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DcpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_and_message() {
+        let e = DcpError::invalid_argument("block size must be > 0");
+        assert_eq!(e.to_string(), "invalid argument: block size must be > 0");
+        let e = DcpError::Infeasible("epsilon too tight".into());
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&DcpError::invalid_plan("x"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Scalar unit aliases and conversion helpers.
+//!
+//! The stack accounts for data volume in bytes, computation in floating point
+//! operations and time in seconds. Plain aliases (rather than newtypes) keep
+//! the hot planner loops free of wrapper noise; functions that mix units take
+//! named parameters instead.
+
+/// A data volume in bytes.
+pub type Bytes = u64;
+
+/// An amount of computation in floating point operations.
+pub type Flops = u64;
+
+/// A duration or point in time, in seconds.
+pub type Seconds = f64;
+
+/// Number of bytes in one kibibyte.
+pub const KIB: Bytes = 1024;
+/// Number of bytes in one mebibyte.
+pub const MIB: Bytes = 1024 * KIB;
+/// Number of bytes in one gibibyte.
+pub const GIB: Bytes = 1024 * MIB;
+
+/// Converts a bandwidth expressed in GB/s (decimal) to bytes per second.
+#[inline]
+pub const fn gbps_to_bytes_per_sec(gb_per_sec: u64) -> f64 {
+    (gb_per_sec * 1_000_000_000) as f64
+}
+
+/// Converts a network speed expressed in Gbit/s to bytes per second.
+#[inline]
+pub const fn gbit_to_bytes_per_sec(gbit_per_sec: u64) -> f64 {
+    (gbit_per_sec * 1_000_000_000 / 8) as f64
+}
+
+/// Converts TFLOP/s to FLOP/s.
+#[inline]
+pub const fn tflops_to_flops_per_sec(tflops: u64) -> f64 {
+    (tflops * 1_000_000_000_000) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_units_scale() {
+        assert_eq!(KIB, 1024);
+        assert_eq!(MIB, 1024 * 1024);
+        assert_eq!(GIB, 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(gbps_to_bytes_per_sec(300), 300e9);
+        // 400 Gbit/s == 50 GB/s.
+        assert_eq!(gbit_to_bytes_per_sec(400), 50e9);
+        assert_eq!(tflops_to_flops_per_sec(312), 312e12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Scaling to bigger batches with DP groups (paper Sec. 8): split the batch
+//! across node groups balanced by attention FLOPs, run DCP inside each
+//! group, and compare against planning the whole batch on the whole
+//! cluster.
+//!
+//! Run with: `cargo run --release --example grouped_dp`
+
+use dcp::core::{plan_grouped, Planner, PlannerConfig};
+use dcp::mask::MaskSpec;
+use dcp::sim::simulate_plan;
+use dcp::types::{AttnSpec, ClusterSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterSpec::p4de(4);
+    let attn = AttnSpec::paper_micro();
+    let cfg = PlannerConfig {
+        block_size: 1024,
+        ..Default::default()
+    };
+
+    // A double-size batch (two micro-batches worth of tokens).
+    let batch: Vec<(u32, MaskSpec)> = [
+        49152u32, 32768, 16384, 16384, 12288, 8192, 8192, 8192, 4096, 4096, 4096, 2048, 2048, 2048,
+        1024, 1024,
+    ]
+    .iter()
+    .map(|&l| (l, MaskSpec::Causal))
+    .collect();
+
+    // Whole-cluster DCP.
+    let planner = Planner::new(cluster.clone(), attn, cfg.clone());
+    let flat = planner.plan(&batch)?;
+    let flat_sim = simulate_plan(&cluster, &flat.plan)?;
+
+    // Two DP groups of two nodes each.
+    let grouped = plan_grouped(&cluster, attn, &cfg, 2, &batch)?;
+    let sub_cluster = ClusterSpec {
+        nodes: 2,
+        ..cluster.clone()
+    };
+    let mut worst = 0.0f64;
+    println!("group assignment (sequence indices): {:?}", grouped.groups);
+    for (g, plan) in grouped.plans.iter().enumerate() {
+        let sim = simulate_plan(&sub_cluster, &plan.plan)?;
+        println!(
+            "group {g}: {} tokens, attention {:.2} ms, comm {:.1} MiB",
+            plan.layout.total_tokens(),
+            sim.total() * 1e3,
+            plan.plan.total_comm_bytes() as f64 / (1 << 20) as f64
+        );
+        worst = worst.max(sim.total());
+    }
+    println!(
+        "\nDP-group FLOPs imbalance: {:.3} (LPT on quadratic attention cost)",
+        grouped.imbalance()
+    );
+    println!(
+        "attention time: grouped (slowest group) {:.2} ms vs whole-cluster {:.2} ms",
+        worst * 1e3,
+        flat_sim.total() * 1e3
+    );
+    println!(
+        "comm volume: grouped {:.1} MiB vs whole-cluster {:.1} MiB",
+        grouped
+            .plans
+            .iter()
+            .map(|p| p.plan.total_comm_bytes())
+            .sum::<u64>() as f64
+            / (1 << 20) as f64,
+        flat.plan.total_comm_bytes() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "\nGroups cut the hypergraph size per planning call and bound CP communication\n\
+         to two nodes; the price is a DP gradient all-reduce across groups (identical\n\
+         to ordinary data parallelism, accounted by the end-to-end model)."
+    );
+    Ok(())
+}

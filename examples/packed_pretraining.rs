@@ -1,0 +1,88 @@
+//! Packed-pretraining batches: documents concatenated into fixed-length
+//! sequences with block-diagonal masking. Tokens never attend across
+//! document boundaries, so a dynamic planner can place whole documents like
+//! a data-parallel dimension inside one "sequence" — static CP still rings
+//! the full KV around.
+//!
+//! Run with: `cargo run --release --example packed_pretraining`
+
+use dcp::baselines::Baseline;
+use dcp::core::{Planner, PlannerConfig};
+use dcp::data::{sample_lengths, DatasetKind};
+use dcp::mask::MaskSpec;
+use dcp::sim::simulate_plan;
+use dcp::types::{AttnSpec, ClusterSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterSpec::p4de(2);
+    let attn = AttnSpec::paper_micro();
+
+    // Pack sampled documents into 32k-token training sequences.
+    let docs = sample_lengths(DatasetKind::LongDataCollections, 64, 0.5, 16384, 21);
+    let target = 32_768u32;
+    let mut batch: Vec<(u32, MaskSpec)> = Vec::new();
+    let mut cur: Vec<u32> = Vec::new();
+    let mut cur_len = 0u32;
+    for mut d in docs {
+        while cur_len + d >= target {
+            let take = target - cur_len;
+            if take > 0 {
+                cur.push(take);
+            }
+            batch.push((target, MaskSpec::packed_documents(&cur)));
+            cur.clear();
+            cur_len = 0;
+            d -= take;
+            if batch.len() == 4 {
+                break;
+            }
+        }
+        if batch.len() == 4 {
+            break;
+        }
+        if d > 0 {
+            cur.push(d);
+            cur_len += d;
+        }
+    }
+    println!(
+        "packed batch: {} sequences of {target} tokens each",
+        batch.len()
+    );
+    for (i, (len, mask)) in batch.iter().enumerate() {
+        let m = mask.instantiate(*len)?;
+        println!(
+            "  seq {i}: sparsity vs causal {:.2}",
+            m.sparsity_vs_causal()
+        );
+    }
+
+    let planner = Planner::new(cluster.clone(), attn, PlannerConfig::default());
+    let dcp = planner.plan(&batch)?;
+    let te = Baseline::TransformerEngine { head_groups: 2 }.build(
+        attn,
+        cluster.num_devices(),
+        256,
+        &batch,
+    )?;
+    let sim_dcp = simulate_plan(&cluster, &dcp.plan)?;
+    let sim_te = simulate_plan(&cluster, &te.plan)?;
+    let mib = |b: u64| b as f64 / (1 << 20) as f64;
+    println!("\n                 DCP        TE (static)");
+    println!(
+        "comm         {:7.1} MiB {:7.1} MiB",
+        mib(dcp.plan.total_comm_bytes()),
+        mib(te.plan.total_comm_bytes())
+    );
+    println!(
+        "attn fwd+bwd {:7.2} ms  {:7.2} ms   ({:.2}x)",
+        sim_dcp.total() * 1e3,
+        sim_te.total() * 1e3,
+        sim_te.total() / sim_dcp.total()
+    );
+    println!(
+        "\nBlock-diagonal masking turns intra-sequence parallelism into document-level\n\
+         data parallelism — only a dynamic planner can exploit it."
+    );
+    Ok(())
+}

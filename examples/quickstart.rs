@@ -1,0 +1,84 @@
+//! Quickstart: plan one mixed batch with DCP, inspect the plan, and compare
+//! its communication and simulated time against static context parallelism.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dcp::baselines::Baseline;
+use dcp::core::{Planner, PlannerConfig};
+use dcp::mask::MaskSpec;
+use dcp::sim::simulate_plan;
+use dcp::types::{AttnSpec, ClusterSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two p4de nodes: 16 A100s, NVSwitch inside a node, 4x100 Gbps between.
+    let cluster = ClusterSpec::p4de(2);
+    // The paper's micro-benchmark attention op (GQA 8Q/2KV heads, d=128).
+    let attn = AttnSpec::paper_micro();
+    let planner = Planner::new(cluster.clone(), attn, PlannerConfig::default());
+
+    // A realistic skewed batch: one long document and a pile of short ones.
+    let batch: Vec<(u32, MaskSpec)> = vec![
+        (65536, MaskSpec::Causal),
+        (8192, MaskSpec::Causal),
+        (4096, MaskSpec::Causal),
+        (4096, MaskSpec::Causal),
+        (2048, MaskSpec::Causal),
+        (2048, MaskSpec::Causal),
+        (1024, MaskSpec::Causal),
+    ];
+
+    let out = planner.plan(&batch)?;
+    println!("== DCP plan ==");
+    println!(
+        "batch: {} sequences, {} tokens",
+        out.layout.num_seqs(),
+        out.layout.total_tokens()
+    );
+    println!(
+        "blocks: {} token blocks, {} computation blocks",
+        out.layout.token_blocks.len(),
+        out.layout.comp_blocks.len()
+    );
+    println!(
+        "planning: {:.1} ms (blocks {:.1} / partition {:.1} / schedule {:.1})",
+        out.times.total() * 1e3,
+        out.times.block_gen * 1e3,
+        out.times.partition * 1e3,
+        out.times.schedule * 1e3,
+    );
+    let loads = out.placement.comp_loads(&out.layout);
+    let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let max = *loads.iter().max().unwrap() as f64;
+    println!("compute balance: max/avg = {:.3}", max / avg);
+    println!(
+        "communication: {:.1} MiB total ({:.1} MiB inter-node)",
+        out.plan.total_comm_bytes() as f64 / (1 << 20) as f64,
+        out.plan.fwd.comm_bytes_where(|a, b| {
+            cluster.node_of(dcp::types::DeviceId(a)) != cluster.node_of(dcp::types::DeviceId(b))
+        }) as f64
+            / (1 << 20) as f64
+    );
+
+    // Compare against the TransformerEngine-style static baseline.
+    let te = Baseline::TransformerEngine { head_groups: 2 }.build(
+        attn,
+        cluster.num_devices(),
+        planner.config().block_size,
+        &batch,
+    )?;
+    let sim_dcp = simulate_plan(&cluster, &out.plan)?;
+    let sim_te = simulate_plan(&cluster, &te.plan)?;
+    println!("\n== simulated attention time (fwd + bwd) ==");
+    println!(
+        "DCP: {:.2} ms   TE (static head+zigzag CP): {:.2} ms   speed-up {:.2}x",
+        sim_dcp.total() * 1e3,
+        sim_te.total() * 1e3,
+        sim_te.total() / sim_dcp.total()
+    );
+    println!(
+        "comm volume: DCP {:.1} MiB vs TE {:.1} MiB",
+        out.plan.total_comm_bytes() as f64 / (1 << 20) as f64,
+        te.plan.total_comm_bytes() as f64 / (1 << 20) as f64
+    );
+    Ok(())
+}

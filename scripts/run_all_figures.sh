@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper's evaluation. Results land in
+# results/*.json; tables print to stdout.
+#
+# DCP_BENCH_BATCHES (default 8) controls batches per configuration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  fig01_comm_overhead
+  fig02_seqlen_dist
+  fig05_motivating
+  fig07_redundant_comm
+  fig13_micro_causal
+  fig14_micro_masks
+  fig15_e2e_longalign
+  fig16_e2e_ldc
+  fig17_comm_vs_blocksize
+  fig18_planning_time
+  fig19_comm_vs_sparsity
+  fig20_comm_vs_epsilon
+  fig21_loss_curves
+  fig22_decomposition
+  ablations
+  memory_report
+  scaling_report
+)
+
+cargo build --release -p dcp-bench --bins
+for bin in "${BINS[@]}"; do
+  echo
+  echo "==================== $bin ===================="
+  cargo run --release -q -p dcp-bench --bin "$bin"
+done
