@@ -54,19 +54,21 @@ pub fn build_ring_baseline(
     cfg: &RingConfig,
     seqs: &[(u32, MaskSpec)],
 ) -> DcpResult<BaselineOutput> {
-    if cfg.devices == 0 || cfg.head_groups == 0 || cfg.devices % cfg.head_groups != 0 {
+    if cfg.devices == 0 || cfg.head_groups == 0 || !cfg.devices.is_multiple_of(cfg.head_groups) {
         return Err(DcpError::invalid_argument(format!(
             "head_groups {} must divide devices {}",
             cfg.head_groups, cfg.devices
         )));
     }
-    if attn.q_heads % cfg.head_groups != 0 || attn.kv_heads % cfg.head_groups != 0 {
+    if !attn.q_heads.is_multiple_of(cfg.head_groups)
+        || !attn.kv_heads.is_multiple_of(cfg.head_groups)
+    {
         return Err(DcpError::invalid_argument(
             "head_groups must divide the attention head counts",
         ));
     }
     let rp = cfg.devices / cfg.head_groups;
-    if cfg.inner_ring == 0 || (cfg.inner_ring > 1 && rp % cfg.inner_ring != 0) {
+    if cfg.inner_ring == 0 || (cfg.inner_ring > 1 && !rp.is_multiple_of(cfg.inner_ring)) {
         return Err(DcpError::invalid_argument(
             "inner_ring must divide the ring size",
         ));
@@ -189,7 +191,7 @@ pub fn build_ring_baseline_with_layout(
 /// chunk to position `r`: the inner neighbor normally, the outer neighbor
 /// (`w` positions back) on every `w`-th step.
 fn sender_pos(r: u32, s: u32, rp: u32, w: u32) -> u32 {
-    if w <= 1 || s % w != 0 {
+    if w <= 1 || !s.is_multiple_of(w) {
         (r + rp - 1) % rp
     } else {
         (r + rp - w) % rp

@@ -1,0 +1,232 @@
+//! Executor performance report: measures the parallel blockwise execution
+//! hot path on a pinned workload and records wall-times, throughput and the
+//! speedup over single-threaded execution.
+//!
+//! Workload (fixed): a p4de(2) cluster (16 devices), LongDataCollections
+//! sequence lengths, causal + sparse mask settings, fixed seeds. Each batch
+//! runs through plan → execute (forward + backward) → simulate. Execution is
+//! timed twice in-process — once at the default rayon width and once with
+//! `RAYON_NUM_THREADS=1` — and the two results are compared bitwise, so
+//! every report run re-verifies the executor's determinism contract.
+//!
+//! Writes `BENCH_exec.json` (execution timings) and `BENCH_plan.json`
+//! (planning/simulation timings) to the current directory.
+//!
+//! Environment knobs: `DCP_BENCH_BATCHES` (default 2) batches per mask.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dcp_bench::Table;
+use dcp_blocks::TokenBlockId;
+use dcp_core::{PlanOutput, Planner, PlannerConfig};
+use dcp_data::{pack_batches, sample_lengths, DatasetKind, MaskSetting};
+use dcp_exec::executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
+use dcp_sim::simulate_plan;
+use dcp_types::{AttnSpec, ClusterSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+/// Fixed dataset seed (independent of `DCP_BENCH_SEED`: the report must be
+/// comparable across machines and runs).
+const SEED: u64 = 7;
+/// Tokens per batch.
+const BUDGET: u64 = 8192;
+/// Maximum sequence length.
+const MAX_LEN: u32 = 2048;
+/// Planner block size (small, so divisions hold enough computation blocks
+/// for the pool to chew on).
+const BLOCK_SIZE: u32 = 128;
+
+/// The executed attention operator. Smaller than the paper's (4Q/2KV heads,
+/// d=16) so the numeric f32 executor, not the simulator, is the thing being
+/// measured at a tractable scale.
+fn exec_attn() -> AttnSpec {
+    AttnSpec::new(4, 2, 16, 1)
+}
+
+fn batches_per_mask() -> usize {
+    std::env::var("DCP_BENCH_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+struct ExecRun {
+    wall_s: f64,
+    fwd: HashMap<TokenBlockId, BlockOut>,
+    bwd: HashMap<TokenBlockId, BlockGrads>,
+}
+
+/// Executes forward + backward once, timed.
+fn run_exec(out: &PlanOutput, data: &BatchData, d_o: &HashMap<TokenBlockId, Vec<f32>>) -> ExecRun {
+    let t0 = Instant::now();
+    let fwd = execute_forward(&out.layout, &out.placement, &out.plan, data).expect("forward");
+    let bwd = execute_backward(&out.layout, &out.placement, &out.plan, data, &fwd, d_o)
+        .expect("backward");
+    ExecRun {
+        wall_s: t0.elapsed().as_secs_f64(),
+        fwd,
+        bwd,
+    }
+}
+
+fn main() {
+    let cluster = ClusterSpec::p4de(2);
+    let attn = exec_attn();
+    let n = batches_per_mask();
+    let masks = [
+        MaskSetting::Causal,
+        MaskSetting::Lambda,
+        MaskSetting::SharedQuestion,
+    ];
+    let threads_default = rayon::current_num_threads();
+
+    println!(
+        "perf_report: p4de(2) / LongDataCollections / block {BLOCK_SIZE} / {n} batch(es) per \
+         mask / {threads_default} thread(s) vs 1"
+    );
+
+    let mut exec_rows = Vec::new();
+    let mut plan_rows = Vec::new();
+    let mut table = Table::new(&[
+        "mask", "batch", "blocks", "t1_s", "tN_s", "speedup", "blk/s_1", "blk/s_N",
+    ]);
+    let mut total_t1 = 0.0f64;
+    let mut total_tn = 0.0f64;
+    let mut total_blocks = 0u64;
+
+    for mask in masks {
+        let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
+        let batches: Vec<_> = pack_batches(&lengths, BUDGET, |l| mask.mask_for(l))
+            .into_iter()
+            .take(n)
+            .map(|b| b.seqs)
+            .collect();
+        for (bi, batch) in batches.iter().enumerate() {
+            let planner = Planner::new(
+                cluster.clone(),
+                attn,
+                PlannerConfig {
+                    block_size: BLOCK_SIZE,
+                    ..Default::default()
+                },
+            );
+            let t0 = Instant::now();
+            let out = planner.plan(batch).expect("plan");
+            let plan_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let sim = simulate_plan(&cluster, &out.plan).expect("simulate");
+            let sim_wall_s = t0.elapsed().as_secs_f64();
+
+            let data = BatchData::random(&out.layout, 2024);
+            let (qh, _) = BatchData::head_counts(&out.layout);
+            let dim = out.layout.attn.head_dim as usize;
+            let mut d_o = HashMap::new();
+            let mut rng = SmallRng::seed_from_u64(99);
+            for (i, tb) in out.layout.token_blocks.iter().enumerate() {
+                let v: Vec<f32> = (0..tb.len as usize * qh * dim)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                d_o.insert(TokenBlockId(i as u32), v);
+            }
+
+            // Warm-up, then timed runs: default width first, then one
+            // thread (the vendored rayon re-reads RAYON_NUM_THREADS at
+            // every parallel call, so this works in-process).
+            let saved = std::env::var("RAYON_NUM_THREADS").ok();
+            std::env::remove_var("RAYON_NUM_THREADS");
+            run_exec(&out, &data, &d_o);
+            let par = run_exec(&out, &data, &d_o);
+            std::env::set_var("RAYON_NUM_THREADS", "1");
+            let ser = run_exec(&out, &data, &d_o);
+            match saved {
+                Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+                None => std::env::remove_var("RAYON_NUM_THREADS"),
+            }
+            assert_eq!(par.fwd, ser.fwd, "forward outputs must be bitwise equal");
+            assert_eq!(par.bwd, ser.bwd, "gradients must be bitwise equal");
+
+            // Forward + backward each execute every computation block once.
+            let blocks = 2 * out.layout.comp_blocks.len() as u64;
+            let speedup = ser.wall_s / par.wall_s;
+            total_t1 += ser.wall_s;
+            total_tn += par.wall_s;
+            total_blocks += blocks;
+            table.row(vec![
+                mask.name().to_string(),
+                bi.to_string(),
+                blocks.to_string(),
+                format!("{:.3}", ser.wall_s),
+                format!("{:.3}", par.wall_s),
+                format!("{speedup:.2}x"),
+                format!("{:.0}", blocks as f64 / ser.wall_s),
+                format!("{:.0}", blocks as f64 / par.wall_s),
+            ]);
+            exec_rows.push(json!({
+                "mask": mask.name(),
+                "batch": bi,
+                "seqs": batch.len(),
+                "tokens": batch.iter().map(|(l, _)| *l as u64).sum::<u64>(),
+                "comp_blocks_executed": blocks,
+                "wall_s_1_thread": ser.wall_s,
+                "wall_s_default": par.wall_s,
+                "speedup": speedup,
+                "blocks_per_sec_1_thread": blocks as f64 / ser.wall_s,
+                "blocks_per_sec_default": blocks as f64 / par.wall_s,
+                "bitwise_identical": true,
+            }));
+            plan_rows.push(json!({
+                "mask": mask.name(),
+                "batch": bi,
+                "plan_wall_s": plan_s,
+                "simulate_wall_s": sim_wall_s,
+                "simulated_total_s": sim.total(),
+                "comm_bytes": out.plan.total_comm_bytes(),
+                "token_blocks": out.layout.token_blocks.len(),
+                "comp_blocks": out.layout.comp_blocks.len(),
+            }));
+        }
+    }
+
+    table.print();
+    let overall = total_t1 / total_tn;
+    println!(
+        "\noverall executor speedup: {overall:.2}x ({threads_default} threads, \
+         {total_blocks} blocks, {total_t1:.3}s -> {total_tn:.3}s)"
+    );
+
+    let exec_report = json!({
+        "workload": {
+            "cluster": "p4de(2)",
+            "dataset": "LongDataCollections",
+            "max_len": MAX_LEN,
+            "budget_tokens": BUDGET,
+            "block_size": BLOCK_SIZE,
+            "attn": { "q_heads": 4, "kv_heads": 2, "head_dim": 16 },
+            "seed": SEED,
+            "batches_per_mask": n,
+        },
+        "threads_default": threads_default as u64,
+        "overall_speedup": overall,
+        "total_wall_s_1_thread": total_t1,
+        "total_wall_s_default": total_tn,
+        "runs": exec_rows,
+    });
+    let plan_report = json!({
+        "workload": { "cluster": "p4de(2)", "dataset": "LongDataCollections", "seed": SEED },
+        "runs": plan_rows,
+    });
+    for (name, value) in [
+        ("BENCH_exec.json", &exec_report),
+        ("BENCH_plan.json", &plan_report),
+    ] {
+        std::fs::write(
+            name,
+            serde_json::to_string_pretty(value).expect("serializable"),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
+        println!("[written {name}]");
+    }
+}

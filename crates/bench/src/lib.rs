@@ -142,7 +142,7 @@ pub fn run_dcp_best(
                 ..base.clone()
             };
             let (sim, out) = run_dcp(cluster, attn, &cfg, batch)?;
-            if best.as_ref().map_or(true, |(b, _)| sim.total() < b.total()) {
+            if best.as_ref().is_none_or(|(b, _)| sim.total() < b.total()) {
                 best = Some((sim, out));
             }
         }
@@ -185,14 +185,14 @@ pub fn run_loongtrain_best(
     // across the inner-ring sweep.
     let layout = build_ring_layout(attn, &cfg, batch)?;
     for w in [1u32, 2, 4, 8] {
-        if w > 1 && rp % w != 0 {
+        if w > 1 && !rp.is_multiple_of(w) {
             continue;
         }
         cfg.inner_ring = w;
         let out =
             build_ring_baseline_with_layout(&format!("loongtrain-w{w}"), &cfg, layout.clone())?;
         let sim = simulate_plan(cluster, &out.plan)?;
-        if best.as_ref().map_or(true, |(b, _)| sim.total() < b.total()) {
+        if best.as_ref().is_none_or(|(b, _)| sim.total() < b.total()) {
             best = Some((sim, out));
         }
     }

@@ -165,8 +165,8 @@ impl BatchLayout {
             return Err(DcpError::invalid_argument("block size must be > 0"));
         }
         if config.head_blocks == 0
-            || attn.q_heads % config.head_blocks != 0
-            || attn.kv_heads % config.head_blocks != 0
+            || !attn.q_heads.is_multiple_of(config.head_blocks)
+            || !attn.kv_heads.is_multiple_of(config.head_blocks)
         {
             return Err(DcpError::invalid_argument(format!(
                 "head_blocks ({}) must divide q_heads ({}) and kv_heads ({})",

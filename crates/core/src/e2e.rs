@@ -60,7 +60,7 @@ impl E2eConfig {
 /// Panics if `tp` does not divide the node size.
 pub fn cp_cluster(cluster: &ClusterSpec, tp: u32) -> ClusterSpec {
     assert!(
-        tp > 0 && cluster.devices_per_node % tp == 0,
+        tp > 0 && cluster.devices_per_node.is_multiple_of(tp),
         "tp must divide devices per node"
     );
     let mut c = cluster.clone();

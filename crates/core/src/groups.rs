@@ -61,7 +61,7 @@ pub fn plan_grouped(
     groups: u32,
     seqs: &[(u32, MaskSpec)],
 ) -> DcpResult<GroupedPlan> {
-    if groups == 0 || cluster.nodes % groups != 0 {
+    if groups == 0 || !cluster.nodes.is_multiple_of(groups) {
         return Err(DcpError::invalid_argument(format!(
             "groups ({groups}) must divide the node count ({})",
             cluster.nodes

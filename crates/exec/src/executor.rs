@@ -23,6 +23,7 @@ use dcp_sched::{ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan, Placement
 use dcp_types::{DcpError, DcpResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::kernels::{
     attn_block_bwd, attn_block_fwd, merge_outputs, BlockAcc, BlockArgs, BlockBwdArgs,
@@ -298,6 +299,16 @@ pub fn execute_forward(
             }
             Instr::CommWait(cid) => Ok(it.try_wait(dev, cid.0)),
             Instr::Attn { items, .. } => {
+                // Hot path: resolve every item's inputs serially (so
+                // under-communication errors surface in item order), compute
+                // each computation block's partial accumulator on the rayon
+                // pool, then fold the partials into the per-Q-block state in
+                // item order. The fold order is fixed by the plan, never by
+                // the scheduler, so results are bitwise identical at every
+                // thread count (RAYON_NUM_THREADS=1 degenerates to the old
+                // serial loop).
+                let avail = &it.avail[dev as usize];
+                let mut work: Vec<(TokenBlockId, BlockArgs<'_>)> = Vec::with_capacity(items.len());
                 for &c in items {
                     let cb = layout.comp_blocks[c.0 as usize];
                     let qb = cb.q_block;
@@ -307,7 +318,7 @@ pub fn execute_forward(
                     let qdata: &[f32] = if q_owned {
                         &data.q[qb.0 as usize]
                     } else {
-                        match it.avail[dev as usize].get(&Payload::Q(qb)) {
+                        match avail.get(&Payload::Q(qb)) {
                             Some(Data::Q(v)) => v,
                             _ => {
                                 return Err(DcpError::invalid_plan(format!(
@@ -319,7 +330,7 @@ pub fn execute_forward(
                     let (kdata, vdata): (&[f32], &[f32]) = if kv_owned {
                         (&data.k[kb.0 as usize], &data.v[kb.0 as usize])
                     } else {
-                        match it.avail[dev as usize].get(&Payload::Kv(kb)) {
+                        match avail.get(&Payload::Kv(kb)) {
                             Some(Data::Kv(k, v)) => (k, v),
                             _ => {
                                 return Err(DcpError::invalid_plan(format!(
@@ -330,12 +341,8 @@ pub fn execute_forward(
                     };
                     let qtb = layout.token_blocks[qb.0 as usize];
                     let ktb = layout.token_blocks[kb.0 as usize];
-                    let acc = accs[dev as usize]
-                        .entry(qb)
-                        .or_insert_with(|| BlockAcc::new(qtb.len as usize, qh, dim));
-                    let mask = &layout.masks[qtb.seq as usize];
-                    attn_block_fwd(
-                        acc,
+                    work.push((
+                        qb,
                         BlockArgs {
                             q: qdata,
                             k: kdata,
@@ -347,10 +354,26 @@ pub fn execute_forward(
                             kv_len: ktb.len as usize,
                             q_start: qtb.start,
                             kv_start: ktb.start,
-                            mask,
+                            mask: &layout.masks[qtb.seq as usize],
                             scale,
                         },
-                    );
+                    ));
+                }
+                let parts: Vec<(TokenBlockId, BlockAcc)> = work
+                    .into_par_iter()
+                    .map(|(qb, args)| {
+                        let mut acc = BlockAcc::new(args.q_len, args.qh, args.dim);
+                        attn_block_fwd(&mut acc, args);
+                        (qb, acc)
+                    })
+                    .collect();
+                for (qb, part) in parts {
+                    match accs[dev as usize].entry(qb) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut().merge(&part),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(part);
+                        }
+                    }
                 }
                 Ok(true)
             }
@@ -448,9 +471,10 @@ pub fn execute_backward(
         }
     }
 
-    // Per device gradient accumulators.
+    // Per device gradient accumulators (dK and dV are kept as a pair).
+    type KvGradPair = (Vec<f32>, Vec<f32>);
     let mut dq_acc: Vec<HashMap<TokenBlockId, Vec<f32>>> = vec![HashMap::new(); n];
-    let mut dkv_acc: Vec<HashMap<TokenBlockId, (Vec<f32>, Vec<f32>)>> = vec![HashMap::new(); n];
+    let mut dkv_acc: Vec<HashMap<TokenBlockId, KvGradPair>> = vec![HashMap::new(); n];
 
     let mut interp = Interp::new(placement, &plan.bwd);
     interp.run(|it, dev, ins| {
@@ -515,6 +539,15 @@ pub fn execute_backward(
             }
             Instr::CommWait(cid) => Ok(it.try_wait(dev, cid.0)),
             Instr::AttnBwd { items, .. } => {
+                // Mirror of the forward hot path: resolve inputs serially
+                // (borrowing instead of the old per-item clones), compute
+                // per-item gradient partials on the rayon pool, then add
+                // them into the device accumulators in item order. Gradient
+                // addition order is fixed by the plan, so results are
+                // bitwise identical at every thread count.
+                let avail = &it.avail[dev as usize];
+                let mut work: Vec<(TokenBlockId, TokenBlockId, BlockBwdArgs<'_>)> =
+                    Vec::with_capacity(items.len());
                 for &c in items {
                     let cb = layout.comp_blocks[c.0 as usize];
                     let qb = cb.q_block;
@@ -523,13 +556,11 @@ pub fn execute_backward(
                     let kv_owned = placement.token_dev(kb) == dev;
                     let qtb = layout.token_blocks[qb.0 as usize];
                     let ktb = layout.token_blocks[kb.0 as usize];
-                    // Gather inputs, cloning small slices to satisfy the
-                    // borrow checker across the accumulator mutation below.
-                    let qdata: Vec<f32> = if q_owned {
-                        data.q[qb.0 as usize].clone()
+                    let qdata: &[f32] = if q_owned {
+                        &data.q[qb.0 as usize]
                     } else {
-                        match it.avail[dev as usize].get(&Payload::Q(qb)) {
-                            Some(Data::Q(v)) => v.clone(),
+                        match avail.get(&Payload::Q(qb)) {
+                            Some(Data::Q(v)) => v,
                             _ => {
                                 return Err(DcpError::invalid_plan(format!(
                                     "device {dev} bwd {c:?} without Q({qb:?})"
@@ -537,11 +568,11 @@ pub fn execute_backward(
                             }
                         }
                     };
-                    let (kdata, vdata): (Vec<f32>, Vec<f32>) = if kv_owned {
-                        (data.k[kb.0 as usize].clone(), data.v[kb.0 as usize].clone())
+                    let (kdata, vdata): (&[f32], &[f32]) = if kv_owned {
+                        (&data.k[kb.0 as usize], &data.v[kb.0 as usize])
                     } else {
-                        match it.avail[dev as usize].get(&Payload::Kv(kb)) {
-                            Some(Data::Kv(k, v)) => (k.clone(), v.clone()),
+                        match avail.get(&Payload::Kv(kb)) {
+                            Some(Data::Kv(k, v)) => (k, v),
                             _ => {
                                 return Err(DcpError::invalid_plan(format!(
                                     "device {dev} bwd {c:?} without KV({kb:?})"
@@ -549,14 +580,12 @@ pub fn execute_backward(
                             }
                         }
                     };
-                    let (dob, ob, lseb): (Vec<f32>, Vec<f32>, Vec<f32>) = if q_owned {
+                    let (dob, ob, lseb): (&[f32], &[f32], &[f32]) = if q_owned {
                         let out = &fwd_out[&qb];
-                        (d_o[&qb].clone(), out.o.clone(), out.lse.clone())
+                        (&d_o[&qb], &out.o, &out.lse)
                     } else {
-                        match it.avail[dev as usize].get(&Payload::DO(qb)) {
-                            Some(Data::OutGrad { d_o, o, lse }) => {
-                                (d_o.clone(), o.clone(), lse.clone())
-                            }
+                        match avail.get(&Payload::DO(qb)) {
+                            Some(Data::OutGrad { d_o, o, lse }) => (d_o, o, lse),
                             _ => {
                                 return Err(DcpError::invalid_plan(format!(
                                     "device {dev} bwd {c:?} without dO({qb:?})"
@@ -564,23 +593,14 @@ pub fn execute_backward(
                             }
                         }
                     };
-                    let dq = dq_acc[dev as usize]
-                        .entry(qb)
-                        .or_insert_with(|| vec![0.0; qtb.len as usize * qh * dim]);
-                    let kv_entry = dkv_acc[dev as usize].entry(kb).or_insert_with(|| {
-                        (
-                            vec![0.0; ktb.len as usize * kvh * dim],
-                            vec![0.0; ktb.len as usize * kvh * dim],
-                        )
-                    });
-                    let (dk, dv) = (&mut kv_entry.0, &mut kv_entry.1);
-                    let mask = &layout.masks[qtb.seq as usize];
-                    attn_block_bwd(
+                    work.push((
+                        qb,
+                        kb,
                         BlockBwdArgs {
                             fwd: BlockArgs {
-                                q: &qdata,
-                                k: &kdata,
-                                v: &vdata,
+                                q: qdata,
+                                k: kdata,
+                                v: vdata,
                                 qh,
                                 kvh,
                                 dim,
@@ -588,17 +608,43 @@ pub fn execute_backward(
                                 kv_len: ktb.len as usize,
                                 q_start: qtb.start,
                                 kv_start: ktb.start,
-                                mask,
+                                mask: &layout.masks[qtb.seq as usize],
                                 scale,
                             },
-                            o: &ob,
-                            lse: &lseb,
-                            d_o: &dob,
+                            o: ob,
+                            lse: lseb,
+                            d_o: dob,
                         },
-                        dq,
-                        dk,
-                        dv,
-                    );
+                    ));
+                }
+                type GradPart = (TokenBlockId, TokenBlockId, Vec<f32>, Vec<f32>, Vec<f32>);
+                let parts: Vec<GradPart> = work
+                    .into_par_iter()
+                    .map(|(qb, kb, args)| {
+                        let a = args.fwd;
+                        let mut pdq = vec![0.0f32; a.q_len * a.qh * a.dim];
+                        let mut pdk = vec![0.0f32; a.kv_len * a.kvh * a.dim];
+                        let mut pdv = vec![0.0f32; a.kv_len * a.kvh * a.dim];
+                        attn_block_bwd(args, &mut pdq, &mut pdk, &mut pdv);
+                        (qb, kb, pdq, pdk, pdv)
+                    })
+                    .collect();
+                for (qb, kb, pdq, pdk, pdv) in parts {
+                    let dq = dq_acc[dev as usize]
+                        .entry(qb)
+                        .or_insert_with(|| vec![0.0; pdq.len()]);
+                    for (a, b) in dq.iter_mut().zip(&pdq) {
+                        *a += b;
+                    }
+                    let kv_entry = dkv_acc[dev as usize]
+                        .entry(kb)
+                        .or_insert_with(|| (vec![0.0; pdk.len()], vec![0.0; pdv.len()]));
+                    for (a, b) in kv_entry.0.iter_mut().zip(&pdk) {
+                        *a += b;
+                    }
+                    for (a, b) in kv_entry.1.iter_mut().zip(&pdv) {
+                        *a += b;
+                    }
                 }
                 Ok(true)
             }

@@ -7,6 +7,13 @@
 
 use dcp_mask::Mask;
 
+/// Dot product of two equal-length rows (kept `inline` so the executor's
+/// per-row loops vectorize).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
 /// The running state of one output block's online softmax: the unnormalized
 /// accumulator plus per-(token, head) running max and sum-of-exponentials.
 #[derive(Debug, Clone)]
@@ -38,17 +45,53 @@ impl BlockAcc {
         }
     }
 
+    /// Folds another accumulator over the *same rows* into this one with the
+    /// online-softmax state merge: rescale both sides to the joint maximum,
+    /// then add. Merging a partial into a fresh accumulator reproduces the
+    /// partial exactly, so a fold over per-block partials in a fixed order
+    /// is deterministic regardless of how the partials were scheduled.
+    pub fn merge(&mut self, other: &BlockAcc) {
+        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.qh, other.qh);
+        debug_assert_eq!(self.dim, other.dim);
+        for r in 0..self.len * self.qh {
+            let om = other.m[r];
+            if om == f32::NEG_INFINITY {
+                continue;
+            }
+            let new_m = self.m[r].max(om);
+            let c_self = if self.m[r] == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.m[r] - new_m).exp()
+            };
+            let c_other = (om - new_m).exp();
+            self.l[r] = self.l[r] * c_self + other.l[r] * c_other;
+            let base = r * self.dim;
+            let dst = &mut self.o[base..base + self.dim];
+            let src = &other.o[base..base + self.dim];
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a = *a * c_self + b * c_other;
+            }
+            self.m[r] = new_m;
+        }
+    }
+
     /// Normalizes the accumulator into `(O, lse)`. Rows that attended to
     /// nothing produce zero output and `lse = -inf`.
     pub fn finalize(&self) -> (Vec<f32>, Vec<f32>) {
         let mut out = vec![0.0f32; self.len * self.qh * self.dim];
         let mut lse = vec![f32::NEG_INFINITY; self.len * self.qh];
-        for r in 0..self.len * self.qh {
+        for (r, dst_lse) in lse.iter_mut().enumerate() {
             if self.l[r] > 0.0 {
-                lse[r] = self.m[r] + self.l[r].ln();
+                *dst_lse = self.m[r] + self.l[r].ln();
                 let inv = 1.0 / self.l[r];
-                for d in 0..self.dim {
-                    out[r * self.dim + d] = self.o[r * self.dim + d] * inv;
+                let base = r * self.dim;
+                for (dst, &src) in out[base..base + self.dim]
+                    .iter_mut()
+                    .zip(&self.o[base..base + self.dim])
+                {
+                    *dst = src * inv;
                 }
             }
         }
@@ -109,48 +152,47 @@ pub fn attn_block_fwd(acc: &mut BlockAcc, a: BlockArgs<'_>) {
         for h in 0..a.qh {
             let kvh_idx = h / group;
             let r = t * a.qh + h;
-            let qrow = &a.q[(t * a.qh + h) * a.dim..(t * a.qh + h + 1) * a.dim];
+            let qbase = r * a.dim;
+            let qrow = &a.q[qbase..qbase + a.dim];
             // Scores for allowed keys.
             let mut row_max = f32::NEG_INFINITY;
             for j in 0..a.kv_len {
                 if !allowed[j] {
                     continue;
                 }
-                let krow = &a.k[(j * a.kvh + kvh_idx) * a.dim..(j * a.kvh + kvh_idx + 1) * a.dim];
-                let mut s = 0.0f32;
-                for d in 0..a.dim {
-                    s += qrow[d] * krow[d];
-                }
-                s *= a.scale;
+                let kbase = (j * a.kvh + kvh_idx) * a.dim;
+                let s = dot(qrow, &a.k[kbase..kbase + a.dim]) * a.scale;
                 scores[j] = s;
                 row_max = row_max.max(s);
             }
             if row_max == f32::NEG_INFINITY {
                 continue;
             }
-            // Online-softmax rescale.
+            // Online-softmax rescale, fused over the hoisted output row.
             let new_m = acc.m[r].max(row_max);
             let correction = if acc.m[r] == f32::NEG_INFINITY {
                 0.0
             } else {
                 (acc.m[r] - new_m).exp()
             };
-            acc.l[r] *= correction;
-            for d in 0..a.dim {
-                acc.o[r * a.dim + d] *= correction;
+            let orow = &mut acc.o[qbase..qbase + a.dim];
+            for o in orow.iter_mut() {
+                *o *= correction;
             }
             acc.m[r] = new_m;
+            let mut l_add = 0.0f32;
             for j in 0..a.kv_len {
                 if !allowed[j] {
                     continue;
                 }
                 let p = (scores[j] - new_m).exp();
-                acc.l[r] += p;
-                let vrow = &a.v[(j * a.kvh + kvh_idx) * a.dim..(j * a.kvh + kvh_idx + 1) * a.dim];
-                for d in 0..a.dim {
-                    acc.o[r * a.dim + d] += p * vrow[d];
+                l_add += p;
+                let vbase = (j * a.kvh + kvh_idx) * a.dim;
+                for (o, &vv) in orow.iter_mut().zip(&a.v[vbase..vbase + a.dim]) {
+                    *o += p * vv;
                 }
             }
+            acc.l[r] = acc.l[r] * correction + l_add;
         }
     }
 }
@@ -228,14 +270,13 @@ pub fn attn_block_bwd(args: BlockBwdArgs<'_>, dq: &mut [f32], dk: &mut [f32], dv
                 continue;
             }
             let kvh_idx = h / group;
-            let qrow = &a.q[r * a.dim..(r + 1) * a.dim];
-            let orow = &args.o[r * a.dim..(r + 1) * a.dim];
-            let dorow = &args.d_o[r * a.dim..(r + 1) * a.dim];
+            let rbase = r * a.dim;
+            let qrow = &a.q[rbase..rbase + a.dim];
+            let dorow = &args.d_o[rbase..rbase + a.dim];
+            let dqrow = &mut dq[rbase..rbase + a.dim];
+            let lse_r = args.lse[r];
             // delta = rowsum(dO * O).
-            let mut delta = 0.0f32;
-            for d in 0..a.dim {
-                delta += dorow[d] * orow[d];
-            }
+            let delta = dot(dorow, &args.o[rbase..rbase + a.dim]);
             for j in 0..a.kv_len {
                 if !ranges.contains(a.kv_start + j as u32) {
                     continue;
@@ -243,25 +284,17 @@ pub fn attn_block_bwd(args: BlockBwdArgs<'_>, dq: &mut [f32], dk: &mut [f32], dv
                 let kbase = (j * a.kvh + kvh_idx) * a.dim;
                 let krow = &a.k[kbase..kbase + a.dim];
                 let vrow = &a.v[kbase..kbase + a.dim];
-                let mut s = 0.0f32;
-                for d in 0..a.dim {
-                    s += qrow[d] * krow[d];
+                let s = dot(qrow, krow) * a.scale;
+                let p = (s - lse_r).exp();
+                // dV += p * dO; dP = dO . V ; dS = p * (dP - delta).
+                for (g, &go) in dv[kbase..kbase + a.dim].iter_mut().zip(dorow) {
+                    *g += p * go;
                 }
-                s *= a.scale;
-                let p = (s - args.lse[r]).exp();
-                // dV += p * dO.
+                let ds = p * (dot(dorow, vrow) - delta) * a.scale;
+                let dkrow = &mut dk[kbase..kbase + a.dim];
                 for d in 0..a.dim {
-                    dv[kbase + d] += p * dorow[d];
-                }
-                // dP = dO . V ; dS = p * (dP - delta).
-                let mut dp = 0.0f32;
-                for d in 0..a.dim {
-                    dp += dorow[d] * vrow[d];
-                }
-                let ds = p * (dp - delta) * a.scale;
-                for d in 0..a.dim {
-                    dq[r * a.dim + d] += ds * krow[d];
-                    dk[kbase + d] += ds * qrow[d];
+                    dqrow[d] += ds * krow[d];
+                    dkrow[d] += ds * qrow[d];
                 }
             }
         }
@@ -416,6 +449,74 @@ mod tests {
             assert!((a - b).abs() < 1e-5);
         }
         for (a, b) in lm.iter().zip(&lf) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Folding per-KV-block partial accumulators with [`BlockAcc::merge`]
+    /// must match accumulating the blocks sequentially into one state, and
+    /// merging into a fresh accumulator must reproduce the partial exactly.
+    #[test]
+    fn acc_merge_equals_sequential_accumulation() {
+        let (len, qh, kvh, dim) = (6usize, 2usize, 1usize, 4usize);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let q = randv(len * qh * dim, &mut rng);
+        let k = randv(len * kvh * dim, &mut rng);
+        let v = randv(len * kvh * dim, &mut rng);
+        let mask = MaskSpec::Causal.instantiate(len as u32).unwrap();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let part = |s: usize, e: usize| -> BlockAcc {
+            let mut acc = BlockAcc::new(len, qh, dim);
+            attn_block_fwd(
+                &mut acc,
+                BlockArgs {
+                    q: &q,
+                    k: &k[s * kvh * dim..e * kvh * dim],
+                    v: &v[s * kvh * dim..e * kvh * dim],
+                    qh,
+                    kvh,
+                    dim,
+                    q_len: len,
+                    kv_len: e - s,
+                    q_start: 0,
+                    kv_start: s as u32,
+                    mask: &mask,
+                    scale,
+                },
+            );
+            acc
+        };
+        let (pa, pb) = (part(0, 2), part(2, len));
+        // Fresh + merge reproduces the partial bitwise.
+        let mut fresh = BlockAcc::new(len, qh, dim);
+        fresh.merge(&pa);
+        assert_eq!(fresh.finalize(), pa.finalize());
+        // Merging both partials equals sequential accumulation.
+        fresh.merge(&pb);
+        let (om, lm) = fresh.finalize();
+        let mut joint = part(0, 2);
+        attn_block_fwd(
+            &mut joint,
+            BlockArgs {
+                q: &q,
+                k: &k[2 * kvh * dim..],
+                v: &v[2 * kvh * dim..],
+                qh,
+                kvh,
+                dim,
+                q_len: len,
+                kv_len: len - 2,
+                q_start: 0,
+                kv_start: 2,
+                mask: &mask,
+                scale,
+            },
+        );
+        let (oj, lj) = joint.finalize();
+        for (a, b) in om.iter().zip(&oj) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in lm.iter().zip(&lj) {
             assert!((a - b).abs() < 1e-5);
         }
     }

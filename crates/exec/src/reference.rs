@@ -5,11 +5,22 @@
 //! row-major, GQA mapping `kv_head = q_head / (q_heads / kv_heads)`.
 
 use dcp_mask::Mask;
+use rayon::prelude::*;
+
+/// Token chunk processed per backward task. Fixed (never derived from the
+/// thread count), so the per-chunk partial sums — and therefore the merged
+/// gradients — are bitwise identical at every thread count.
+const BWD_CHUNK: usize = 32;
 
 /// Dense masked GQA attention forward for one sequence.
 ///
 /// Returns `(O, lse)` with `O: [len, qh, dim]`, `lse: [len * qh]`. Rows with
 /// no allowed keys produce zero output and `-inf` lse.
+///
+/// Query rows are independent, so they are computed in parallel over tokens;
+/// every row's arithmetic is self-contained and the rows are written to
+/// disjoint slices, making the result thread-count independent.
+#[allow(clippy::too_many_arguments)]
 pub fn attention(
     q: &[f32],
     k: &[f32],
@@ -22,52 +33,60 @@ pub fn attention(
 ) -> (Vec<f32>, Vec<f32>) {
     let scale = 1.0 / (dim as f32).sqrt();
     let group = qh / kvh;
-    let mut o = vec![0.0f32; len * qh * dim];
-    let mut lse = vec![f32::NEG_INFINITY; len * qh];
-    let mut scores = vec![0.0f32; len];
-    for t in 0..len {
-        let ranges = mask.allowed(t as u32);
-        for h in 0..qh {
-            let g = h / group;
-            let r = t * qh + h;
-            let qrow = &q[r * dim..(r + 1) * dim];
-            let mut m = f32::NEG_INFINITY;
-            let mut any = false;
-            for j in 0..len {
-                if !ranges.contains(j as u32) {
+    let rows: Vec<(Vec<f32>, Vec<f32>)> = (0..len)
+        .into_par_iter()
+        .map(|t| {
+            let mut o_t = vec![0.0f32; qh * dim];
+            let mut lse_t = vec![f32::NEG_INFINITY; qh];
+            let mut scores = vec![0.0f32; len];
+            let ranges = mask.allowed(t as u32);
+            for h in 0..qh {
+                let g = h / group;
+                let r = t * qh + h;
+                let qrow = &q[r * dim..(r + 1) * dim];
+                let mut m = f32::NEG_INFINITY;
+                let mut any = false;
+                for (j, slot) in scores.iter_mut().enumerate() {
+                    if !ranges.contains(j as u32) {
+                        continue;
+                    }
+                    any = true;
+                    let kbase = (j * kvh + g) * dim;
+                    let krow = &k[kbase..kbase + dim];
+                    let s = qrow.iter().zip(krow).map(|(x, y)| x * y).sum::<f32>() * scale;
+                    *slot = s;
+                    m = m.max(s);
+                }
+                if !any {
                     continue;
                 }
-                any = true;
-                let krow = &k[(j * kvh + g) * dim..(j * kvh + g + 1) * dim];
-                let mut s = 0.0f32;
-                for d in 0..dim {
-                    s += qrow[d] * krow[d];
+                let mut l = 0.0f32;
+                for (j, &s) in scores.iter().enumerate() {
+                    if ranges.contains(j as u32) {
+                        l += (s - m).exp();
+                    }
                 }
-                s *= scale;
-                scores[j] = s;
-                m = m.max(s);
-            }
-            if !any {
-                continue;
-            }
-            let mut l = 0.0f32;
-            for j in 0..len {
-                if ranges.contains(j as u32) {
-                    l += (scores[j] - m).exp();
-                }
-            }
-            lse[r] = m + l.ln();
-            for j in 0..len {
-                if !ranges.contains(j as u32) {
-                    continue;
-                }
-                let p = (scores[j] - m).exp() / l;
-                let vrow = &v[(j * kvh + g) * dim..(j * kvh + g + 1) * dim];
-                for d in 0..dim {
-                    o[r * dim + d] += p * vrow[d];
+                lse_t[h] = m + l.ln();
+                let orow = &mut o_t[h * dim..(h + 1) * dim];
+                for (j, &s) in scores.iter().enumerate() {
+                    if !ranges.contains(j as u32) {
+                        continue;
+                    }
+                    let p = (s - m).exp() / l;
+                    let vbase = (j * kvh + g) * dim;
+                    for (od, &vv) in orow.iter_mut().zip(&v[vbase..vbase + dim]) {
+                        *od += p * vv;
+                    }
                 }
             }
-        }
+            (o_t, lse_t)
+        })
+        .collect();
+    let mut o = Vec::with_capacity(len * qh * dim);
+    let mut lse = Vec::with_capacity(len * qh);
+    for (o_t, lse_t) in rows {
+        o.extend_from_slice(&o_t);
+        lse.extend_from_slice(&lse_t);
     }
     (o, lse)
 }
@@ -92,50 +111,66 @@ pub fn attention_bwd(
 ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
     let scale = 1.0 / (dim as f32).sqrt();
     let group = qh / kvh;
-    let mut dq = vec![0.0f32; len * qh * dim];
+    // dQ rows are disjoint per token, but dK/dV accumulate across all query
+    // tokens. Split the token range into fixed-size chunks; each chunk
+    // produces its dQ slice plus full-size dK/dV partials, which are then
+    // summed in chunk order — a fixed reduction order at any thread count.
+    let nchunks = len.div_ceil(BWD_CHUNK).max(1);
+    let parts: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..nchunks)
+        .into_par_iter()
+        .map(|ci| {
+            let t0 = ci * BWD_CHUNK;
+            let t1 = (t0 + BWD_CHUNK).min(len);
+            let mut dq_part = vec![0.0f32; (t1 - t0) * qh * dim];
+            let mut dk_part = vec![0.0f32; len * kvh * dim];
+            let mut dv_part = vec![0.0f32; len * kvh * dim];
+            for t in t0..t1 {
+                let ranges = mask.allowed(t as u32);
+                for h in 0..qh {
+                    let r = t * qh + h;
+                    if lse[r] == f32::NEG_INFINITY {
+                        continue;
+                    }
+                    let g = h / group;
+                    let qrow = &q[r * dim..(r + 1) * dim];
+                    let orow = &o[r * dim..(r + 1) * dim];
+                    let dorow = &d_o[r * dim..(r + 1) * dim];
+                    let dqbase = ((t - t0) * qh + h) * dim;
+                    let delta = dorow.iter().zip(orow).map(|(x, y)| x * y).sum::<f32>();
+                    for j in 0..len {
+                        if !ranges.contains(j as u32) {
+                            continue;
+                        }
+                        let kbase = (j * kvh + g) * dim;
+                        let krow = &k[kbase..kbase + dim];
+                        let vrow = &v[kbase..kbase + dim];
+                        let s = qrow.iter().zip(krow).map(|(x, y)| x * y).sum::<f32>() * scale;
+                        let p = (s - lse[r]).exp();
+                        for (gd, &go) in dv_part[kbase..kbase + dim].iter_mut().zip(dorow) {
+                            *gd += p * go;
+                        }
+                        let dp = dorow.iter().zip(vrow).map(|(x, y)| x * y).sum::<f32>();
+                        let ds = p * (dp - delta) * scale;
+                        for d in 0..dim {
+                            dq_part[dqbase + d] += ds * krow[d];
+                            dk_part[kbase + d] += ds * qrow[d];
+                        }
+                    }
+                }
+            }
+            (dq_part, dk_part, dv_part)
+        })
+        .collect();
+    let mut dq = Vec::with_capacity(len * qh * dim);
     let mut dk = vec![0.0f32; len * kvh * dim];
     let mut dv = vec![0.0f32; len * kvh * dim];
-    for t in 0..len {
-        let ranges = mask.allowed(t as u32);
-        for h in 0..qh {
-            let r = t * qh + h;
-            if lse[r] == f32::NEG_INFINITY {
-                continue;
-            }
-            let g = h / group;
-            let qrow = &q[r * dim..(r + 1) * dim];
-            let orow = &o[r * dim..(r + 1) * dim];
-            let dorow = &d_o[r * dim..(r + 1) * dim];
-            let mut delta = 0.0f32;
-            for d in 0..dim {
-                delta += dorow[d] * orow[d];
-            }
-            for j in 0..len {
-                if !ranges.contains(j as u32) {
-                    continue;
-                }
-                let kbase = (j * kvh + g) * dim;
-                let krow = &k[kbase..kbase + dim];
-                let vrow = &v[kbase..kbase + dim];
-                let mut s = 0.0f32;
-                for d in 0..dim {
-                    s += qrow[d] * krow[d];
-                }
-                s *= scale;
-                let p = (s - lse[r]).exp();
-                for d in 0..dim {
-                    dv[kbase + d] += p * dorow[d];
-                }
-                let mut dp = 0.0f32;
-                for d in 0..dim {
-                    dp += dorow[d] * vrow[d];
-                }
-                let ds = p * (dp - delta) * scale;
-                for d in 0..dim {
-                    dq[r * dim + d] += ds * krow[d];
-                    dk[kbase + d] += ds * qrow[d];
-                }
-            }
+    for (dq_part, dk_part, dv_part) in parts {
+        dq.extend_from_slice(&dq_part);
+        for (a, b) in dk.iter_mut().zip(&dk_part) {
+            *a += b;
+        }
+        for (a, b) in dv.iter_mut().zip(&dv_part) {
+            *a += b;
         }
     }
     (dq, dk, dv)
@@ -236,9 +271,7 @@ mod tests {
         let (o, lse) = attention(&q, &k, &v, len, qh, kvh, dim, &mask);
         // dO nonzero only for answer-2 rows (tokens 4,5).
         let mut d_o = vec![0.0f32; len * qh * dim];
-        for r in 4 * qh * dim..6 * qh * dim {
-            d_o[r] = 1.0;
-        }
+        d_o[4 * qh * dim..6 * qh * dim].fill(1.0);
         let (_, dk, dv) = attention_bwd(&q, &k, &v, &o, &lse, &d_o, len, qh, kvh, dim, &mask);
         // K/V of answer-1 tokens (2,3) receive no gradient.
         for j in 2..4 {

@@ -20,6 +20,7 @@ use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
 use dcp_types::{AttnSpec, DcpResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::executor::{execute_backward, execute_forward, BatchData, BlockOut};
 use crate::reference;
@@ -78,59 +79,87 @@ impl Default for TrainConfig {
     }
 }
 
-/// Row-major matmul: `a [m,k] * b [k,n] -> [m,n]`.
+/// Output rows per parallel matmul task. Fixed (not derived from the thread
+/// count); since every output row's arithmetic is independent and identical
+/// to the serial loop, results are bitwise thread-count independent anyway —
+/// the chunking only amortizes task overhead.
+const MM_ROW_CHUNK: usize = 16;
+
+/// Runs `row_block(i0, i1, out_block)` over `[0, m)` split into fixed row
+/// chunks on the rayon pool and concatenates the `[i1-i0, n]` blocks.
+fn par_rows<F>(m: usize, n: usize, row_block: F) -> Vec<f32>
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    let nchunks = m.div_ceil(MM_ROW_CHUNK).max(1);
+    let blocks: Vec<Vec<f32>> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let i0 = c * MM_ROW_CHUNK;
+            let i1 = (i0 + MM_ROW_CHUNK).min(m);
+            let mut out = vec![0.0f32; (i1 - i0) * n];
+            row_block(i0, i1, &mut out);
+            out
+        })
+        .collect();
+    let mut out = Vec::with_capacity(m * n);
+    for b in blocks {
+        out.extend_from_slice(&b);
+    }
+    out
+}
+
+/// Row-major matmul: `a [m,k] * b [k,n] -> [m,n]`, parallel over row blocks.
 fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
+    par_rows(m, n, |i0, i1, out| {
+        for i in i0..i1 {
+            let orow = &mut out[(i - i0) * n..(i - i0 + 1) * n];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    }
-    out
+    })
 }
 
-/// `a^T [k,m]^T * b [k? ...]`: computes `a^T b` with `a [k,m]`, `b [k,n]`.
+/// `a^T [k,m]^T * b [k? ...]`: computes `a^T b` with `a [k,m]`, `b [k,n]`,
+/// parallel over output-row blocks (the reduction over `k` stays in
+/// ascending order per element, matching the serial loop bitwise).
 fn matmul_at(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    for p in 0..k {
-        for i in 0..m {
-            let av = a[p * m + i];
-            if av == 0.0 {
-                continue;
-            }
+    par_rows(m, n, |i0, i1, out| {
+        for p in 0..k {
             let brow = &b[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
+            for i in i0..i1 {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[(i - i0) * n..(i - i0 + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    }
-    out
+    })
 }
 
-/// `a [m,n] * b^T` with `b [k,n]`: returns `[m,k]`.
+/// `a [m,n] * b^T` with `b [k,n]`: returns `[m,k]`, parallel over row blocks.
 fn matmul_bt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * k];
-    for i in 0..m {
-        for j in 0..k {
-            let mut s = 0.0f32;
+    par_rows(m, k, |i0, i1, out| {
+        for i in i0..i1 {
             let arow = &a[i * n..(i + 1) * n];
-            let brow = &b[j * n..(j + 1) * n];
-            for p in 0..n {
-                s += arow[p] * brow[p];
+            for j in 0..k {
+                let brow = &b[j * n..(j + 1) * n];
+                out[(i - i0) * k + j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum::<f32>();
             }
-            out[i * k + j] = s;
         }
-    }
-    out
+    })
 }
 
 struct Layer {

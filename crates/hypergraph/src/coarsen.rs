@@ -82,7 +82,7 @@ pub fn match_level(
             let fits = vw[0] + uw[0] <= max_cluster[0] && vw[1] + uw[1] <= max_cluster[1];
             if fits {
                 let r = rating[u as usize];
-                if best.map_or(true, |(_, br)| r > br) {
+                if best.is_none_or(|(_, br)| r > br) {
                     best = Some((u, r));
                 }
             }
@@ -120,11 +120,10 @@ pub fn match_level(
 /// Contracts `hg` according to `fine_to_coarse` (values in `0..nc`).
 pub fn contract(hg: &Hypergraph, fine_to_coarse: &[u32], nc: u32) -> Hypergraph {
     let mut vwts = vec![[0u64; 2]; nc as usize];
-    for v in 0..hg.num_vertices() {
+    for (v, &c) in fine_to_coarse.iter().enumerate().take(hg.num_vertices()) {
         let w = hg.vertex_weight(v as u32);
-        let c = fine_to_coarse[v] as usize;
-        vwts[c][0] += w[0];
-        vwts[c][1] += w[1];
+        vwts[c as usize][0] += w[0];
+        vwts[c as usize][1] += w[1];
     }
     // Map pins, dedupe, drop degenerate edges, merge parallel edges.
     let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
@@ -222,7 +221,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let level = match_level(&hg, [1000, 1000], &mut rng, None).unwrap();
         let nc = level.coarse.num_vertices();
-        assert!(nc >= 32 && nc < 61, "nc = {nc}");
+        assert!((32..61).contains(&nc), "nc = {nc}");
         // Weights conserved.
         assert_eq!(level.coarse.total_weight(), hg.total_weight());
     }

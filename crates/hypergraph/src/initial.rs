@@ -142,8 +142,8 @@ fn grow(hg: &Hypergraph, k: u32, caps: Caps, rng: &mut SmallRng) -> Vec<u32> {
         // Target: fair share of what's left, never above the cap.
         let mut placed = [0u64; 2];
         let mut left = [0u64; 2];
-        for v in 0..n {
-            if assignment[v] == u32::MAX {
+        for (v, &a) in assignment.iter().enumerate() {
+            if a == u32::MAX {
                 let w = hg.vertex_weight(v as u32);
                 left[0] += w[0];
                 left[1] += w[1];
@@ -212,13 +212,13 @@ fn grow(hg: &Hypergraph, k: u32, caps: Caps, rng: &mut SmallRng) -> Vec<u32> {
             loads[assignment[v] as usize][1] += w[1];
         }
     }
-    for v in 0..n {
-        if assignment[v] == u32::MAX {
+    for (v, a) in assignment.iter_mut().enumerate() {
+        if *a == u32::MAX {
             let w = hg.vertex_weight(v as u32);
             let p = (0..k)
                 .min_by_key(|&p| loads[p as usize][0] + loads[p as usize][1])
                 .unwrap();
-            assignment[v] = p;
+            *a = p;
             loads[p as usize][0] += w[0];
             loads[p as usize][1] += w[1];
         }

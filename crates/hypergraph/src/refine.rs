@@ -313,13 +313,13 @@ pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) ->
         // commensurable in absolute terms).
         let mut worst: Option<(u32, usize, f64)> = None;
         for p in 0..k {
-            for d in 0..2 {
-                let over = state.loads[p as usize][d].saturating_sub(caps[d]);
+            for (d, &cap) in caps.iter().enumerate() {
+                let over = state.loads[p as usize][d].saturating_sub(cap);
                 if over == 0 {
                     continue;
                 }
-                let frac = over as f64 / caps[d].max(1) as f64;
-                if worst.map_or(true, |(_, _, o)| frac > o) {
+                let frac = over as f64 / cap.max(1) as f64;
+                if worst.is_none_or(|(_, _, o)| frac > o) {
                     worst = Some((p, d, frac));
                 }
             }
@@ -348,7 +348,7 @@ pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) ->
                 }
                 let g = state.gain(hg, v, from, to);
                 let score = (-g) as f64 / w[dim] as f64;
-                if best.map_or(true, |(_, _, s)| score < s) {
+                if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((v, to, score));
                 }
             }

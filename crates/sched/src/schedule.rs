@@ -167,7 +167,9 @@ fn schedule_phase(
         }
     }
 
-    // Middle divisions 1..t-1, least-loaded device first.
+    // Middle divisions 1..t-1, least-loaded device first. `i` indexes both
+    // `divisions` and `div_of_comp`, so an iterator form would not be clearer.
+    #[allow(clippy::needless_range_loop)]
     for i in 1..t.saturating_sub(1) {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&d| comp_load[d]);

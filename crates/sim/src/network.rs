@@ -192,7 +192,7 @@ impl Network {
                     continue;
                 }
                 let share = cap[&r] / count as f64;
-                if best.map_or(true, |(_, s)| share < s) {
+                if best.is_none_or(|(_, s)| share < s) {
                     best = Some((r, share));
                 }
             }

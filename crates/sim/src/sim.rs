@@ -361,7 +361,7 @@ fn wait_done(
     })
 }
 
-fn union_intervals(v: &mut Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+fn union_intervals(v: &mut [(f64, f64)]) -> Vec<(f64, f64)> {
     v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
     let mut out: Vec<(f64, f64)> = Vec::new();
     for &(s, e) in v.iter() {

@@ -252,7 +252,7 @@ mod tests {
         assert!(!trace.is_empty());
         // Every event lies within the makespan and trace compute time sums
         // to the timeline's accounting.
-        let mut per_dev_attn = vec![0.0f64; 4];
+        let mut per_dev_attn = [0.0f64; 4];
         for e in &trace {
             assert!(e.end <= sim.makespan + 1e-9);
             assert!(e.start <= e.end);
@@ -260,8 +260,8 @@ mod tests {
                 per_dev_attn[e.device as usize] += e.end - e.start;
             }
         }
-        for d in 0..4 {
-            assert!((per_dev_attn[d] - sim.devices[d].attn).abs() < 1e-12);
+        for (d, attn_s) in per_dev_attn.iter().enumerate() {
+            assert!((attn_s - sim.devices[d].attn).abs() < 1e-12);
         }
         let _ = to_chrome_trace(&trace);
     }

@@ -44,7 +44,7 @@ impl AttnSpec {
     pub fn new(q_heads: u32, kv_heads: u32, head_dim: u32, dtype_bytes: u32) -> Self {
         assert!(q_heads > 0 && kv_heads > 0 && head_dim > 0 && dtype_bytes > 0);
         assert!(
-            q_heads % kv_heads == 0,
+            q_heads.is_multiple_of(kv_heads),
             "q_heads ({q_heads}) must be a multiple of kv_heads ({kv_heads})"
         );
         AttnSpec {
@@ -143,7 +143,7 @@ impl ModelSpec {
     /// Panics if the head counts are not divisible by `tp`.
     pub fn attn_spec(&self, tp: u32) -> AttnSpec {
         assert!(
-            self.q_heads % tp == 0 && self.kv_heads % tp == 0,
+            self.q_heads.is_multiple_of(tp) && self.kv_heads.is_multiple_of(tp),
             "TP degree {tp} must divide head counts ({}, {})",
             self.q_heads,
             self.kv_heads

@@ -2,6 +2,11 @@
 # Regenerates every figure of the paper's evaluation. Results land in
 # results/*.json; tables print to stdout.
 #
+# Usage: run_all_figures.sh [--smoke]
+#   --smoke   run a small representative subset (micro-benchmark, planning
+#             time, loss curves) — used by CI to keep the figure pipeline
+#             honest without paying for the full sweep.
+#
 # DCP_BENCH_BATCHES (default 8) controls batches per configuration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +30,17 @@ BINS=(
   memory_report
   scaling_report
 )
+
+SMOKE_BINS=(
+  fig13_micro_causal
+  fig18_planning_time
+  fig21_loss_curves
+)
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  BINS=("${SMOKE_BINS[@]}")
+  echo "[smoke mode: ${#BINS[@]} of 17 figure bins]"
+fi
 
 cargo build --release -p dcp-bench --bins
 for bin in "${BINS[@]}"; do

@@ -1,0 +1,111 @@
+//! Parallel determinism regression: the executor runs its hot path on a
+//! thread pool whose width is controlled by `RAYON_NUM_THREADS`, and the
+//! contract is that results are *bitwise identical* at every thread count.
+//! This executes a scaled-down version of the `pipeline.rs` skewed batch
+//! (one long sequence plus many short ones) through plan → forward →
+//! backward at the default width and at one thread, and compares every
+//! output float exactly.
+//!
+//! Everything lives in a single `#[test]` because `RAYON_NUM_THREADS` is
+//! process-global state.
+
+use std::collections::HashMap;
+
+use dcp::blocks::TokenBlockId;
+use dcp::core::{Planner, PlannerConfig};
+use dcp::exec::executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
+use dcp::exec::reference;
+use dcp::mask::MaskSpec;
+use dcp::types::{AttnSpec, ClusterSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The `pipeline.rs` skewed batch shape (one long sequence, many short
+/// ones), scaled down ~40x so the numeric executor finishes in milliseconds.
+fn skewed_batch() -> Vec<(u32, MaskSpec)> {
+    let mut seqs = vec![(768u32, MaskSpec::Causal)];
+    for i in 0..12u32 {
+        let len = 64 + 32 * (i % 5);
+        seqs.push((
+            len,
+            MaskSpec::Lambda {
+                sink: 4,
+                window: 24,
+            },
+        ));
+    }
+    seqs
+}
+
+type ExecResult = (
+    HashMap<TokenBlockId, BlockOut>,
+    HashMap<TokenBlockId, BlockGrads>,
+    Vec<f32>,
+    Vec<f32>,
+);
+
+#[test]
+fn executor_is_bitwise_deterministic_across_thread_counts() {
+    let cluster = ClusterSpec::p4de(1);
+    let attn = AttnSpec::new(4, 2, 16, 1);
+    let planner = Planner::new(
+        cluster,
+        attn,
+        PlannerConfig {
+            block_size: 128,
+            ..Default::default()
+        },
+    );
+    let seqs = skewed_batch();
+    let out = planner.plan(&seqs).unwrap();
+    let (layout, placement, plan) = (&out.layout, &out.placement, &out.plan);
+    let data = BatchData::random(layout, 2024);
+    let (qh, _) = BatchData::head_counts(layout);
+    let dim = layout.attn.head_dim as usize;
+
+    let mut d_o = HashMap::new();
+    let mut rng = SmallRng::seed_from_u64(99);
+    for (i, tb) in layout.token_blocks.iter().enumerate() {
+        let v: Vec<f32> = (0..tb.len as usize * qh * dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        d_o.insert(TokenBlockId(i as u32), v);
+    }
+
+    let run = || -> ExecResult {
+        let fwd = execute_forward(layout, placement, plan, &data).unwrap();
+        let bwd = execute_backward(layout, placement, plan, &data, &fwd, &d_o).unwrap();
+        // Also cover the dense reference's parallel paths on the long
+        // sequence.
+        let (q, k, v) = data.assemble_sequence(layout, 0);
+        let len = layout.seq_lens[0] as usize;
+        let mask = &layout.masks[0];
+        let (ro, rlse) = reference::attention(&q, &k, &v, len, 4, 2, dim, mask);
+        let full_do: Vec<f32> = (0..len * 4 * dim).map(|i| (i as f32).sin()).collect();
+        let (rdq, rdk, rdv) =
+            reference::attention_bwd(&q, &k, &v, &ro, &rlse, &full_do, len, 4, 2, dim, mask);
+        let mut ref_pack = ro;
+        ref_pack.extend(rdq);
+        ref_pack.extend(rdk);
+        ref_pack.extend(rdv);
+        (fwd, bwd, rlse, ref_pack)
+    };
+
+    let parallel = run();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    let three = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    for other in [&serial, &three] {
+        for (tb, out) in &parallel.0 {
+            assert_eq!(out, &other.0[tb], "forward output differs for {tb:?}");
+        }
+        for (tb, g) in &parallel.1 {
+            assert_eq!(g, &other.1[tb], "gradients differ for {tb:?}");
+        }
+        assert_eq!(parallel.2, other.2, "reference lse differs");
+        assert_eq!(parallel.3, other.3, "reference fwd/bwd pack differs");
+    }
+}

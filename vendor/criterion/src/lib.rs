@@ -1,0 +1,258 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Mimics the harness shape the workspace's `harness = false` bench targets
+//! use. Like the real crate, behavior depends on how the binary is invoked:
+//!
+//! - under `cargo bench` (argv contains `--bench`), each closure is timed
+//!   over a handful of batches and a mean wall-clock time is printed;
+//! - under `cargo test` (no `--bench` flag), each benchmark body runs
+//!   exactly once as a smoke test, keeping test runs fast.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a value computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value, e.g. a block size.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id with an explicit function name and parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Conversion of the various id forms benches pass.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean seconds per iteration from the last `iter` call.
+    last_mean: Option<f64>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test`: run once, don't measure.
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly in measure mode and once in smoke
+    /// mode.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                // Warm up, then time a few fixed batches.
+                black_box(f());
+                let mut iters = 1u64;
+                // Grow the batch until it takes >= ~20ms, capped.
+                let per_iter = loop {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    if dt >= 0.02 || iters >= 1 << 20 {
+                        break dt / iters as f64;
+                    }
+                    iters = (iters * 4).max(1);
+                };
+                self.last_mean = Some(per_iter);
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's batch sizing is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input handle.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, |b| f(b, input));
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, |b| f(b));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion behaves the same way: `cargo bench` passes
+        // `--bench`; a plain `cargo test` run of the bench binary doesn't.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.run_one(&name, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            mode: self.mode,
+            last_mean: None,
+        };
+        f(&mut b);
+        if self.mode == Mode::Measure {
+            match b.last_mean {
+                Some(mean) => println!("{name:<40} {}", format_time(mean)),
+                None => println!("{name:<40} (no iter call)"),
+            }
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:9.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:9.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:9.3} µs", secs * 1e6)
+    } else {
+        format!("{:9.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares the benchmark functions a harness runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut count = 0u32;
+        c.bench_function("counted", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_mean() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let input = 5u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(2.0).contains("s"));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(2e-6).contains("µs"));
+        assert!(format_time(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! A deterministic mini property-testing framework covering the surface the
+//! workspace uses: the [`Strategy`] trait, integer-range and tuple
+//! strategies, [`Just`], [`any`], `collection::vec`, [`prop_oneof!`],
+//! [`prop_compose!`], and the [`proptest!`] test macro with
+//! `#![proptest_config(...)]`.
+//!
+//! Differences from the real crate, deliberate for an offline build:
+//! - cases are generated from a fixed per-test RNG seed (derived from the
+//!   test's module path and name), so every run explores the same inputs;
+//! - there is no shrinking — a failing case reports its case number and
+//!   message and panics immediately.
+//! - `PROPTEST_CASES` still overrides the per-test case count.
+
+/// Deterministic generator handed to strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case: seeded from the test identity and case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the identity, mixed with the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is irrelevant for test-input generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// How many cases a [`proptest!`] test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erases the strategy (for heterogeneous [`prop_oneof!`] arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returning a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for MapStrategy<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy backed by a generation closure ([`prop_compose!`] uses this).
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+// u64 spans can overflow the i128->u64 cast path above only at extremes the
+// tests never use, but handle it exactly anyway.
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Whole-type strategies ([`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// An inclusive-exclusive element-count range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span > 0 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(::std::vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines a function returning a composite strategy, like the real
+/// `prop_compose!`: the first parameter list is ordinary arguments, the
+/// second binds strategy draws, and the body computes the composed value.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+        ($($var:pat in $strategy:expr),* $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy(move |rng: &mut $crate::TestRng| {
+                $(let $var = $crate::Strategy::generate(&($strategy), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($var:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(test_id, case);
+                    $(let $var = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(e) = run() {
+                        ::std::panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            test_id, case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0u32..10, b in 10u32..20) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0u64..1000, z in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 1000);
+            prop_assert!((-5..5).contains(&z));
+        }
+
+        #[test]
+        fn composed_and_mapped(p in pair(), s in (0u32..3, 1u32..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p.0 < 10 && (10..20).contains(&p.1));
+            prop_assert!((1..7).contains(&s));
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            v in prop::collection::vec(1usize..6, 1..5),
+            k in prop_oneof![Just(1u32), Just(2u32), (5u32..7).boxed()],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(k == 1 || k == 2 || (5..7).contains(&k));
+            let _ = flag;
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0u32..1000, 0u32..1000);
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(crate::Strategy::generate(&s, &mut a), {
+            crate::Strategy::generate(&s, &mut b)
+        });
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Implements the subset the workspace uses: the [`Distribution`] trait and
+//! [`LogNormal`] / [`Normal`] samplers (Box–Muller on the vendored `rand`
+//! generator). Deterministic per seed, like the real crate.
+
+use rand::{Rng, RngCore};
+
+/// Types that sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError;
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Normal (Gaussian) distribution with mean `mu` and std-dev `sigma`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Builds the distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError);
+        }
+        Ok(Normal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Builds the distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_deterministic() {
+        let d = LogNormal::new(0.5, 0.75).unwrap();
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = d.sample(&mut a);
+            assert!(x > 0.0 && x.is_finite());
+            assert_eq!(x.to_bits(), d.sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Implements the data-parallel subset the workspace uses on top of
+//! `std::thread::scope`: `into_par_iter().map(..).collect()`, slice
+//! `par_chunks_mut`, `spawn`, and `join`. Two properties the repo depends
+//! on:
+//!
+//! - **Determinism**: results are always assembled in item order, so any
+//!   `collect`/`for_each` output is identical at every thread count.
+//! - **Env-controlled width**: `RAYON_NUM_THREADS` is re-read on every
+//!   parallel call (the real crate reads it once at pool construction), so
+//!   a process can benchmark 1-thread vs N-thread execution in one run —
+//!   `perf_report` relies on this.
+//!
+//! Work is distributed dynamically: items are grouped into ~4 chunks per
+//! thread and threads grab chunks from a shared queue, which keeps skewed
+//! workloads (variable-cost attention blocks) balanced.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use: `RAYON_NUM_THREADS`
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs a fire-and-forget closure on a background thread.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) {
+    std::thread::spawn(f);
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Applies `f` to every item, in parallel, returning results in item order
+/// regardless of thread count or scheduling.
+fn par_apply<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let len = items.len();
+    let nt = current_num_threads().min(len);
+    if nt <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Chunk the items; threads pull chunks dynamically for load balance.
+    // Each slot holds `(start_index, chunk_items)` behind a `Mutex` so a
+    // worker can take ownership of the chunk it claimed.
+    type ChunkSlot<I> = Mutex<Option<(usize, Vec<I>)>>;
+    let nchunks = (nt * 4).min(len);
+    let base = len / nchunks;
+    let extra = len % nchunks;
+    let mut chunks: Vec<ChunkSlot<I>> = Vec::with_capacity(nchunks);
+    {
+        let mut iter = items.into_iter();
+        let mut start = 0;
+        for c in 0..nchunks {
+            let size = base + usize::from(c < extra);
+            let chunk: Vec<I> = iter.by_ref().take(size).collect();
+            chunks.push(Mutex::new(Some((start, chunk))));
+            start += size;
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::<(usize, Vec<R>)>::new());
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            handles.push(s.spawn(|| {
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks.len() {
+                        break;
+                    }
+                    let (start, chunk) = chunks[c]
+                        .lock()
+                        .expect("chunk lock")
+                        .take()
+                        .expect("chunk taken twice");
+                    local.push((start, chunk.into_iter().map(&f).collect()));
+                }
+                done.lock().expect("result lock").extend(local);
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon worker panicked");
+        }
+    });
+
+    let mut parts = done.into_inner().expect("result lock");
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(len);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// An eager parallel iterator: adapters apply immediately on the pool.
+pub struct ParIter<T>(Vec<T>);
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; result order matches item order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter(par_apply(self.0, f))
+    }
+
+    /// Parallel side-effecting loop.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_apply(self.0, f);
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter(self.0.into_iter().enumerate().collect())
+    }
+
+    /// Materializes into any `FromIterator` collection, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.0.into_iter().collect()
+    }
+
+    /// Parallel sum.
+    pub fn sum<S: std::iter::Sum<T> + Send>(self) -> S {
+        self.0.into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter(self)
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter(self.collect())
+            }
+        }
+    )*};
+}
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+/// Parallel iteration over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<&T>;
+
+    /// Parallel iterator over non-overlapping chunks of `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter(self.iter().collect())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter(self.chunks(chunk_size).collect())
+    }
+}
+
+/// Parallel iteration over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter(self.chunks_mut(chunk_size).collect())
+    }
+}
+
+/// The traits and functions the real crate exposes via its prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut buf = vec![0u32; 64];
+        buf.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        for (j, &x) in buf.iter().enumerate() {
+            assert_eq!(x as usize, j / 7);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn respects_env_thread_count() {
+        // With RAYON_NUM_THREADS=1 the serial path must produce the same
+        // output as the parallel path (bitwise, trivially).
+        let par: Vec<f64> = (0u32..257)
+            .into_par_iter()
+            .map(|x| (x as f64).sqrt())
+            .collect();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let ser: Vec<f64> = (0u32..257)
+            .into_par_iter()
+            .map(|x| (x as f64).sqrt())
+            .collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(par, ser);
+    }
+}

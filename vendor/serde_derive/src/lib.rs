@@ -1,0 +1,650 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. The item is parsed directly from the `TokenStream`
+//! (no `syn`/`quote` — those crates are unreachable offline) and the impl is
+//! emitted as source text parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! - named / tuple / newtype / unit structs,
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, matching real serde's default),
+//! - lifetime-only or simple type generics,
+//! - `#[serde(rename = "...")]` on fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+struct Field {
+    ident: String,
+    /// JSON key: the identifier, or the `#[serde(rename = "...")]` override.
+    key: String,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity (arity 1 = newtype).
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with the given arity (arity 1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<'a, T: Clone>` (or empty).
+    impl_generics: String,
+    /// Generic arguments for the type, e.g. `<'a, T>` (or empty).
+    type_generics: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips any `#[...]` attributes at `i`, returning a rename if one carries
+/// `#[serde(rename = "...")]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut rename = None;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                if let Some(r) = extract_rename(&g.stream()) {
+                    rename = Some(r);
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    rename
+}
+
+/// Pulls the string out of a `serde(rename = "...")` attribute body.
+fn extract_rename(attr: &TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(id) = &inner[j] {
+                    if id.to_string() == "rename" {
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                return Some(unquote(&lit.to_string()));
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skips `pub` / `pub(...)` visibility at `i`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counts top-level (angle-bracket aware) commas to find tuple arity.
+fn tuple_arity(body: &TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for t in body.clone() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parses the named fields of a brace-delimited body.
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let rename = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let ident = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field name, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            key: rename.unwrap_or_else(|| ident.clone()),
+            ident,
+        });
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let ident = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the comma separating variants (covers discriminants).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { ident, kind });
+    }
+    variants
+}
+
+/// Splits a generic parameter list into impl generics (with bounds) and
+/// type generics (parameter names only).
+fn split_generics(params: &[TokenTree]) -> (String, String) {
+    let full: TokenStream = params.iter().cloned().collect();
+    let impl_generics = format!("<{}>", full);
+
+    // Per-parameter: keep tokens up to the first top-level ':' (bounds) or
+    // '=' (defaults).
+    let mut names = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut skipping = false;
+    let mut depth = 0i32;
+    for t in params.iter().cloned() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                let ts: TokenStream = current.drain(..).collect();
+                names.push(ts.to_string());
+                skipping = false;
+                continue;
+            }
+            TokenTree::Punct(p) if (p.as_char() == ':' || p.as_char() == '=') && depth == 0 => {
+                skipping = true;
+            }
+            _ => {}
+        }
+        if !skipping {
+            current.push(t);
+        }
+    }
+    if !current.is_empty() {
+        let ts: TokenStream = current.drain(..).collect();
+        names.push(ts.to_string());
+    }
+    let type_generics = format!("<{}>", names.join(", "));
+    (impl_generics, type_generics)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+
+    let is_enum = match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    let (impl_generics, type_generics) = match toks.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            i += 1;
+            let mut depth = 1i32;
+            let mut params = Vec::new();
+            while i < toks.len() {
+                match &toks[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                params.push(toks[i].clone());
+                i += 1;
+            }
+            split_generics(&params)
+        }
+        _ => (String::new(), String::new()),
+    };
+
+    // `where` clauses are not used in the workspace; skip any to the body.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    ItemKind::Enum(parse_variants(&g.stream()))
+                } else {
+                    ItemKind::NamedStruct(parse_named_fields(&g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                break ItemKind::TupleStruct(tuple_arity(&g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => {
+                break ItemKind::UnitStruct;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: missing item body for {name}"),
+        }
+    };
+
+    Item {
+        name,
+        impl_generics,
+        type_generics,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl{} ::serde::{} for {}{} {{\n",
+        item.impl_generics, trait_name, item.name, item.type_generics
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = impl_header(item, "Serialize");
+    out.push_str("    fn to_value(&self) -> ::serde::Value {\n");
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            out.push_str("        let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "        __m.insert(::std::string::String::from(\"{}\"), \
+                     ::serde::Serialize::to_value(&self.{}));",
+                    f.key, f.ident
+                );
+            }
+            out.push_str("        ::serde::Value::Object(__m)\n");
+        }
+        ItemKind::TupleStruct(1) => {
+            out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "        ::serde::Value::Array(::std::vec![{}])",
+                elems.join(", ")
+            );
+        }
+        ItemKind::UnitStruct => {
+            out.push_str("        ::serde::Value::Null\n");
+        }
+        ItemKind::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "            Self::{} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{}\")),",
+                            v.ident, v.ident
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            out,
+                            "            Self::{}(f0) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{}\"), \
+                             ::serde::Serialize::to_value(f0));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},",
+                            v.ident, v.ident
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "            Self::{}({}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{}\"), \
+                             ::serde::Value::Array(::std::vec![{}]));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},",
+                            v.ident,
+                            binds.join(", "),
+                            v.ident,
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::new();
+                        for f in fields {
+                            let _ = writeln!(
+                                inner,
+                                "__inner.insert(::std::string::String::from(\"{}\"), \
+                                 ::serde::Serialize::to_value({}));",
+                                f.key, f.ident
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "            Self::{} {{ {} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n\
+                             {}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},",
+                            v.ident,
+                            binds.join(", "),
+                            inner,
+                            v.ident
+                        );
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = impl_header(item, "Deserialize");
+    out.push_str(
+        "    fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let _ = writeln!(
+                out,
+                "        let m = match v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected object for struct {name}, got {{other:?}}\"))),\n\
+                 }};"
+            );
+            out.push_str("        ::std::result::Result::Ok(Self {\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "            {}: ::serde::Deserialize::from_value(\
+                     m.get(\"{}\").unwrap_or(&::serde::Value::Null))?,",
+                    f.ident, f.key
+                );
+            }
+            out.push_str("        })\n");
+        }
+        ItemKind::TupleStruct(1) => {
+            out.push_str(
+                "        ::std::result::Result::Ok(Self(\
+                 ::serde::Deserialize::from_value(v)?))\n",
+            );
+        }
+        ItemKind::TupleStruct(n) => {
+            let _ = writeln!(
+                out,
+                "        let a = match v {{\n\
+                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                 }};"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "        ::std::result::Result::Ok(Self({}))",
+                elems.join(", ")
+            );
+        }
+        ItemKind::UnitStruct => {
+            out.push_str("        ::std::result::Result::Ok(Self)\n");
+        }
+        ItemKind::Enum(variants) => {
+            // Unit variants arrive as strings; data variants as one-key objects.
+            out.push_str("        match v {\n");
+            out.push_str("            ::serde::Value::String(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let _ = writeln!(
+                        out,
+                        "                \"{}\" => ::std::result::Result::Ok(Self::{}),",
+                        v.ident, v.ident
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "                other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }},"
+            );
+            out.push_str("            ::serde::Value::Object(m) => {\n");
+            let _ = writeln!(
+                out,
+                "                let (tag, inner) = match m.iter().next() {{\n\
+                 ::std::option::Option::Some(kv) => kv,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"empty object for enum {name}\")),\n\
+                 }};"
+            );
+            out.push_str("                match tag.as_str() {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        // A unit variant may also arrive as {"Name": null}.
+                        let _ = writeln!(
+                            out,
+                            "                    \"{}\" => \
+                             ::std::result::Result::Ok(Self::{}),",
+                            v.ident, v.ident
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            out,
+                            "                    \"{}\" => ::std::result::Result::Ok(\
+                             Self::{}(::serde::Deserialize::from_value(inner)?)),",
+                            v.ident, v.ident
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "                    \"{}\" => match inner {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n} => \
+                             ::std::result::Result::Ok(Self::{}({})),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"expected {n}-element array for {name}::{}, \
+                             got {{other:?}}\"))),\n\
+                             }},",
+                            v.ident,
+                            v.ident,
+                            elems.join(", "),
+                            v.ident
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut assigns = String::new();
+                        for f in fields {
+                            let _ = writeln!(
+                                assigns,
+                                "{}: ::serde::Deserialize::from_value(\
+                                 f.get(\"{}\").unwrap_or(&::serde::Value::Null))?,",
+                                f.ident, f.key
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "                    \"{}\" => match inner {{\n\
+                             ::serde::Value::Object(f) => \
+                             ::std::result::Result::Ok(Self::{} {{ {} }}),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"expected object for {name}::{}, \
+                             got {{other:?}}\"))),\n\
+                             }},",
+                            v.ident, v.ident, assigns, v.ident
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "                    other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n\
+                 }}\n\
+                 }},"
+            );
+            let _ = writeln!(
+                out,
+                "            other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected string or object for enum {name}, \
+                 got {{other:?}}\"))),\n\
+                 }}"
+            );
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
