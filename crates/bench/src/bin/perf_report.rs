@@ -9,21 +9,27 @@
 //! `RAYON_NUM_THREADS=1` — and the two results are compared bitwise, so
 //! every report run re-verifies the executor's determinism contract.
 //!
-//! Writes `BENCH_exec.json` (execution timings) and `BENCH_plan.json`
-//! (planning/simulation timings) to the current directory.
+//! Writes `BENCH_exec.json` (execution timings), `BENCH_plan.json`
+//! (planning/simulation timings) and `BENCH_robustness.json` (fallback-tier
+//! plan latencies, fault-injected makespans and dataloader recovery stats)
+//! to the current directory.
 //!
 //! Environment knobs: `DCP_BENCH_BATCHES` (default 2) batches per mask.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dcp_bench::Table;
 use dcp_blocks::TokenBlockId;
-use dcp_core::{PlanOutput, Planner, PlannerConfig};
-use dcp_data::{pack_batches, sample_lengths, DatasetKind, MaskSetting};
+use dcp_core::dataloader::PlanFn;
+use dcp_core::{DcpDataloader, PlanOutput, Planner, PlannerConfig, RetryConfig};
+use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
 use dcp_exec::executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
-use dcp_sim::simulate_plan;
-use dcp_types::{AttnSpec, ClusterSpec};
+use dcp_mask::MaskSpec;
+use dcp_sim::{simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
+use dcp_types::{AttnSpec, ClusterSpec, PlanTier};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
@@ -70,6 +76,158 @@ fn run_exec(out: &PlanOutput, data: &BatchData, d_o: &HashMap<TokenBlockId, Vec<
         fwd,
         bwd,
     }
+}
+
+/// Robustness benchmarks: plan latency per fallback tier, fallback-tier
+/// counts under an ε-infeasible partitioning request, fault-injected
+/// simulation cost, and dataloader recovery from a killed planning worker.
+fn robustness_report(cluster: &ClusterSpec, attn: AttnSpec, n: usize) -> serde_json::Value {
+    let n = n.max(2);
+    let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
+    let batches: Vec<Batch> = pack_batches(&lengths, BUDGET, |l| MaskSetting::Causal.mask_for(l))
+        .into_iter()
+        .take(n)
+        .collect();
+
+    // Plan latency and simulated quality per fallback tier, same batches.
+    let mut tier_rows = Vec::new();
+    for tier in PlanTier::all() {
+        let planner = Planner::new(
+            cluster.clone(),
+            attn,
+            PlannerConfig {
+                block_size: BLOCK_SIZE,
+                force_tier: Some(tier),
+                ..Default::default()
+            },
+        );
+        let mut wall = 0.0f64;
+        let mut sim_total = 0.0f64;
+        for b in &batches {
+            let t0 = Instant::now();
+            let out = planner.plan(&b.seqs).expect("plan");
+            wall += t0.elapsed().as_secs_f64();
+            assert_eq!(out.tier, tier, "forced tier must be honored");
+            sim_total += simulate_plan(cluster, &out.plan).expect("simulate").total();
+        }
+        tier_rows.push(json!({
+            "tier": tier.label(),
+            "batches": batches.len(),
+            "plan_wall_s": wall,
+            "simulated_total_s": sim_total,
+        }));
+    }
+
+    // Fallback-tier counts when the partitioning request is ε-infeasible
+    // (strict ε = 0 with coarse blocks: exact balance is impossible).
+    let infeasible = Planner::new(
+        cluster.clone(),
+        attn,
+        PlannerConfig {
+            block_size: BLOCK_SIZE * 8,
+            eps_intra: 0.0,
+            strict_epsilon: true,
+            ..Default::default()
+        },
+    );
+    let mut tier_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for b in &batches {
+        let out = infeasible.plan(&b.seqs).expect("fallback plan");
+        *tier_counts.entry(out.tier.label()).or_insert(0) += 1;
+    }
+
+    // Fault-injected simulation of the default (partitioned) plans.
+    let faults = FaultSpec {
+        seed: SEED,
+        faults: vec![
+            Fault::Straggler {
+                device: 0,
+                slowdown: 4.0,
+            },
+            Fault::DegradedLink {
+                src: 1,
+                dst: 0,
+                factor: 0.1,
+            },
+            Fault::DelayedStart {
+                device: 2,
+                delay_s: 1e-3,
+            },
+        ],
+    };
+    let planner = Planner::new(
+        cluster.clone(),
+        attn,
+        PlannerConfig {
+            block_size: BLOCK_SIZE,
+            ..Default::default()
+        },
+    );
+    let mut fault_rows = Vec::new();
+    for (bi, b) in batches.iter().enumerate() {
+        let out = planner.plan(&b.seqs).expect("plan");
+        let clean = simulate_plan(cluster, &out.plan).expect("simulate");
+        let faulted = simulate_plan_faulted(cluster, &out.plan, &faults).expect("simulate faulted");
+        fault_rows.push(json!({
+            "batch": bi,
+            "clean_total_s": clean.total(),
+            "faulted_total_s": faulted.total(),
+            "slowdown": faulted.total() / clean.total(),
+        }));
+    }
+
+    // Dataloader recovery: the first look-ahead planning worker is killed;
+    // the loader must still yield every batch (via a synchronous re-plan).
+    println!("[robustness: killing one planning worker on purpose — a panic message follows]");
+    let p2 = planner.clone();
+    let killed = AtomicUsize::new(0);
+    let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+        if killed.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("injected: planning worker killed");
+        }
+        p2.plan(seqs)
+    });
+    let t0 = Instant::now();
+    let mut loader = DcpDataloader::with_plan_fn(
+        plan_fn,
+        batches.clone(),
+        2,
+        RetryConfig {
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    let mut yielded = 0u64;
+    for item in loader.by_ref() {
+        item.expect("loader must recover from the killed worker");
+        yielded += 1;
+    }
+    let loader_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(yielded, batches.len() as u64);
+
+    json!({
+        "workload": {
+            "cluster": "p4de(2)",
+            "dataset": "LongDataCollections",
+            "max_len": MAX_LEN,
+            "budget_tokens": BUDGET,
+            "block_size": BLOCK_SIZE,
+            "seed": SEED,
+            "batches": batches.len(),
+        },
+        "plan_latency_by_tier": tier_rows,
+        "infeasible_fallback_tier_counts": tier_counts,
+        "fault_spec": faults,
+        "faulted_simulation": fault_rows,
+        "dataloader_recovery": {
+            "batches": batches.len() as u64,
+            "killed_workers": 1u64,
+            "yielded": yielded,
+            "replans": loader.replans(),
+            "wall_s": loader_wall,
+        },
+    })
 }
 
 fn main() {
@@ -218,9 +376,11 @@ fn main() {
         "workload": { "cluster": "p4de(2)", "dataset": "LongDataCollections", "seed": SEED },
         "runs": plan_rows,
     });
+    let robustness = robustness_report(&cluster, attn, n);
     for (name, value) in [
         ("BENCH_exec.json", &exec_report),
         ("BENCH_plan.json", &plan_report),
+        ("BENCH_robustness.json", &robustness),
     ] {
         std::fs::write(
             name,

@@ -1,4 +1,4 @@
-//! The look-ahead planning dataloader (paper Sec. 6.1).
+//! The look-ahead planning dataloader (paper Sec. 6.1), hardened.
 //!
 //! The paper overlaps planning with GPU execution: while iteration `i`
 //! runs, the plans for iterations `i+1 ..= i+kappa` are computed in
@@ -7,18 +7,59 @@
 //! pool is rayon; the observable contract is the same — `next()` returns
 //! `(batch, plan)` pairs in order, with planning latency hidden behind the
 //! look-ahead window.
+//!
+//! Robustness: a planning worker that panics, times out, or returns an
+//! error does not lose the batch. The loader re-plans synchronously (with
+//! bounded retries and backoff per [`RetryConfig`]) and only after
+//! exhausting the retries surfaces a typed
+//! [`DcpError::PlanningFailed`] carrying the batch index and attempt
+//! count. A failed batch never poisons later batches: every iteration has
+//! its own channel, so the stream keeps yielding.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use dcp_data::Batch;
-use dcp_types::DcpResult;
+use dcp_mask::MaskSpec;
+use dcp_types::{DcpError, DcpResult};
 
 use crate::planner::{PlanOutput, Planner};
 
+/// How the dataloader reacts to slow, dead, or failing planning workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Per-batch deadline on the look-ahead worker's result. `None` waits
+    /// indefinitely (a dead worker is still detected via channel
+    /// disconnect).
+    pub batch_deadline: Option<Duration>,
+    /// Synchronous re-plan attempts after the look-ahead result failed.
+    pub max_retries: u32,
+    /// Sleep between consecutive re-plan attempts (linear backoff:
+    /// attempt `k` sleeps `k * backoff`).
+    pub backoff: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            batch_deadline: None,
+            max_retries: 1,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The planning function the dataloader drives: maps a batch's sequences
+/// to a plan. [`DcpDataloader::new`] wraps [`Planner::plan`]; tests and
+/// instrumented callers can substitute their own via
+/// [`DcpDataloader::with_plan_fn`].
+pub type PlanFn = dyn Fn(&[(u32, MaskSpec)]) -> DcpResult<PlanOutput> + Send + Sync;
+
 /// An iterator over `(batch, plan)` pairs with asynchronous look-ahead
-/// planning.
+/// planning and bounded retry on worker failure.
 ///
 /// # Examples
 ///
@@ -45,7 +86,7 @@ use crate::planner::{PlanOutput, Planner};
 /// assert_eq!(count, n);
 /// ```
 pub struct DcpDataloader {
-    planner: Arc<Planner>,
+    plan_fn: Arc<PlanFn>,
     batches: Vec<Batch>,
     /// Next batch index to submit for planning.
     submitted: usize,
@@ -53,21 +94,56 @@ pub struct DcpDataloader {
     consumed: usize,
     /// Look-ahead window κ.
     lookahead: usize,
+    /// Retry/timeout policy.
+    retry: RetryConfig,
     /// In-flight plan results, in batch order.
     inflight: VecDeque<Receiver<DcpResult<PlanOutput>>>,
+    /// Total synchronous re-plans performed so far (observability).
+    replans: u64,
 }
 
 impl DcpDataloader {
     /// Wraps `batches` with a planner and a look-ahead window of
-    /// `lookahead` iterations (κ in the paper; 0 plans synchronously).
+    /// `lookahead` iterations (κ in the paper; 0 plans synchronously),
+    /// using the default [`RetryConfig`].
     pub fn new(planner: Planner, batches: Vec<Batch>, lookahead: usize) -> Self {
+        Self::with_retry(planner, batches, lookahead, RetryConfig::default())
+    }
+
+    /// Like [`DcpDataloader::new`] with an explicit retry/timeout policy.
+    pub fn with_retry(
+        planner: Planner,
+        batches: Vec<Batch>,
+        lookahead: usize,
+        retry: RetryConfig,
+    ) -> Self {
+        let planner = Arc::new(planner);
+        Self::with_plan_fn(
+            Arc::new(move |seqs: &[(u32, MaskSpec)]| planner.plan(seqs)),
+            batches,
+            lookahead,
+            retry,
+        )
+    }
+
+    /// Fully general constructor taking the planning function directly.
+    /// Used by fault-injection tests and callers wrapping the planner
+    /// (e.g. with caching or instrumentation).
+    pub fn with_plan_fn(
+        plan_fn: Arc<PlanFn>,
+        batches: Vec<Batch>,
+        lookahead: usize,
+        retry: RetryConfig,
+    ) -> Self {
         DcpDataloader {
-            planner: Arc::new(planner),
+            plan_fn,
             batches,
             submitted: 0,
             consumed: 0,
             lookahead,
+            retry,
             inflight: VecDeque::new(),
+            replans: 0,
         }
     }
 
@@ -81,16 +157,51 @@ impl DcpDataloader {
         self.batches.is_empty()
     }
 
+    /// Total synchronous re-plans performed so far (each one recovered a
+    /// batch whose look-ahead worker died, timed out, or errored).
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
     fn submit_upto(&mut self, target: usize) {
         while self.submitted < target.min(self.batches.len()) {
             let (tx, rx) = bounded(1);
-            let planner = Arc::clone(&self.planner);
+            let plan_fn = Arc::clone(&self.plan_fn);
             let seqs = self.batches[self.submitted].seqs.clone();
             rayon::spawn(move || {
-                let _ = tx.send(planner.plan(&seqs));
+                let _ = tx.send(plan_fn(&seqs));
             });
             self.inflight.push_back(rx);
             self.submitted += 1;
+        }
+    }
+
+    /// Waits for the look-ahead result of the batch at `index`, honoring
+    /// the deadline. `Err(msg)` describes a failed/slow/dead worker.
+    fn await_worker(
+        &self,
+        rx: &Receiver<DcpResult<PlanOutput>>,
+    ) -> Result<DcpResult<PlanOutput>, String> {
+        match self.retry.batch_deadline {
+            Some(deadline) => rx.recv_timeout(deadline).map_err(|e| match e {
+                RecvTimeoutError::Timeout => {
+                    format!("planning worker missed the {deadline:?} deadline")
+                }
+                RecvTimeoutError::Disconnected => "planning worker died (panicked)".to_string(),
+            }),
+            None => rx
+                .recv()
+                .map_err(|_| "planning worker died (panicked)".to_string()),
+        }
+    }
+
+    /// One synchronous re-plan, isolating panics in the planning function.
+    fn replan(&self, seqs: &[(u32, MaskSpec)]) -> Result<PlanOutput, String> {
+        let plan_fn = Arc::clone(&self.plan_fn);
+        match catch_unwind(AssertUnwindSafe(|| plan_fn(seqs))) {
+            Ok(Ok(plan)) => Ok(plan),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(_) => Err("synchronous re-plan panicked".to_string()),
         }
     }
 }
@@ -103,17 +214,52 @@ impl Iterator for DcpDataloader {
             return None;
         }
         // Keep the window `consumed .. consumed + 1 + kappa` planned.
-        self.submit_upto(self.consumed + 1 + self.lookahead);
-        let rx = self.inflight.pop_front().expect("submitted above");
+        // Saturating: κ = usize::MAX means "plan everything", not overflow.
+        self.submit_upto(
+            self.consumed
+                .saturating_add(1)
+                .saturating_add(self.lookahead),
+        );
+        let Some(rx) = self.inflight.pop_front() else {
+            // Unreachable (submit_upto above guarantees an in-flight entry
+            // for a non-exhausted loader), but a malformed internal state
+            // must not panic the training stream.
+            let idx = self.consumed;
+            self.consumed += 1;
+            return Some(Err(DcpError::planning_failed(
+                idx,
+                0,
+                "internal error: no in-flight plan for this batch",
+            )));
+        };
         let batch = self.batches[self.consumed].clone();
+        let index = self.consumed;
         self.consumed += 1;
-        match rx.recv() {
-            Ok(Ok(plan)) => Some(Ok((batch, plan))),
-            Ok(Err(e)) => Some(Err(e)),
-            Err(_) => Some(Err(dcp_types::DcpError::invalid_plan(
-                "planning worker disappeared",
-            ))),
+
+        let mut last_error = match self.await_worker(&rx) {
+            Ok(Ok(plan)) => return Some(Ok((batch, plan))),
+            Ok(Err(e)) => e.to_string(),
+            Err(msg) => msg,
+        };
+
+        // The look-ahead result is unusable: re-plan synchronously with
+        // bounded retries and linear backoff. The failure stays confined to
+        // this batch — later batches keep their own workers and channels.
+        for attempt in 1..=self.retry.max_retries {
+            if !self.retry.backoff.is_zero() {
+                std::thread::sleep(self.retry.backoff * attempt);
+            }
+            self.replans += 1;
+            match self.replan(&batch.seqs) {
+                Ok(plan) => return Some(Ok((batch, plan))),
+                Err(msg) => last_error = msg,
+            }
         }
+        Some(Err(DcpError::planning_failed(
+            index,
+            1 + self.retry.max_retries,
+            last_error,
+        )))
     }
 }
 
@@ -123,6 +269,7 @@ mod tests {
     use crate::planner::PlannerConfig;
     use dcp_mask::MaskSpec;
     use dcp_types::{AttnSpec, ClusterSpec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn batches(n: usize) -> Vec<Batch> {
         (0..n)
@@ -171,6 +318,16 @@ mod tests {
     }
 
     #[test]
+    fn huge_lookahead_does_not_overflow() {
+        // Regression: `consumed + 1 + lookahead` used to overflow for
+        // κ = usize::MAX; the window arithmetic must saturate.
+        let bs = batches(3);
+        let loader = DcpDataloader::new(planner(), bs.clone(), usize::MAX);
+        let got: Vec<Batch> = loader.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, bs);
+    }
+
+    #[test]
     fn len_and_empty() {
         let loader = DcpDataloader::new(planner(), batches(5), 1);
         assert_eq!(loader.len(), 5);
@@ -178,5 +335,114 @@ mod tests {
         let empty = DcpDataloader::new(planner(), vec![], 1);
         assert!(empty.is_empty());
         assert_eq!(empty.count(), 0);
+    }
+
+    /// A plan function that panics on one specific batch's first attempt
+    /// (killing its look-ahead worker) but succeeds on the retry.
+    fn flaky_plan_fn(poison_len: u32) -> Arc<PlanFn> {
+        let p = planner();
+        let panics = AtomicUsize::new(0);
+        Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+            if seqs[0].0 == poison_len && panics.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected planning worker crash");
+            }
+            p.plan(seqs)
+        })
+    }
+
+    #[test]
+    fn dead_worker_recovers_via_sync_replan() {
+        let bs = batches(6);
+        // Batch index 1 has length 2560; its worker panics once.
+        let mut loader = DcpDataloader::with_plan_fn(
+            flaky_plan_fn(2560),
+            bs.clone(),
+            2,
+            RetryConfig {
+                backoff: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        let mut got = Vec::new();
+        for item in loader.by_ref() {
+            got.push(item.unwrap().0);
+        }
+        assert_eq!(got, bs, "every batch yields exactly once, in order");
+        assert!(loader.replans() >= 1, "the dead worker forced a re-plan");
+    }
+
+    #[test]
+    fn persistent_failure_is_typed_and_does_not_poison_later_batches() {
+        let bs = batches(5);
+        let p = planner();
+        // Batches with length 2560 (index 1) always panic.
+        let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+            if seqs[0].0 == 2560 {
+                panic!("injected permanent planner crash");
+            }
+            p.plan(seqs)
+        });
+        let loader = DcpDataloader::with_plan_fn(
+            plan_fn,
+            bs.clone(),
+            2,
+            RetryConfig {
+                max_retries: 2,
+                backoff: Duration::ZERO,
+                ..Default::default()
+            },
+        );
+        let results: Vec<_> = loader.collect();
+        assert_eq!(results.len(), 5, "failure must not truncate the stream");
+        for (i, r) in results.iter().enumerate() {
+            if i == 1 {
+                match r {
+                    Err(DcpError::PlanningFailed {
+                        batch_index,
+                        attempts,
+                        ..
+                    }) => {
+                        assert_eq!(*batch_index, 1);
+                        assert_eq!(*attempts, 3, "initial + 2 retries");
+                    }
+                    other => panic!("expected PlanningFailed, got {other:?}"),
+                }
+            } else {
+                let (batch, plan) = r.as_ref().unwrap();
+                assert_eq!(batch, &bs[i]);
+                assert_eq!(plan.num_devices(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_triggers_sync_replan() {
+        let bs = batches(3);
+        let p = planner();
+        // The look-ahead worker for batches of length 2560 hangs far past
+        // the deadline; the synchronous re-plan path must rescue the batch.
+        let slow = AtomicUsize::new(0);
+        let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+            if seqs[0].0 == 2560 && slow.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_secs(5));
+            }
+            p.plan(seqs)
+        });
+        let mut loader = DcpDataloader::with_plan_fn(
+            plan_fn,
+            bs.clone(),
+            1,
+            RetryConfig {
+                batch_deadline: Some(Duration::from_millis(50)),
+                max_retries: 1,
+                backoff: Duration::ZERO,
+            },
+        );
+        let mut got = Vec::new();
+        for item in loader.by_ref() {
+            got.push(item.unwrap().0);
+        }
+        assert_eq!(got, bs);
+        assert!(loader.replans() >= 1, "the slow worker forced a re-plan");
     }
 }

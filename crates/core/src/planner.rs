@@ -7,7 +7,7 @@ use dcp_blocks::{BatchLayout, BlockConfig};
 use dcp_hypergraph::{partition, Hypergraph, HypergraphBuilder, PartitionConfig};
 use dcp_mask::MaskSpec;
 use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
-use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult};
+use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult, PlanTier};
 use serde::{Deserialize, Serialize};
 
 /// Planner hyper-parameters (the paper's defaults from Sec. 7.1).
@@ -31,6 +31,19 @@ pub struct PlannerConfig {
     pub hierarchical: bool,
     /// Enable FM refinement in the partitioner (ablation).
     pub refine: bool,
+    /// Fall back to greedy and then static placement when hypergraph
+    /// partitioning errors or is ε-infeasible (default `true`). When
+    /// `false`, the first failure surfaces as an error (strict mode).
+    pub fallback: bool,
+    /// Enforce the user ε exactly on the achieved device-level compute
+    /// balance — no block-granularity slack. A partition violating it counts
+    /// as ε-infeasible and triggers the fallback chain. Default `false`
+    /// (the partitioner's caps, which grant one block of slack, decide).
+    pub strict_epsilon: bool,
+    /// Start the fallback chain at this tier, skipping earlier ones
+    /// (ablations, tests, or pinning a degraded mode). `None` starts at
+    /// [`PlanTier::Partitioned`].
+    pub force_tier: Option<PlanTier>,
 }
 
 impl Default for PlannerConfig {
@@ -44,6 +57,9 @@ impl Default for PlannerConfig {
             seed: 0xdc9,
             hierarchical: true,
             refine: true,
+            fallback: true,
+            strict_epsilon: false,
+            force_tier: None,
         }
     }
 }
@@ -77,6 +93,11 @@ pub struct PlanOutput {
     pub plan: ExecutionPlan,
     /// Stage timings.
     pub times: PlanningTimes,
+    /// Which tier of the fallback chain produced this plan.
+    pub tier: PlanTier,
+    /// Why earlier tiers were skipped, when `tier` is not
+    /// [`PlanTier::Partitioned`] (one entry per skipped tier).
+    pub fallback_reason: Option<String>,
 }
 
 impl PlanOutput {
@@ -112,12 +133,30 @@ impl Planner {
 
     /// Plans one batch: generates blocks, places them, schedules divisions.
     ///
+    /// Placement walks the fallback chain (paper planner → greedy LPT →
+    /// static zigzag) when `cfg.fallback` is on: a partitioner error or an
+    /// ε-infeasible partition degrades the tier instead of failing the
+    /// batch, and the tier that produced the plan is recorded in
+    /// [`PlanOutput::tier`].
+    ///
     /// # Errors
     ///
-    /// Propagates layout, partitioning or scheduling failures.
+    /// Returns [`DcpError::InvalidArgument`] for degenerate inputs (empty
+    /// batch, zero devices, `divisions == 0`); otherwise propagates layout
+    /// failures, and placement/scheduling failures only once every enabled
+    /// tier has been exhausted.
     pub fn plan(&self, seqs: &[(u32, MaskSpec)]) -> DcpResult<PlanOutput> {
         if seqs.is_empty() {
             return Err(DcpError::invalid_argument("empty batch"));
+        }
+        let n = self.cluster.num_devices();
+        if n == 0 {
+            return Err(DcpError::invalid_argument(
+                "cluster has zero devices (nodes * devices_per_node == 0)",
+            ));
+        }
+        if self.cfg.divisions == 0 {
+            return Err(DcpError::invalid_argument("divisions must be > 0"));
         }
         let t0 = Instant::now();
         let head_blocks = self.cfg.head_blocks.unwrap_or(self.attn.kv_heads);
@@ -129,28 +168,111 @@ impl Planner {
             },
             seqs,
         )?;
-        let t1 = Instant::now();
-        let placement = self.place(&layout)?;
-        let t2 = Instant::now();
-        let plan = build_plan(
-            &layout,
-            &placement,
-            &ScheduleConfig {
-                divisions: self.cfg.divisions,
-                ..Default::default()
-            },
-        )?;
-        let t3 = Instant::now();
+        let block_gen = t0.elapsed().as_secs_f64();
+
+        let start = self.cfg.force_tier.unwrap_or(PlanTier::Partitioned);
+        let mut partition_s = 0.0;
+        let mut schedule_s = 0.0;
+        let mut reasons: Vec<String> = Vec::new();
+        let mut last_err: Option<DcpError> = None;
+        let mut chosen: Option<(Placement, ExecutionPlan, PlanTier)> = None;
+        for tier in PlanTier::all() {
+            if tier < start {
+                continue;
+            }
+            let tp = Instant::now();
+            let placed = self.placement_for_tier(&layout, tier, n);
+            partition_s += tp.elapsed().as_secs_f64();
+            let placement = match placed {
+                Ok(p) => p,
+                Err(e) => {
+                    reasons.push(format!("{}: {e}", tier.label()));
+                    last_err = Some(e);
+                    if !self.cfg.fallback {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            let ts = Instant::now();
+            let built = build_plan(
+                &layout,
+                &placement,
+                &ScheduleConfig {
+                    divisions: self.cfg.divisions,
+                    ..Default::default()
+                },
+            );
+            schedule_s += ts.elapsed().as_secs_f64();
+            match built {
+                Ok(plan) => {
+                    chosen = Some((placement, plan, tier));
+                    break;
+                }
+                Err(e) => {
+                    reasons.push(format!("{}: {e}", tier.label()));
+                    last_err = Some(e);
+                    if !self.cfg.fallback {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let Some((placement, plan, tier)) = chosen else {
+            return Err(last_err
+                .unwrap_or_else(|| DcpError::invalid_plan("no fallback tier produced a plan")));
+        };
         Ok(PlanOutput {
             layout,
             placement,
             plan,
             times: PlanningTimes {
-                block_gen: (t1 - t0).as_secs_f64(),
-                partition: (t2 - t1).as_secs_f64(),
-                schedule: (t3 - t2).as_secs_f64(),
+                block_gen,
+                partition: partition_s,
+                schedule: schedule_s,
+            },
+            tier,
+            fallback_reason: if reasons.is_empty() {
+                None
+            } else {
+                Some(reasons.join("; "))
             },
         })
+    }
+
+    /// Computes the placement for one tier of the fallback chain.
+    fn placement_for_tier(
+        &self,
+        layout: &BatchLayout,
+        tier: PlanTier,
+        n: u32,
+    ) -> DcpResult<Placement> {
+        match tier {
+            PlanTier::Partitioned => {
+                let (placement, balanced) = self.place(layout)?;
+                if !balanced {
+                    return Err(DcpError::Infeasible(
+                        "partition exceeded the balance caps (ε-infeasible)".into(),
+                    ));
+                }
+                if self.cfg.strict_epsilon {
+                    let loads = placement.comp_loads(layout);
+                    let total: u64 = loads.iter().sum();
+                    let avg = total as f64 / loads.len().max(1) as f64;
+                    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+                    if max > (1.0 + self.cfg.eps_intra) * avg {
+                        return Err(DcpError::Infeasible(format!(
+                            "strict ε violated: max load {max:.0} > (1 + {}) * avg {avg:.0}",
+                            self.cfg.eps_intra
+                        )));
+                    }
+                }
+                Ok(placement)
+            }
+            PlanTier::Greedy => Placement::greedy(layout, n),
+            PlanTier::Static => dcp_baselines::static_placement(layout, n, true),
+        }
     }
 
     /// Builds the placement hypergraph of `layout`: one vertex per token
@@ -189,19 +311,22 @@ impl Planner {
         b.build().expect("pins are in range by construction")
     }
 
-    fn place(&self, layout: &BatchLayout) -> DcpResult<Placement> {
+    fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool)> {
+        // Per-machine sub-partition: vertex map, local assignment, balanced.
+        type LocalPartition = (Vec<u32>, Vec<u32>, bool);
         let hg = Self::build_hypergraph(layout);
         let nt = layout.token_blocks.len();
         let x = self.cluster.nodes;
         let y = self.cluster.devices_per_node;
         let n = x * y;
 
-        let assignment: Vec<u32> = if !self.cfg.hierarchical || x == 1 {
+        let (assignment, balanced): (Vec<u32>, bool) = if !self.cfg.hierarchical || x == 1 {
             let mut pc = PartitionConfig::new(n)
                 .with_epsilon(self.cfg.eps_intra)
                 .with_seed(self.cfg.seed);
             pc.refine_enabled = self.cfg.refine;
-            partition(&hg, &pc)?.assignment
+            let part = partition(&hg, &pc)?;
+            (part.assignment, part.balanced)
         } else {
             // Level 1: machines, minimizing inter-node volume.
             let mut pc = PartitionConfig::new(x)
@@ -209,18 +334,19 @@ impl Planner {
                 .with_seed(self.cfg.seed);
             pc.refine_enabled = self.cfg.refine;
             let machine = partition(&hg, &pc)?;
+            let mut balanced = machine.balanced;
             // Level 2: devices within each machine. The per-machine
             // subproblems are independent — solve them on the rayon pool
             // (the paper parallelizes planning across CPU cores, Sec. 6.1).
             use rayon::prelude::*;
-            let locals: Vec<DcpResult<(Vec<u32>, Vec<u32>)>> = (0..x)
+            let locals: Vec<DcpResult<LocalPartition>> = (0..x)
                 .into_par_iter()
                 .map(|m| {
                     let verts: Vec<u32> = (0..hg.num_vertices() as u32)
                         .filter(|&v| machine.assignment[v as usize] == m)
                         .collect();
                     if verts.is_empty() {
-                        return Ok((Vec::new(), Vec::new()));
+                        return Ok((Vec::new(), Vec::new(), true));
                     }
                     let (sub, map) = hg.induced_subgraph(&verts);
                     let mut pc2 = PartitionConfig::new(y)
@@ -228,24 +354,28 @@ impl Planner {
                         .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
                     pc2.refine_enabled = self.cfg.refine;
                     let local = partition(&sub, &pc2)?;
-                    Ok((map, local.assignment))
+                    Ok((map, local.assignment, local.balanced))
                 })
                 .collect();
             let mut assignment = vec![0u32; hg.num_vertices()];
             for (m, res) in locals.into_iter().enumerate() {
-                let (map, local) = res?;
+                let (map, local, local_balanced) = res?;
+                balanced &= local_balanced;
                 for (i, &orig) in map.iter().enumerate() {
                     assignment[orig as usize] = m as u32 * y + local[i];
                 }
             }
-            assignment
+            (assignment, balanced)
         };
 
-        Ok(Placement {
-            num_devices: n,
-            token_to_dev: assignment[..nt].to_vec(),
-            comp_to_dev: assignment[nt..].to_vec(),
-        })
+        Ok((
+            Placement {
+                num_devices: n,
+                token_to_dev: assignment[..nt].to_vec(),
+                comp_to_dev: assignment[nt..].to_vec(),
+            },
+            balanced,
+        ))
     }
 }
 
@@ -389,6 +519,130 @@ mod tests {
     #[test]
     fn empty_batch_rejected() {
         assert!(planner(1).plan(&[]).is_err());
+    }
+
+    #[test]
+    fn zero_devices_is_an_error_not_a_panic() {
+        let p = Planner::new(
+            ClusterSpec::single_node(0),
+            AttnSpec::paper_micro(),
+            PlannerConfig::default(),
+        );
+        let err = p.plan(&[(4096, MaskSpec::Causal)]).unwrap_err();
+        assert!(matches!(err, DcpError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_divisions_is_an_error_not_a_panic() {
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                divisions: 0,
+                ..Default::default()
+            },
+        );
+        let err = p.plan(&[(4096, MaskSpec::Causal)]).unwrap_err();
+        assert!(matches!(err, DcpError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_block_size_is_an_error_not_a_panic() {
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 0,
+                ..Default::default()
+            },
+        );
+        assert!(p.plan(&[(4096, MaskSpec::Causal)]).is_err());
+    }
+
+    #[test]
+    fn default_plans_use_the_partitioned_tier() {
+        let p = planner(1);
+        let out = p.plan(&[(16384, MaskSpec::Causal)]).unwrap();
+        assert_eq!(out.tier, PlanTier::Partitioned);
+        assert!(out.fallback_reason.is_none());
+    }
+
+    #[test]
+    fn forced_greedy_and_static_tiers_produce_valid_plans() {
+        let seqs = vec![(16384, MaskSpec::Causal), (4096, MaskSpec::Causal)];
+        for tier in [PlanTier::Greedy, PlanTier::Static] {
+            let p = Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    force_tier: Some(tier),
+                    ..Default::default()
+                },
+            );
+            let out = p.plan(&seqs).unwrap();
+            assert_eq!(out.tier, tier);
+            validate_plan(&out.layout, &out.placement, &out.plan).unwrap();
+            assert_eq!(out.num_devices(), 8);
+        }
+    }
+
+    #[test]
+    fn infeasible_epsilon_falls_back_instead_of_erroring() {
+        // strict ε = 0 with coarse blocks cannot be met exactly (block
+        // granularity), so the partitioned tier is ε-infeasible; with
+        // fallback enabled the plan must still come back valid, from a
+        // degraded tier, with the reason recorded.
+        let seqs = vec![(16384, MaskSpec::Causal), (2048, MaskSpec::Causal)];
+        let mk = |fallback: bool| {
+            Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 4096,
+                    eps_intra: 0.0,
+                    strict_epsilon: true,
+                    fallback,
+                    ..Default::default()
+                },
+            )
+        };
+        let out = mk(true).plan(&seqs).unwrap();
+        assert_ne!(out.tier, PlanTier::Partitioned, "ε = 0 must be infeasible");
+        validate_plan(&out.layout, &out.placement, &out.plan).unwrap();
+        let reason = out.fallback_reason.expect("reason recorded");
+        assert!(reason.contains("partitioned"), "{reason}");
+        // Strict mode surfaces the infeasibility instead.
+        let err = mk(false).plan(&seqs).unwrap_err();
+        assert!(matches!(err, DcpError::Infeasible(_)), "{err}");
+    }
+
+    #[test]
+    fn greedy_fallback_balances_compute() {
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                force_tier: Some(PlanTier::Greedy),
+                ..Default::default()
+            },
+        );
+        let out = p.plan(&[(32768, MaskSpec::Causal)]).unwrap();
+        let loads = out.placement.comp_loads(&out.layout);
+        let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        let max_block = out
+            .layout
+            .comp_blocks
+            .iter()
+            .map(|c| c.flops)
+            .max()
+            .unwrap();
+        let max = *loads.iter().max().unwrap();
+        assert!(
+            (max as f64) <= avg + max_block as f64,
+            "greedy LPT bound violated: max {max} avg {avg}"
+        );
     }
 
     #[test]

@@ -18,13 +18,19 @@
 //!   activity concurrent with compute is recorded as *overlapped* — giving
 //!   the decomposition of the paper's Fig. 1 and Fig. 22 directly.
 //!
-//! Entry points: [`simulate_phase`] and [`simulate_plan`].
+//! Entry points: [`simulate_phase`] and [`simulate_plan`]. The
+//! fault-injected variants [`simulate_phase_faulted`] and
+//! [`simulate_plan_faulted`] perturb a run with deterministic stragglers,
+//! degraded/failed links and delayed workers (see [`fault`]).
 
+pub mod fault;
 pub mod network;
 pub mod sim;
 pub mod trace;
 
+pub use fault::{Fault, FaultSpec, FAILED_LINK_FACTOR};
 pub use sim::{
-    simulate_phase, simulate_phase_traced, simulate_plan, DeviceTimeline, PhaseSim, PlanSim,
+    simulate_phase, simulate_phase_faulted, simulate_phase_traced, simulate_plan,
+    simulate_plan_faulted, DeviceTimeline, PhaseSim, PlanSim,
 };
 pub use trace::{ascii_gantt, to_chrome_trace, TraceEvent, TraceKind};

@@ -36,6 +36,8 @@ struct Flow {
     rate: f64,
     /// Time the flow starts moving data (creation + link latency).
     active_at: f64,
+    /// Fault multiplier on this flow's achievable rate (degraded link).
+    factor: f64,
     done: bool,
 }
 
@@ -51,6 +53,8 @@ pub struct FlowId(pub usize);
 pub struct Network {
     cluster: ClusterSpec,
     flows: Vec<Flow>,
+    /// Fault-injected bandwidth multipliers per directed device pair.
+    link_factors: HashMap<(u32, u32), f64>,
     now: f64,
 }
 
@@ -60,8 +64,18 @@ impl Network {
         Network {
             cluster,
             flows: Vec::new(),
+            link_factors: HashMap::new(),
             now: 0.0,
         }
+    }
+
+    /// Degrades the directed link `src -> dst`: flows over it achieve only
+    /// `factor` of their max-min fair share. Used by fault injection; a
+    /// degraded flow still occupies its full share of port capacity (the
+    /// bottleneck is the faulty link, not a lighter demand).
+    pub fn set_link_factor(&mut self, src: u32, dst: u32, factor: f64) {
+        self.link_factors
+            .insert((src, dst), factor.clamp(1e-9, 1.0));
     }
 
     /// Current simulation time of the network.
@@ -76,12 +90,14 @@ impl Network {
         self.advance_to(t);
         let lat = self.cluster.latency(DeviceId(src), DeviceId(dst));
         let active_at = t + lat;
+        let factor = self.link_factors.get(&(src, dst)).copied().unwrap_or(1.0);
         self.flows.push(Flow {
             src,
             dst,
             remaining: bytes as f64,
             rate: 0.0,
             active_at,
+            factor,
             done: bytes == 0,
         });
         self.recompute();
@@ -213,7 +229,7 @@ impl Network {
             active_count.insert(r, 0);
         }
         for (&i, &rate) in &frozen {
-            self.flows[i].rate = rate;
+            self.flows[i].rate = rate * self.flows[i].factor;
         }
     }
 
@@ -340,6 +356,28 @@ mod tests {
         net.advance_to(ids[0].1);
         let total: f64 = ids.iter().map(|(f, _)| net.rate(*f)).sum();
         assert!(total <= c.inter_bw * 1.0001, "NIC egress exceeded: {total}");
+    }
+
+    #[test]
+    fn degraded_link_scales_rate_and_completion() {
+        let c = ClusterSpec::p4de(1);
+        let bw = c.intra_bw;
+        let lat = c.intra_latency;
+        let mut net = Network::new(c);
+        net.set_link_factor(0, 1, 0.25);
+        let bytes = 1_000_000_000u64;
+        let (f, a) = net.add_flow(0.0, 0, 1, bytes);
+        net.advance_to(a);
+        assert!((net.rate(f) - bw * 0.25).abs() < 1.0);
+        let t = run_until_done(&mut net);
+        let expect = lat + bytes as f64 / (bw * 0.25);
+        assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");
+        // The reverse direction is unaffected.
+        let mut rev = Network::new(ClusterSpec::p4de(1));
+        rev.set_link_factor(0, 1, 0.25);
+        let (g, b) = rev.add_flow(0.0, 1, 0, bytes);
+        rev.advance_to(b);
+        assert!((rev.rate(g) - bw).abs() < 1.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use dcp_sched::{CommId, ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan};
 use dcp_types::{ClusterSpec, DcpError, DcpResult};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{jitter, FaultSpec};
 use crate::network::{FlowId, Network};
 use crate::trace::{TraceEvent, TraceKind};
 
@@ -101,6 +102,24 @@ pub fn simulate_phase_traced(
     cluster: &ClusterSpec,
     phase: &PhasePlan,
 ) -> DcpResult<(PhaseSim, Vec<TraceEvent>)> {
+    simulate_phase_faulted(cluster, phase, &FaultSpec::none())
+}
+
+/// Like [`simulate_phase_traced`] with fault injection: stragglers stretch
+/// kernels (the extension shows up as [`TraceKind::Straggle`] and in the
+/// device's compute buckets), degraded/failed links cap flow rates, and
+/// delayed devices idle (as [`TraceKind::Delay`]) before their first
+/// instruction. An empty spec is bitwise identical to the un-faulted
+/// simulation; a non-empty spec is deterministic in `spec.seed`.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_phase`].
+pub fn simulate_phase_faulted(
+    cluster: &ClusterSpec,
+    phase: &PhasePlan,
+    spec: &FaultSpec,
+) -> DcpResult<(PhaseSim, Vec<TraceEvent>)> {
     let n = phase.devices.len();
     if n as u32 > cluster.num_devices() {
         return Err(DcpError::invalid_plan(format!(
@@ -109,6 +128,11 @@ pub fn simulate_phase_traced(
         )));
     }
     let mut net = Network::new(cluster.clone());
+    for (src, dst, factor) in spec.link_factors() {
+        net.set_link_factor(src, dst, factor);
+    }
+    let slow = spec.slowdowns(n);
+    let delays = spec.delays(n);
     let eff = cluster.effective_flops();
     let eps = 1e-15;
 
@@ -127,13 +151,24 @@ pub fn simulate_phase_traced(
     let mut metas: Vec<FlowMeta> = Vec::new();
 
     let mut ip = vec![0usize; n];
-    let mut ready = vec![0.0f64; n];
+    // A delayed device idles until its injected start time.
+    let mut ready = delays.clone();
     let mut blocked: Vec<Option<CommId>> = vec![None; n];
     let mut wait_start = vec![0.0f64; n];
     let mut tl = vec![DeviceTimeline::default(); n];
     // Compute busy intervals per device for overlap accounting.
     let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
     let mut trace: Vec<TraceEvent> = Vec::new();
+    for (d, &delay) in delays.iter().enumerate() {
+        if delay > 0.0 && !phase.devices[d].instrs.is_empty() {
+            trace.push(TraceEvent {
+                device: d as u32,
+                kind: TraceKind::Delay,
+                start: 0.0,
+                end: delay,
+            });
+        }
+    }
 
     let mut now = 0.0f64;
     loop {
@@ -217,49 +252,58 @@ pub fn simulate_phase_traced(
                                 ip[d] += 1;
                             }
                         }
-                        Instr::Attn { flops, .. } | Instr::AttnBwd { flops, .. } => {
-                            let dur = *flops as f64 / eff + cluster.kernel_overhead;
-                            tl[d].attn += dur;
+                        Instr::Attn { .. }
+                        | Instr::AttnBwd { .. }
+                        | Instr::Reduce { .. }
+                        | Instr::Copy { .. } => {
+                            let (base, kind) = match ins {
+                                Instr::Attn { flops, .. } => (
+                                    *flops as f64 / eff + cluster.kernel_overhead,
+                                    TraceKind::Attn,
+                                ),
+                                Instr::AttnBwd { flops, .. } => (
+                                    *flops as f64 / eff + cluster.kernel_overhead,
+                                    TraceKind::AttnBwd,
+                                ),
+                                Instr::Reduce { bytes, .. } => (
+                                    *bytes as f64 / cluster.mem_bw + cluster.kernel_overhead,
+                                    TraceKind::Reduce,
+                                ),
+                                Instr::Copy { bytes } => (
+                                    *bytes as f64 / cluster.mem_bw + cluster.kernel_overhead,
+                                    TraceKind::Copy,
+                                ),
+                                _ => unreachable!("compute arm"),
+                            };
+                            // A straggler fault stretches the kernel. The
+                            // extension is traced as its own `Straggle`
+                            // segment (and counted in the compute buckets)
+                            // so un-faulted runs stay bitwise unchanged.
+                            let extra = if slow[d] > 1.0 {
+                                base * (slow[d] - 1.0) * jitter(spec.seed, d as u32, ip[d])
+                            } else {
+                                0.0
+                            };
+                            let dur = base + extra;
+                            match kind {
+                                TraceKind::Attn | TraceKind::AttnBwd => tl[d].attn += dur,
+                                TraceKind::Reduce => tl[d].reduce += dur,
+                                _ => tl[d].copy += dur,
+                            }
                             trace.push(TraceEvent {
                                 device: d as u32,
-                                kind: if matches!(ins, Instr::Attn { .. }) {
-                                    TraceKind::Attn
-                                } else {
-                                    TraceKind::AttnBwd
-                                },
+                                kind,
                                 start: now,
-                                end: now + dur,
+                                end: now + base,
                             });
-                            busy[d].push((now, now + dur));
-                            ready[d] = now + dur;
-                            tl[d].finish = tl[d].finish.max(now + dur);
-                            ip[d] += 1;
-                            changed = true;
-                        }
-                        Instr::Reduce { bytes, .. } => {
-                            let dur = *bytes as f64 / cluster.mem_bw + cluster.kernel_overhead;
-                            tl[d].reduce += dur;
-                            trace.push(TraceEvent {
-                                device: d as u32,
-                                kind: TraceKind::Reduce,
-                                start: now,
-                                end: now + dur,
-                            });
-                            busy[d].push((now, now + dur));
-                            ready[d] = now + dur;
-                            tl[d].finish = tl[d].finish.max(now + dur);
-                            ip[d] += 1;
-                            changed = true;
-                        }
-                        Instr::Copy { bytes } => {
-                            let dur = *bytes as f64 / cluster.mem_bw + cluster.kernel_overhead;
-                            tl[d].copy += dur;
-                            trace.push(TraceEvent {
-                                device: d as u32,
-                                kind: TraceKind::Copy,
-                                start: now,
-                                end: now + dur,
-                            });
+                            if extra > 0.0 {
+                                trace.push(TraceEvent {
+                                    device: d as u32,
+                                    kind: TraceKind::Straggle,
+                                    start: now + base,
+                                    end: now + dur,
+                                });
+                            }
                             busy[d].push((now, now + dur));
                             ready[d] = now + dur;
                             tl[d].finish = tl[d].finish.max(now + dur);
@@ -404,6 +448,29 @@ pub fn simulate_plan(cluster: &ClusterSpec, plan: &ExecutionPlan) -> DcpResult<P
     Ok(PlanSim {
         fwd: simulate_phase(cluster, &plan.fwd)?,
         bwd: simulate_phase(cluster, &plan.bwd)?,
+    })
+}
+
+/// Like [`simulate_plan`] with fault injection in both phases. The
+/// backward phase draws straggler jitter from a salted seed so its
+/// perturbations are independent of the forward phase's while remaining a
+/// pure function of `spec.seed`.
+///
+/// # Errors
+///
+/// Propagates phase-simulation failures.
+pub fn simulate_plan_faulted(
+    cluster: &ClusterSpec,
+    plan: &ExecutionPlan,
+    spec: &FaultSpec,
+) -> DcpResult<PlanSim> {
+    let bwd_spec = FaultSpec {
+        seed: spec.seed ^ 0xD1B5_4A32_D192_ED03,
+        faults: spec.faults.clone(),
+    };
+    Ok(PlanSim {
+        fwd: simulate_phase_faulted(cluster, &plan.fwd, spec)?.0,
+        bwd: simulate_phase_faulted(cluster, &plan.bwd, &bwd_spec)?.0,
     })
 }
 
@@ -575,6 +642,140 @@ mod tests {
         assert!((total_len(&u) - 3.0).abs() < 1e-12);
         let b = vec![(1.5, 3.5)];
         assert!((intersect_len(&u, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fault_spec_is_bitwise_identical() {
+        let l = layout(16384, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let (base, base_trace) = simulate_phase_traced(&c, &plan.fwd).unwrap();
+        let (faulted, faulted_trace) =
+            simulate_phase_faulted(&c, &plan.fwd, &FaultSpec::none()).unwrap();
+        assert_eq!(base, faulted);
+        assert_eq!(base_trace, faulted_trace);
+    }
+
+    #[test]
+    fn straggler_stretches_kernels_and_makespan() {
+        use crate::fault::Fault;
+        let l = layout(16384, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let base = simulate_phase(&c, &plan.fwd).unwrap();
+        let spec = FaultSpec {
+            seed: 42,
+            faults: vec![Fault::Straggler {
+                device: 0,
+                slowdown: 4.0,
+            }],
+        };
+        let (sim, trace) = simulate_phase_faulted(&c, &plan.fwd, &spec).unwrap();
+        // Device 0's compute roughly quadruples (x4 with +-10% jitter per
+        // kernel), and the makespan grows.
+        assert!(sim.devices[0].compute() > base.devices[0].compute() * 3.5);
+        assert!(sim.makespan > base.makespan * 1.5);
+        let straggles: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Straggle))
+            .collect();
+        assert!(!straggles.is_empty());
+        assert!(straggles.iter().all(|e| e.device == 0));
+    }
+
+    #[test]
+    fn degraded_link_costs_makespan() {
+        use crate::fault::Fault;
+        let l = layout(32768, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let base = simulate_phase(&c, &plan.fwd).unwrap();
+        // Every link into device 0 collapses to 1% bandwidth.
+        let spec = FaultSpec {
+            seed: 0,
+            faults: (1..4)
+                .map(|s| Fault::DegradedLink {
+                    src: s,
+                    dst: 0,
+                    factor: 0.01,
+                })
+                .collect(),
+        };
+        let (sim, _) = simulate_phase_faulted(&c, &plan.fwd, &spec).unwrap();
+        assert!(
+            sim.makespan > base.makespan * 1.05,
+            "degraded ingress should cost makespan: {} vs {}",
+            sim.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn delayed_start_shifts_the_device() {
+        use crate::fault::Fault;
+        let l = layout(16384, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let base = simulate_phase(&c, &plan.fwd).unwrap();
+        let delay = 0.25;
+        let spec = FaultSpec {
+            seed: 0,
+            faults: vec![Fault::DelayedStart {
+                device: 2,
+                delay_s: delay,
+            }],
+        };
+        let (sim, trace) = simulate_phase_faulted(&c, &plan.fwd, &spec).unwrap();
+        assert!(sim.makespan >= base.makespan + delay * 0.9);
+        let d = trace
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Delay))
+            .expect("delay event traced");
+        assert_eq!(d.device, 2);
+        assert_eq!(d.start, 0.0);
+        assert_eq!(d.end, delay);
+        // Device 2 executes nothing before the delay elapses.
+        assert!(trace
+            .iter()
+            .filter(|e| e.device == 2 && !matches!(e.kind, TraceKind::Delay))
+            .all(|e| e.start >= delay - 1e-12));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_in_the_seed() {
+        use crate::fault::Fault;
+        let l = layout(16384, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let spec = FaultSpec {
+            seed: 1234,
+            faults: vec![
+                Fault::Straggler {
+                    device: 1,
+                    slowdown: 3.0,
+                },
+                Fault::FailedLink { src: 2, dst: 0 },
+                Fault::DelayedStart {
+                    device: 3,
+                    delay_s: 0.01,
+                },
+            ],
+        };
+        let a = simulate_plan_faulted(&c, &plan, &spec).unwrap();
+        let b = simulate_plan_faulted(&c, &plan, &spec).unwrap();
+        assert_eq!(a, b);
+        // A different seed perturbs the straggler jitter.
+        let other = FaultSpec {
+            seed: 99,
+            faults: spec.faults.clone(),
+        };
+        let c2 = simulate_plan_faulted(&c, &plan, &other).unwrap();
+        assert_ne!(a.fwd.makespan.to_bits(), c2.fwd.makespan.to_bits());
     }
 
     #[test]

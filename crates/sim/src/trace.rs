@@ -28,6 +28,12 @@ pub enum TraceKind {
         /// Sending device.
         from: u32,
     },
+    /// Extra kernel time caused by an injected straggler fault (the slice
+    /// beyond the kernel's nominal duration).
+    Straggle,
+    /// Idle time before a delayed device's first instruction (injected
+    /// [`crate::Fault::DelayedStart`]).
+    Delay,
 }
 
 impl TraceKind {
@@ -40,6 +46,8 @@ impl TraceKind {
             TraceKind::Copy => "copy",
             TraceKind::Wait => "wait",
             TraceKind::Transfer { .. } => "recv",
+            TraceKind::Straggle => "straggle",
+            TraceKind::Delay => "delay",
         }
     }
 
@@ -52,6 +60,8 @@ impl TraceKind {
             TraceKind::Copy => 'c',
             TraceKind::Wait => '.',
             TraceKind::Transfer { .. } => '~',
+            TraceKind::Straggle => '!',
+            TraceKind::Delay => '_',
         }
     }
 }
@@ -98,6 +108,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
             cat: match e.kind {
                 TraceKind::Transfer { .. } => "comm",
                 TraceKind::Wait => "wait",
+                TraceKind::Straggle | TraceKind::Delay => "fault",
                 _ => "compute",
             },
             ph: "X",
@@ -143,7 +154,7 @@ pub fn ascii_gantt(events: &[TraceEvent], width: usize) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "time: 0 .. {:.3} ms   (#=attn %=bwd r=reduce c=copy .=wait ~=recv)\n",
+        "time: 0 .. {:.3} ms   (#=attn %=bwd r=reduce c=copy .=wait ~=recv !=straggle _=delay)\n",
         t_end * 1e3
     ));
     for d in 0..n {

@@ -28,6 +28,18 @@ pub enum DcpError {
     Numerics(String),
     /// Plan (de)serialization failed.
     Serialization(String),
+    /// Planning a specific batch failed after exhausting the fallback chain
+    /// and all retries (look-ahead worker death/timeout plus synchronous
+    /// re-planning). Carries enough structure for callers to account for the
+    /// lost batch without parsing strings.
+    PlanningFailed {
+        /// Index of the batch whose plan could not be produced.
+        batch_index: usize,
+        /// Total planning attempts made (initial look-ahead + retries).
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last_error: String,
+    },
 }
 
 impl DcpError {
@@ -40,6 +52,19 @@ impl DcpError {
     pub fn invalid_plan(msg: impl Into<String>) -> Self {
         DcpError::InvalidPlan(msg.into())
     }
+
+    /// Convenience constructor for [`DcpError::PlanningFailed`].
+    pub fn planning_failed(
+        batch_index: usize,
+        attempts: u32,
+        last_error: impl Into<String>,
+    ) -> Self {
+        DcpError::PlanningFailed {
+            batch_index,
+            attempts,
+            last_error: last_error.into(),
+        }
+    }
 }
 
 impl fmt::Display for DcpError {
@@ -51,6 +76,15 @@ impl fmt::Display for DcpError {
             DcpError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             DcpError::Numerics(m) => write!(f, "numerical check failed: {m}"),
             DcpError::Serialization(m) => write!(f, "serialization error: {m}"),
+            DcpError::PlanningFailed {
+                batch_index,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "planning failed for batch {batch_index} after {attempts} attempt(s): \
+                 {last_error}"
+            ),
         }
     }
 }
@@ -73,5 +107,25 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_e: &dyn std::error::Error) {}
         takes_err(&DcpError::invalid_plan("x"));
+    }
+
+    #[test]
+    fn planning_failed_carries_structure() {
+        let e = DcpError::planning_failed(7, 3, "worker panicked");
+        match &e {
+            DcpError::PlanningFailed {
+                batch_index,
+                attempts,
+                last_error,
+            } => {
+                assert_eq!(*batch_index, 7);
+                assert_eq!(*attempts, 3);
+                assert_eq!(last_error, "worker panicked");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let s = e.to_string();
+        assert!(s.contains("batch 7"), "{s}");
+        assert!(s.contains("3 attempt"), "{s}");
     }
 }

@@ -19,9 +19,11 @@
 pub mod cluster;
 pub mod error;
 pub mod model;
+pub mod robust;
 pub mod units;
 
 pub use cluster::{ClusterSpec, DeviceId, NodeId};
 pub use error::{DcpError, DcpResult};
 pub use model::{AttnSpec, ModelSpec};
+pub use robust::PlanTier;
 pub use units::{Bytes, Flops, Seconds};

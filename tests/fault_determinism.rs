@@ -1,0 +1,100 @@
+//! Fault-injection determinism regression: planning runs on the rayon
+//! pool (`RAYON_NUM_THREADS`-wide) and fault-injected simulation draws
+//! straggler jitter from `FaultSpec::seed`, and the contract is that the
+//! whole faulted pipeline — plan, then simulate under a fixed fault spec —
+//! is *bitwise identical* at every thread count.
+//!
+//! Everything lives in a single `#[test]` because `RAYON_NUM_THREADS` is
+//! process-global state (mirroring `tests/determinism.rs`).
+
+use dcp::core::{Planner, PlannerConfig};
+use dcp::mask::MaskSpec;
+use dcp::sim::{simulate_plan_faulted, Fault, FaultSpec, PlanSim};
+use dcp::types::{AttnSpec, ClusterSpec};
+
+fn spec() -> FaultSpec {
+    FaultSpec {
+        seed: 2025,
+        faults: vec![
+            Fault::Straggler {
+                device: 0,
+                slowdown: 4.0,
+            },
+            Fault::DegradedLink {
+                src: 2,
+                dst: 0,
+                factor: 0.05,
+            },
+            Fault::FailedLink { src: 5, dst: 1 },
+            Fault::DelayedStart {
+                device: 3,
+                delay_s: 0.002,
+            },
+        ],
+    }
+}
+
+fn bits(sim: &PlanSim) -> Vec<u64> {
+    let mut out = vec![sim.fwd.makespan.to_bits(), sim.bwd.makespan.to_bits()];
+    for phase in [&sim.fwd, &sim.bwd] {
+        for d in &phase.devices {
+            for v in [
+                d.attn,
+                d.reduce,
+                d.copy,
+                d.exposed_wait,
+                d.comm_active,
+                d.overlap,
+                d.finish,
+            ] {
+                out.push(v.to_bits());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn faulted_simulation_is_bitwise_deterministic_across_thread_counts() {
+    let cluster = ClusterSpec::p4de(2);
+    let planner = Planner::new(
+        cluster.clone(),
+        AttnSpec::paper_micro(),
+        PlannerConfig::default(),
+    );
+    // Skewed batch: one long sequence plus several short ones, mixed masks.
+    let mut seqs = vec![(32768u32, MaskSpec::Causal)];
+    for i in 0..6u32 {
+        seqs.push((4096 + 1024 * (i % 3), MaskSpec::paper_lambda()));
+    }
+
+    let fault_spec = spec();
+    let run = || {
+        let out = planner.plan(&seqs).unwrap();
+        let sim = simulate_plan_faulted(&cluster, &out.plan, &fault_spec).unwrap();
+        (
+            out.placement.token_to_dev.clone(),
+            out.placement.comp_to_dev.clone(),
+            out.tier,
+            bits(&sim),
+        )
+    };
+
+    let parallel = run();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    let three = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    for (name, other) in [("serial", &serial), ("three", &three)] {
+        assert_eq!(parallel.0, other.0, "token placement differs vs {name}");
+        assert_eq!(parallel.1, other.1, "comp placement differs vs {name}");
+        assert_eq!(parallel.2, other.2, "plan tier differs vs {name}");
+        assert_eq!(parallel.3, other.3, "faulted sim bits differ vs {name}");
+    }
+
+    // Same spec, same process, repeated: still bitwise identical.
+    let again = run();
+    assert_eq!(parallel.3, again.3);
+}

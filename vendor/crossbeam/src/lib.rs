@@ -27,6 +27,28 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected with no buffered message.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
@@ -76,6 +98,15 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
         }
+
+        /// Blocks until a message arrives, all senders are dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     impl<T> IntoIterator for Receiver<T> {
@@ -110,5 +141,23 @@ mod tests {
         let (tx, rx) = bounded::<u32>(1);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }
