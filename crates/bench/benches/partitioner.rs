@@ -1,12 +1,16 @@
 //! Criterion benchmark: the multilevel hypergraph partitioner on planner-
-//! shaped hypergraphs of increasing size, and the FM-refinement ablation.
+//! shaped hypergraphs of increasing size, the FM-refinement ablation, and
+//! the gain-cache FM pass against the legacy lazy-heap implementation on a
+//! planted k-way instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcp_blocks::{BatchLayout, BlockConfig};
 use dcp_core::Planner;
-use dcp_hypergraph::{partition, PartitionConfig};
+use dcp_hypergraph::{partition, refine, Hypergraph, HypergraphBuilder, PartitionConfig};
 use dcp_mask::MaskSpec;
 use dcp_types::AttnSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 fn planner_hypergraph(len: u32, block: u32) -> dcp_hypergraph::Hypergraph {
     let layout = BatchLayout::build(
@@ -54,5 +58,75 @@ fn bench_partitioner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioner);
+/// A planted k-way instance shaped like the planner's hypergraphs: `k`
+/// clusters of `size` unit-weight vertices, each a weight-10 ring, plus
+/// many-pin "consumer" hyperedges inside each cluster (one per ring vertex,
+/// spanning the next 16 vertices — the shape KV-broadcast edges take) and
+/// weight-1 bridges between consecutive clusters. The returned start
+/// assignment is the planted optimum with the first few vertices of each
+/// adjacent cluster pair swapped — local damage of the kind multilevel
+/// projection hands to FM. Many-pin edges make single-gain recomputation
+/// expensive, which is exactly what the gain cache amortizes.
+fn planted_kway(k: u32, size: usize) -> (Hypergraph, Vec<u32>, [u64; 2]) {
+    let n = k as usize * size;
+    let mut b = HypergraphBuilder::new(n);
+    for v in 0..n {
+        b.set_vertex_weight(v, [1, 1]);
+    }
+    for c in 0..k as usize {
+        let base = c * size;
+        for i in 0..size {
+            b.add_edge(10, &[(base + i) as u32, (base + (i + 1) % size) as u32]);
+        }
+        for i in (0..size).step_by(4) {
+            let pins: Vec<u32> = (0..16.min(size))
+                .map(|j| (base + (i + j) % size) as u32)
+                .collect();
+            b.add_edge(3, &pins);
+        }
+        let next = ((c + 1) % k as usize) * size;
+        b.add_edge(1, &[base as u32, next as u32]);
+    }
+    let hg = b.build().expect("planted instance");
+    let mut assignment: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
+    let damage = (size / 16).clamp(2, 16);
+    for c in 0..k as usize - 1 {
+        for i in 0..damage {
+            assignment.swap(c * size + i, (c + 1) * size + i);
+        }
+    }
+    let caps = [(size + 2 * damage) as u64; 2];
+    (hg, assignment, caps)
+}
+
+/// Gain-cache FM vs the legacy lazily-revalidated-heap FM, same planted
+/// instance, same seed and pass budget.
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_refinement_8way");
+    group.sample_size(20);
+    for size in [64usize, 256, 1024] {
+        let (hg, start, caps) = planted_kway(8, size);
+        group.bench_with_input(BenchmarkId::new("gain_cache", size), &size, |b, _| {
+            b.iter(|| {
+                let mut a = start.clone();
+                let mut rng = SmallRng::seed_from_u64(7);
+                refine::refine(&hg, &mut a, 8, caps, 8, &mut rng)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reference_lazy_heap", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let mut a = start.clone();
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    refine::reference::refine(&hg, &mut a, 8, caps, 8, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner, bench_refinement);
 criterion_main!(benches);

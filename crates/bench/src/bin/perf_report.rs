@@ -10,9 +10,18 @@
 //! every report run re-verifies the executor's determinism contract.
 //!
 //! Writes `BENCH_exec.json` (execution timings), `BENCH_plan.json`
-//! (planning/simulation timings) and `BENCH_robustness.json` (fallback-tier
-//! plan latencies, fault-injected makespans and dataloader recovery stats)
+//! (planning/simulation timings, planner stage breakdown, plan-cache hit
+//! rates and the serial-vs-parallel partitioner equivalence check) and
+//! `BENCH_robustness.json` (fallback-tier plan latencies, fault-injected
+//! makespans and dataloader recovery stats with structured replan events)
 //! to the current directory.
+//!
+//! The planner section plans every batch twice through one shared
+//! [`Planner`]: the first (cold) plan runs the full multilevel pipeline and
+//! is the `plan_wall_s` the latency gate watches; the second (warm) plan
+//! must be served by the signature-keyed plan cache. Each batch is also
+//! re-planned by two fresh planners at `RAYON_NUM_THREADS=1` and the
+//! default width, asserting the partitioner's serial/parallel determinism.
 //!
 //! Environment knobs: `DCP_BENCH_BATCHES` (default 2) batches per mask.
 
@@ -57,6 +66,38 @@ fn batches_per_mask() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2)
+}
+
+/// Median of `values` (0.0 for an empty slice).
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Runs `f` with `RAYON_NUM_THREADS` set to `threads` (`None` = default
+/// width), restoring the previous value afterwards. Works in-process: the
+/// vendored rayon re-reads the variable at every parallel call.
+fn with_rayon_threads<T>(threads: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    match threads {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
 }
 
 struct ExecRun {
@@ -223,8 +264,10 @@ fn robustness_report(cluster: &ClusterSpec, attn: AttnSpec, n: usize) -> serde_j
         "dataloader_recovery": {
             "batches": batches.len() as u64,
             "killed_workers": 1u64,
+            "planning_workers": loader.workers() as u64,
             "yielded": yielded,
             "replans": loader.replans(),
+            "replan_events": loader.replan_events(),
             "wall_s": loader_wall,
         },
     })
@@ -255,6 +298,17 @@ fn main() {
     let mut total_tn = 0.0f64;
     let mut total_blocks = 0u64;
 
+    // One shared planner across every batch: recurring batch signatures hit
+    // its plan cache exactly as they would in a training loop.
+    let plan_cfg = PlannerConfig {
+        block_size: BLOCK_SIZE,
+        ..Default::default()
+    };
+    let plan_planner = Planner::new(cluster.clone(), attn, plan_cfg.clone());
+    let mut cold_walls: Vec<f64> = Vec::new();
+    let mut warm_walls: Vec<f64> = Vec::new();
+    let mut serial_parallel_identical = true;
+
     for mask in masks {
         let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
         let batches: Vec<_> = pack_batches(&lengths, BUDGET, |l| mask.mask_for(l))
@@ -263,17 +317,33 @@ fn main() {
             .map(|b| b.seqs)
             .collect();
         for (bi, batch) in batches.iter().enumerate() {
-            let planner = Planner::new(
-                cluster.clone(),
-                attn,
-                PlannerConfig {
-                    block_size: BLOCK_SIZE,
-                    ..Default::default()
-                },
-            );
+            // Cold plan: full multilevel pipeline (this is the latency the
+            // plan gate watches). Warm plan: must hit the signature cache.
             let t0 = Instant::now();
-            let out = planner.plan(batch).expect("plan");
+            let out = plan_planner.plan(batch).expect("plan");
             let plan_s = t0.elapsed().as_secs_f64();
+            assert!(!out.stats.cache_hit, "first plan of a batch must miss");
+            let t0 = Instant::now();
+            let warm = plan_planner.plan(batch).expect("warm plan");
+            let warm_s = t0.elapsed().as_secs_f64();
+            assert!(warm.stats.cache_hit, "second plan of a batch must hit");
+            assert_eq!(warm.placement, out.placement, "cached plan must match");
+            assert_eq!(warm.plan, out.plan, "cached plan must match");
+            cold_walls.push(plan_s);
+            warm_walls.push(warm_s);
+
+            // Partitioner determinism: a serial and a default-width re-plan
+            // (fresh planners — empty caches) must agree bitwise.
+            let fresh = || Planner::new(cluster.clone(), attn, plan_cfg.clone());
+            let ser_out =
+                with_rayon_threads(Some("1"), || fresh().plan(batch).expect("serial plan"));
+            let par_out = with_rayon_threads(None, || fresh().plan(batch).expect("parallel plan"));
+            let identical = ser_out.placement == par_out.placement
+                && ser_out.plan == par_out.plan
+                && ser_out.placement == out.placement;
+            assert!(identical, "plans must not depend on RAYON_NUM_THREADS");
+            serial_parallel_identical &= identical;
+
             let t0 = Instant::now();
             let sim = simulate_plan(&cluster, &out.plan).expect("simulate");
             let sim_wall_s = t0.elapsed().as_secs_f64();
@@ -339,6 +409,15 @@ fn main() {
                 "mask": mask.name(),
                 "batch": bi,
                 "plan_wall_s": plan_s,
+                "plan_wall_warm_s": warm_s,
+                "cache_hit_warm": warm.stats.cache_hit,
+                "stages_s": {
+                    "coarsen": out.stats.coarsen_s,
+                    "initial": out.stats.initial_s,
+                    "refine": out.stats.refine_s,
+                    "schedule": out.stats.schedule_s,
+                },
+                "serial_parallel_identical": identical,
                 "simulate_wall_s": sim_wall_s,
                 "simulated_total_s": sim.total(),
                 "comm_bytes": out.plan.total_comm_bytes(),
@@ -372,8 +451,44 @@ fn main() {
         "total_wall_s_default": total_tn,
         "runs": exec_rows,
     });
+    let (cache_hits, cache_misses) = plan_planner.cache_stats();
+    let cold_median = median(&cold_walls);
+    let warm_median = median(&warm_walls);
+    println!(
+        "planner: cold median {:.2}ms, warm median {:.3}ms (warm/cold {:.4}), cache \
+         {cache_hits} hits / {cache_misses} misses, serial==parallel: {serial_parallel_identical}",
+        cold_median * 1e3,
+        warm_median * 1e3,
+        if cold_median > 0.0 {
+            warm_median / cold_median
+        } else {
+            0.0
+        },
+    );
     let plan_report = json!({
         "workload": { "cluster": "p4de(2)", "dataset": "LongDataCollections", "seed": SEED },
+        "planner": {
+            "threads_default": threads_default as u64,
+            "plan_wall_s_cold_median": cold_median,
+            "plan_wall_s_warm_median": warm_median,
+            "warm_over_cold": if cold_median > 0.0 { warm_median / cold_median } else { 0.0 },
+            "cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": if cache_hits + cache_misses > 0 {
+                    cache_hits as f64 / (cache_hits + cache_misses) as f64
+                } else {
+                    0.0
+                },
+            },
+            "stage_totals_s": {
+                "coarsen": plan_rows.iter().map(|r| r["stages_s"]["coarsen"].as_f64().unwrap()).sum::<f64>(),
+                "initial": plan_rows.iter().map(|r| r["stages_s"]["initial"].as_f64().unwrap()).sum::<f64>(),
+                "refine": plan_rows.iter().map(|r| r["stages_s"]["refine"].as_f64().unwrap()).sum::<f64>(),
+                "schedule": plan_rows.iter().map(|r| r["stages_s"]["schedule"].as_f64().unwrap()).sum::<f64>(),
+            },
+            "serial_parallel_identical": serial_parallel_identical,
+        },
         "runs": plan_rows,
     });
     let robustness = robustness_report(&cluster, attn, n);

@@ -1,0 +1,126 @@
+//! Plan-latency regression gate for CI.
+//!
+//! Compares the freshly generated `BENCH_plan.json` (written by
+//! `perf_report`) against the committed baseline
+//! `results/BENCH_plan_baseline.json` and fails (exit 1) when:
+//!
+//! 1. the median cold `plan_wall_s` regressed by more than the allowed
+//!    factor (default 1.25, i.e. >25%; override with
+//!    `DCP_PLAN_GATE_FACTOR`),
+//! 2. the serial-vs-parallel partitioner equivalence check did not pass, or
+//! 3. the warm (cache-hit) median is not well below the cold median
+//!    (< 5% — a cache hit must cost a lookup, not a re-plan).
+//!
+//! Usage: `plan_gate [report.json] [baseline.json]`.
+
+use std::process::exit;
+
+fn median_plan_wall(report: &serde_json::Value) -> Option<f64> {
+    // Prefer the precomputed median; recompute from the rows otherwise
+    // (keeps the gate usable against older reports).
+    if let Some(m) = report["planner"]["plan_wall_s_cold_median"].as_f64() {
+        return Some(m);
+    }
+    let mut walls: Vec<f64> = report["runs"]
+        .as_array()?
+        .iter()
+        .filter_map(|r| r["plan_wall_s"].as_f64())
+        .collect();
+    if walls.is_empty() {
+        return None;
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = walls.len() / 2;
+    Some(if walls.len() % 2 == 1 {
+        walls[mid]
+    } else {
+        (walls[mid - 1] + walls[mid]) / 2.0
+    })
+}
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("plan_gate: cannot read {path}: {e}");
+        exit(1);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("plan_gate: {path} is not valid JSON: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let report_path = args.next().unwrap_or_else(|| "BENCH_plan.json".into());
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_plan_baseline.json".into());
+    let factor: f64 = std::env::var("DCP_PLAN_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.25);
+
+    let report = load(&report_path);
+    let baseline = load(&baseline_path);
+
+    let current = median_plan_wall(&report).unwrap_or_else(|| {
+        eprintln!("plan_gate: no plan_wall_s rows in {report_path}");
+        exit(1);
+    });
+    let base = median_plan_wall(&baseline).unwrap_or_else(|| {
+        eprintln!("plan_gate: no plan_wall_s rows in {baseline_path}");
+        exit(1);
+    });
+
+    let mut failures = Vec::new();
+    let limit = base * factor;
+    println!(
+        "plan_gate: median plan_wall_s {:.2}ms vs baseline {:.2}ms (limit {:.2}ms = {factor:.2}x)",
+        current * 1e3,
+        base * 1e3,
+        limit * 1e3
+    );
+    if current > limit {
+        failures.push(format!(
+            "median plan_wall_s regressed: {:.2}ms > {:.2}ms ({factor:.2}x baseline)",
+            current * 1e3,
+            limit * 1e3
+        ));
+    }
+
+    match report["planner"]["serial_parallel_identical"].as_bool() {
+        Some(true) => println!("plan_gate: serial/parallel partitioner outputs identical"),
+        Some(false) => {
+            failures.push("serial and parallel partitioner outputs differ".into());
+        }
+        // Absent on pre-planner-section reports: nothing to check.
+        None => println!("plan_gate: no serial/parallel check in report (skipped)"),
+    }
+
+    if let (Some(cold), Some(warm)) = (
+        report["planner"]["plan_wall_s_cold_median"].as_f64(),
+        report["planner"]["plan_wall_s_warm_median"].as_f64(),
+    ) {
+        let ratio = if cold > 0.0 { warm / cold } else { 0.0 };
+        println!(
+            "plan_gate: warm/cold median ratio {ratio:.4} ({:.3}ms / {:.2}ms)",
+            warm * 1e3,
+            cold * 1e3
+        );
+        if ratio >= 0.05 {
+            failures.push(format!(
+                "warm (cached) plan median is {:.1}% of cold — a hit must be <5%",
+                ratio * 100.0
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("plan_gate: OK");
+    } else {
+        for f in &failures {
+            eprintln!("plan_gate: FAIL: {f}");
+        }
+        exit(1);
+    }
+}

@@ -14,17 +14,27 @@
 //! exhausting the retries surfaces a typed
 //! [`DcpError::PlanningFailed`] carrying the batch index and attempt
 //! count. A failed batch never poisons later batches: every iteration has
-//! its own channel, so the stream keeps yielding.
+//! its own channel, so the stream keeps yielding. Every recovery incident
+//! is recorded as a structured [`ReplanEvent`] (batch index, failure
+//! class, attempts, recovery wall time) via
+//! [`DcpDataloader::replan_events`].
+//!
+//! Look-ahead planning runs on a small pool of dedicated worker threads
+//! (sized with [`DcpDataloader::with_workers`]) rather than one spawned
+//! task per batch: the pool bounds planning CPU, keeps the rayon pool free
+//! for intra-plan parallelism, and a panicking plan kills only the batch
+//! (the worker catches it and survives for the next job).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dcp_data::Batch;
 use dcp_mask::MaskSpec;
 use dcp_types::{DcpError, DcpResult};
+use serde::{Deserialize, Serialize};
 
 use crate::planner::{PlanOutput, Planner};
 
@@ -57,6 +67,94 @@ impl Default for RetryConfig {
 /// instrumented callers can substitute their own via
 /// [`DcpDataloader::with_plan_fn`].
 pub type PlanFn = dyn Fn(&[(u32, MaskSpec)]) -> DcpResult<PlanOutput> + Send + Sync;
+
+/// Why a look-ahead plan result was unusable and the batch was re-planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// The worker's channel disconnected: the planning closure panicked.
+    WorkerDied,
+    /// The worker missed [`RetryConfig::batch_deadline`].
+    Timeout,
+    /// The planning function returned an error.
+    PlanError,
+}
+
+impl FailureClass {
+    /// Stable lowercase label (used in benchmark reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureClass::WorkerDied => "worker_died",
+            FailureClass::Timeout => "timeout",
+            FailureClass::PlanError => "plan_error",
+        }
+    }
+}
+
+/// One planning-recovery incident: a batch whose look-ahead result was
+/// unusable and had to be re-planned synchronously.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanEvent {
+    /// Which batch failed.
+    pub batch_index: usize,
+    /// How the look-ahead result failed.
+    pub failure: FailureClass,
+    /// Synchronous re-plan attempts performed (≥ 1 whenever retries are
+    /// enabled; `0` when `max_retries == 0` and the failure surfaced
+    /// directly).
+    pub attempts: u32,
+    /// Whether a retry produced a usable plan (`false` means the batch
+    /// surfaced as [`DcpError::PlanningFailed`]).
+    pub recovered: bool,
+    /// Wall-clock seconds from detecting the failure to recovery (or to
+    /// giving up), including retry backoff sleeps.
+    pub recovery_wall_s: f64,
+}
+
+/// A fixed pool of detached planning threads consuming look-ahead jobs.
+///
+/// A panic inside the planning closure is caught so the worker survives;
+/// the per-batch result channel is dropped instead, which the consumer
+/// observes as a disconnect ([`FailureClass::WorkerDied`]). Workers exit
+/// when the job sender (owned by the loader) is dropped.
+struct WorkerPool {
+    jobs: Sender<PlanJob>,
+    size: usize,
+}
+
+/// One look-ahead planning job: the batch to plan and the per-batch channel
+/// its result (or disconnect, on panic) is delivered on.
+type PlanJob = (Vec<(u32, MaskSpec)>, Sender<DcpResult<PlanOutput>>);
+
+impl WorkerPool {
+    fn new(size: usize, plan_fn: Arc<PlanFn>) -> Self {
+        let size = size.max(1);
+        let (jobs, rx) = unbounded::<PlanJob>();
+        for w in 0..size {
+            let rx = rx.clone();
+            let plan_fn = Arc::clone(&plan_fn);
+            std::thread::Builder::new()
+                .name(format!("dcp-plan-{w}"))
+                .spawn(move || {
+                    while let Ok((seqs, tx)) = rx.recv() {
+                        match catch_unwind(AssertUnwindSafe(|| plan_fn(&seqs))) {
+                            Ok(result) => {
+                                let _ = tx.send(result);
+                            }
+                            // Dropping `tx` without sending signals the
+                            // panic to the consumer as a disconnect.
+                            Err(_) => drop(tx),
+                        }
+                    }
+                })
+                .expect("failed to spawn planning worker thread");
+        }
+        WorkerPool { jobs, size }
+    }
+
+    fn submit(&self, seqs: Vec<(u32, MaskSpec)>, tx: Sender<DcpResult<PlanOutput>>) {
+        let _ = self.jobs.send((seqs, tx));
+    }
+}
 
 /// An iterator over `(batch, plan)` pairs with asynchronous look-ahead
 /// planning and bounded retry on worker failure.
@@ -98,8 +196,10 @@ pub struct DcpDataloader {
     retry: RetryConfig,
     /// In-flight plan results, in batch order.
     inflight: VecDeque<Receiver<DcpResult<PlanOutput>>>,
-    /// Total synchronous re-plans performed so far (observability).
-    replans: u64,
+    /// The fixed look-ahead planning pool.
+    pool: WorkerPool,
+    /// Structured log of every recovery incident, in batch order.
+    events: Vec<ReplanEvent>,
 }
 
 impl DcpDataloader {
@@ -135,6 +235,9 @@ impl DcpDataloader {
         lookahead: usize,
         retry: RetryConfig,
     ) -> Self {
+        // Pool sized to the look-ahead window (capped): more workers than
+        // in-flight batches can never be busy.
+        let pool = WorkerPool::new(lookahead.clamp(1, 4), Arc::clone(&plan_fn));
         DcpDataloader {
             plan_fn,
             batches,
@@ -143,8 +246,22 @@ impl DcpDataloader {
             lookahead,
             retry,
             inflight: VecDeque::new(),
-            replans: 0,
+            pool,
+            events: Vec::new(),
         }
+    }
+
+    /// Replaces the planning pool with one of `n` threads (builder style;
+    /// call before iterating). The displaced pool's idle workers exit on
+    /// their own once their job channel disconnects.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.pool = WorkerPool::new(n, Arc::clone(&self.plan_fn));
+        self
+    }
+
+    /// Number of planning worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.pool.size
     }
 
     /// Number of batches.
@@ -158,40 +275,51 @@ impl DcpDataloader {
     }
 
     /// Total synchronous re-plans performed so far (each one recovered a
-    /// batch whose look-ahead worker died, timed out, or errored).
+    /// batch whose look-ahead worker died, timed out, or errored). This is
+    /// the sum of [`ReplanEvent::attempts`] over [`Self::replan_events`].
     pub fn replans(&self) -> u64 {
-        self.replans
+        self.events.iter().map(|e| e.attempts as u64).sum()
+    }
+
+    /// Structured log of every recovery incident so far, in batch order.
+    pub fn replan_events(&self) -> &[ReplanEvent] {
+        &self.events
     }
 
     fn submit_upto(&mut self, target: usize) {
         while self.submitted < target.min(self.batches.len()) {
             let (tx, rx) = bounded(1);
-            let plan_fn = Arc::clone(&self.plan_fn);
-            let seqs = self.batches[self.submitted].seqs.clone();
-            rayon::spawn(move || {
-                let _ = tx.send(plan_fn(&seqs));
-            });
+            self.pool
+                .submit(self.batches[self.submitted].seqs.clone(), tx);
             self.inflight.push_back(rx);
             self.submitted += 1;
         }
     }
 
     /// Waits for the look-ahead result of the batch at `index`, honoring
-    /// the deadline. `Err(msg)` describes a failed/slow/dead worker.
+    /// the deadline. `Err((class, msg))` describes a failed/slow/dead
+    /// worker.
     fn await_worker(
         &self,
         rx: &Receiver<DcpResult<PlanOutput>>,
-    ) -> Result<DcpResult<PlanOutput>, String> {
+    ) -> Result<DcpResult<PlanOutput>, (FailureClass, String)> {
         match self.retry.batch_deadline {
             Some(deadline) => rx.recv_timeout(deadline).map_err(|e| match e {
-                RecvTimeoutError::Timeout => {
-                    format!("planning worker missed the {deadline:?} deadline")
-                }
-                RecvTimeoutError::Disconnected => "planning worker died (panicked)".to_string(),
+                RecvTimeoutError::Timeout => (
+                    FailureClass::Timeout,
+                    format!("planning worker missed the {deadline:?} deadline"),
+                ),
+                RecvTimeoutError::Disconnected => (
+                    FailureClass::WorkerDied,
+                    "planning worker died (panicked)".to_string(),
+                ),
             }),
-            None => rx
-                .recv()
-                .map_err(|_| "planning worker died (panicked)".to_string()),
+            None => rx.recv().map_err(|_| {
+                (
+                    FailureClass::WorkerDied,
+                    "planning worker died (panicked)".to_string(),
+                )
+            }),
         }
     }
 
@@ -236,30 +364,46 @@ impl Iterator for DcpDataloader {
         let index = self.consumed;
         self.consumed += 1;
 
-        let mut last_error = match self.await_worker(&rx) {
+        let (failure, mut last_error) = match self.await_worker(&rx) {
             Ok(Ok(plan)) => return Some(Ok((batch, plan))),
-            Ok(Err(e)) => e.to_string(),
-            Err(msg) => msg,
+            Ok(Err(e)) => (FailureClass::PlanError, e.to_string()),
+            Err((class, msg)) => (class, msg),
         };
 
         // The look-ahead result is unusable: re-plan synchronously with
         // bounded retries and linear backoff. The failure stays confined to
         // this batch — later batches keep their own workers and channels.
+        let t_recover = Instant::now();
+        let mut attempts = 0u32;
+        let mut recovered = None;
         for attempt in 1..=self.retry.max_retries {
             if !self.retry.backoff.is_zero() {
                 std::thread::sleep(self.retry.backoff * attempt);
             }
-            self.replans += 1;
+            attempts += 1;
             match self.replan(&batch.seqs) {
-                Ok(plan) => return Some(Ok((batch, plan))),
+                Ok(plan) => {
+                    recovered = Some(plan);
+                    break;
+                }
                 Err(msg) => last_error = msg,
             }
         }
-        Some(Err(DcpError::planning_failed(
-            index,
-            1 + self.retry.max_retries,
-            last_error,
-        )))
+        self.events.push(ReplanEvent {
+            batch_index: index,
+            failure,
+            attempts,
+            recovered: recovered.is_some(),
+            recovery_wall_s: t_recover.elapsed().as_secs_f64(),
+        });
+        match recovered {
+            Some(plan) => Some(Ok((batch, plan))),
+            None => Some(Err(DcpError::planning_failed(
+                index,
+                1 + self.retry.max_retries,
+                last_error,
+            ))),
+        }
     }
 }
 
@@ -369,6 +513,95 @@ mod tests {
         }
         assert_eq!(got, bs, "every batch yields exactly once, in order");
         assert!(loader.replans() >= 1, "the dead worker forced a re-plan");
+        let events = loader.replan_events();
+        assert_eq!(events.len(), 1, "exactly one incident: {events:?}");
+        let ev = &events[0];
+        assert_eq!(ev.batch_index, 1);
+        assert_eq!(ev.failure, FailureClass::WorkerDied);
+        assert_eq!(ev.attempts, 1);
+        assert!(ev.recovered);
+        assert!(ev.recovery_wall_s >= 0.0);
+    }
+
+    #[test]
+    fn plan_errors_are_classified_and_unrecovered_incidents_logged() {
+        let bs = batches(3);
+        let p = planner();
+        // Batch index 1 (length 2560) always returns a planning error.
+        let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+            if seqs[0].0 == 2560 {
+                return Err(DcpError::invalid_plan("injected planning error"));
+            }
+            p.plan(seqs)
+        });
+        let mut loader = DcpDataloader::with_plan_fn(
+            plan_fn,
+            bs,
+            1,
+            RetryConfig {
+                max_retries: 2,
+                backoff: Duration::ZERO,
+                ..Default::default()
+            },
+        );
+        let results: Vec<_> = loader.by_ref().collect();
+        assert!(results[1].is_err());
+        let ev = &loader.replan_events()[0];
+        assert_eq!(ev.batch_index, 1);
+        assert_eq!(ev.failure, FailureClass::PlanError);
+        assert_eq!(ev.attempts, 2);
+        assert!(!ev.recovered);
+        assert_eq!(loader.replans(), 2, "sum of attempts across events");
+    }
+
+    #[test]
+    fn worker_pool_is_bounded_and_configurable() {
+        let bs = batches(5);
+        let loader = DcpDataloader::new(planner(), bs.clone(), 2);
+        assert_eq!(loader.workers(), 2, "pool follows the look-ahead window");
+        let loader = loader.with_workers(3);
+        assert_eq!(loader.workers(), 3);
+        let got: Vec<Batch> = loader.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, bs, "in-order delivery with a resized pool");
+        // A single worker still drains the whole stream in order.
+        let got: Vec<Batch> = DcpDataloader::new(planner(), bs.clone(), 4)
+            .with_workers(1)
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(got, bs);
+    }
+
+    #[test]
+    fn pool_workers_survive_panicking_plans() {
+        // Every odd batch panics on its first attempt. With a 1-thread pool
+        // the same OS thread must plan all batches — it only survives if
+        // panics are caught per job.
+        let bs = batches(6);
+        let p = planner();
+        let seen = std::sync::Mutex::new(std::collections::HashSet::<u32>::new());
+        let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+            let first = seqs[0].0;
+            if !first.is_multiple_of(1024) && seen.lock().unwrap().insert(first) {
+                panic!("injected crash for {first}");
+            }
+            p.plan(seqs)
+        });
+        let mut loader = DcpDataloader::with_plan_fn(
+            plan_fn,
+            bs.clone(),
+            2,
+            RetryConfig {
+                backoff: Duration::ZERO,
+                ..Default::default()
+            },
+        )
+        .with_workers(1);
+        let got: Vec<Batch> = loader.by_ref().map(|r| r.unwrap().0).collect();
+        assert_eq!(got, bs);
+        for ev in loader.replan_events() {
+            assert_eq!(ev.failure, FailureClass::WorkerDied);
+            assert!(ev.recovered);
+        }
     }
 
     #[test]
@@ -444,5 +677,12 @@ mod tests {
         }
         assert_eq!(got, bs);
         assert!(loader.replans() >= 1, "the slow worker forced a re-plan");
+        let ev = &loader.replan_events()[0];
+        assert_eq!(ev.failure, FailureClass::Timeout);
+        assert!(ev.recovered);
+        assert!(
+            ev.recovery_wall_s < 5.0,
+            "recovery must not wait for the hung worker"
+        );
     }
 }

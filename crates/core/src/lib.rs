@@ -22,7 +22,7 @@ pub mod e2e;
 pub mod groups;
 pub mod planner;
 
-pub use dataloader::{DcpDataloader, PlanFn, RetryConfig};
+pub use dataloader::{DcpDataloader, FailureClass, PlanFn, ReplanEvent, RetryConfig};
 pub use e2e::{cp_cluster, simulate_iteration, E2eConfig, IterationBreakdown};
 pub use groups::{plan_grouped, GroupedPlan};
-pub use planner::{PlanOutput, Planner, PlannerConfig, PlanningTimes};
+pub use planner::{PlanOutput, PlanStats, Planner, PlannerConfig, PlanningTimes};

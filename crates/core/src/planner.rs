@@ -1,10 +1,14 @@
 //! The per-batch DCP planner: block generation, hierarchical hypergraph
 //! placement, and division scheduling (paper Sec. 4).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dcp_blocks::{BatchLayout, BlockConfig};
-use dcp_hypergraph::{partition, Hypergraph, HypergraphBuilder, PartitionConfig};
+use dcp_hypergraph::{
+    partition_with_stats, Hypergraph, HypergraphBuilder, PartitionConfig, PartitionStats,
+};
 use dcp_mask::MaskSpec;
 use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
 use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult, PlanTier};
@@ -44,6 +48,16 @@ pub struct PlannerConfig {
     /// (ablations, tests, or pinning a degraded mode). `None` starts at
     /// [`PlanTier::Partitioned`].
     pub force_tier: Option<PlanTier>,
+    /// Capacity of the signature-keyed plan cache (LRU entries). Long-context
+    /// corpora repeat batch shapes constantly, so identical (lengths, masks,
+    /// cluster, config) batches reuse the finished plan instead of
+    /// re-partitioning. `0` disables caching.
+    #[serde(default = "default_plan_cache")]
+    pub plan_cache: usize,
+}
+
+fn default_plan_cache() -> usize {
+    64
 }
 
 impl Default for PlannerConfig {
@@ -60,6 +74,7 @@ impl Default for PlannerConfig {
             fallback: true,
             strict_epsilon: false,
             force_tier: None,
+            plan_cache: default_plan_cache(),
         }
     }
 }
@@ -82,6 +97,27 @@ impl PlanningTimes {
     }
 }
 
+/// Per-call planning performance counters: cache outcome plus a per-stage
+/// breakdown of where partitioning time went. Stage times are summed over
+/// every sub-partition of the hierarchy (CPU seconds, not wall-clock, when
+/// sub-problems run in parallel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Whether this output was served from the plan cache. On a hit the
+    /// stage times below are zero and `total_s` is the lookup time.
+    pub cache_hit: bool,
+    /// Partitioner coarsening seconds (including V-cycle re-coarsening).
+    pub coarsen_s: f64,
+    /// Initial-partitioning seconds at the coarsest levels.
+    pub initial_s: f64,
+    /// FM refinement and balance-repair seconds.
+    pub refine_s: f64,
+    /// Division scheduling + instruction emission seconds.
+    pub schedule_s: f64,
+    /// End-to-end seconds for this `plan()` call.
+    pub total_s: f64,
+}
+
 /// Everything the planner produces for one batch.
 #[derive(Debug, Clone)]
 pub struct PlanOutput {
@@ -98,6 +134,8 @@ pub struct PlanOutput {
     /// Why earlier tiers were skipped, when `tier` is not
     /// [`PlanTier::Partitioned`] (one entry per skipped tier).
     pub fallback_reason: Option<String>,
+    /// Cache outcome and per-stage timing for this call.
+    pub stats: PlanStats,
 }
 
 impl PlanOutput {
@@ -107,18 +145,87 @@ impl PlanOutput {
     }
 }
 
+/// LRU cache of finished plans keyed by the canonical batch signature.
+/// Shared (behind `Arc<Mutex<_>>`) across clones of a [`Planner`], so
+/// dataloader workers planning on separate threads reuse each other's work.
+#[derive(Debug, Default)]
+struct PlanCache {
+    /// Monotonic access counter used as the recency stamp.
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    entries: HashMap<String, (u64, PlanOutput)>,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &str) -> Option<PlanOutput> {
+        self.stamp += 1;
+        match self.entries.get_mut(key) {
+            Some((t, out)) => {
+                *t = self.stamp;
+                self.hits += 1;
+                Some(out.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, cap: usize, key: String, out: PlanOutput) {
+        if cap == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= cap {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                self.entries.remove(&k);
+            }
+        }
+        self.entries.insert(key, (self.stamp, out));
+    }
+}
+
 /// The DCP planner, bound to a cluster and an attention operator shape.
 #[derive(Debug, Clone)]
 pub struct Planner {
     cluster: ClusterSpec,
     attn: AttnSpec,
     cfg: PlannerConfig,
+    cache: Arc<Mutex<PlanCache>>,
 }
 
 impl Planner {
     /// Creates a planner for `cluster` and `attn` under `cfg`.
     pub fn new(cluster: ClusterSpec, attn: AttnSpec, cfg: PlannerConfig) -> Self {
-        Planner { cluster, attn, cfg }
+        Planner {
+            cluster,
+            attn,
+            cfg,
+            cache: Arc::new(Mutex::new(PlanCache::default())),
+        }
+    }
+
+    /// Lifetime cache hit / miss counts of this planner (shared across
+    /// clones). A degenerate batch rejected before lookup counts as neither.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock().unwrap();
+        (c.hits, c.misses)
+    }
+
+    /// The canonical batch signature: the *ordered* `(length, mask)` list
+    /// plus the cluster shape and full planner config, serialized to JSON.
+    /// Order matters — block and vertex numbering follow batch order, so
+    /// permuted batches legitimately produce different plans.
+    fn signature(&self, seqs: &[(u32, MaskSpec)]) -> String {
+        serde_json::to_string(&(seqs, &self.cluster, &self.cfg))
+            .expect("planner signature serialization cannot fail")
     }
 
     /// The planner's configuration.
@@ -158,6 +265,21 @@ impl Planner {
         if self.cfg.divisions == 0 {
             return Err(DcpError::invalid_argument("divisions must be > 0"));
         }
+        let t_total = Instant::now();
+        let key = if self.cfg.plan_cache > 0 {
+            let key = self.signature(seqs);
+            if let Some(mut out) = self.cache.lock().unwrap().get(&key) {
+                out.stats = PlanStats {
+                    cache_hit: true,
+                    total_s: t_total.elapsed().as_secs_f64(),
+                    ..PlanStats::default()
+                };
+                return Ok(out);
+            }
+            Some(key)
+        } else {
+            None
+        };
         let t0 = Instant::now();
         let head_blocks = self.cfg.head_blocks.unwrap_or(self.attn.kv_heads);
         let layout = BatchLayout::build(
@@ -173,6 +295,7 @@ impl Planner {
         let start = self.cfg.force_tier.unwrap_or(PlanTier::Partitioned);
         let mut partition_s = 0.0;
         let mut schedule_s = 0.0;
+        let mut pstats = PartitionStats::default();
         let mut reasons: Vec<String> = Vec::new();
         let mut last_err: Option<DcpError> = None;
         let mut chosen: Option<(Placement, ExecutionPlan, PlanTier)> = None;
@@ -181,7 +304,7 @@ impl Planner {
                 continue;
             }
             let tp = Instant::now();
-            let placed = self.placement_for_tier(&layout, tier, n);
+            let placed = self.placement_for_tier(&layout, tier, n, &mut pstats);
             partition_s += tp.elapsed().as_secs_f64();
             let placement = match placed {
                 Ok(p) => p,
@@ -223,7 +346,7 @@ impl Planner {
             return Err(last_err
                 .unwrap_or_else(|| DcpError::invalid_plan("no fallback tier produced a plan")));
         };
-        Ok(PlanOutput {
+        let out = PlanOutput {
             layout,
             placement,
             plan,
@@ -238,19 +361,38 @@ impl Planner {
             } else {
                 Some(reasons.join("; "))
             },
-        })
+            stats: PlanStats {
+                cache_hit: false,
+                coarsen_s: pstats.coarsen_s,
+                initial_s: pstats.initial_s,
+                refine_s: pstats.refine_s,
+                schedule_s,
+                total_s: t_total.elapsed().as_secs_f64(),
+            },
+        };
+        if let Some(key) = key {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(self.cfg.plan_cache, key, out.clone());
+        }
+        Ok(out)
     }
 
-    /// Computes the placement for one tier of the fallback chain.
+    /// Computes the placement for one tier of the fallback chain,
+    /// accumulating partitioner stage timings into `pstats` (the greedy and
+    /// static tiers do not partition and leave it untouched).
     fn placement_for_tier(
         &self,
         layout: &BatchLayout,
         tier: PlanTier,
         n: u32,
+        pstats: &mut PartitionStats,
     ) -> DcpResult<Placement> {
         match tier {
             PlanTier::Partitioned => {
-                let (placement, balanced) = self.place(layout)?;
+                let (placement, balanced, stats) = self.place(layout)?;
+                pstats.merge(&stats);
                 if !balanced {
                     return Err(DcpError::Infeasible(
                         "partition exceeded the balance caps (ε-infeasible)".into(),
@@ -311,21 +453,24 @@ impl Planner {
         b.build().expect("pins are in range by construction")
     }
 
-    fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool)> {
-        // Per-machine sub-partition: vertex map, local assignment, balanced.
-        type LocalPartition = (Vec<u32>, Vec<u32>, bool);
+    fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool, PartitionStats)> {
+        // Per-machine sub-partition: vertex map, local assignment, balanced,
+        // stage timings.
+        type LocalPartition = (Vec<u32>, Vec<u32>, bool, PartitionStats);
         let hg = Self::build_hypergraph(layout);
         let nt = layout.token_blocks.len();
         let x = self.cluster.nodes;
         let y = self.cluster.devices_per_node;
         let n = x * y;
 
+        let mut stats = PartitionStats::default();
         let (assignment, balanced): (Vec<u32>, bool) = if !self.cfg.hierarchical || x == 1 {
             let mut pc = PartitionConfig::new(n)
                 .with_epsilon(self.cfg.eps_intra)
                 .with_seed(self.cfg.seed);
             pc.refine_enabled = self.cfg.refine;
-            let part = partition(&hg, &pc)?;
+            let (part, s) = partition_with_stats(&hg, &pc)?;
+            stats.merge(&s);
             (part.assignment, part.balanced)
         } else {
             // Level 1: machines, minimizing inter-node volume.
@@ -333,7 +478,8 @@ impl Planner {
                 .with_epsilon(self.cfg.eps_inter)
                 .with_seed(self.cfg.seed);
             pc.refine_enabled = self.cfg.refine;
-            let machine = partition(&hg, &pc)?;
+            let (machine, s1) = partition_with_stats(&hg, &pc)?;
+            stats.merge(&s1);
             let mut balanced = machine.balanced;
             // Level 2: devices within each machine. The per-machine
             // subproblems are independent — solve them on the rayon pool
@@ -346,21 +492,22 @@ impl Planner {
                         .filter(|&v| machine.assignment[v as usize] == m)
                         .collect();
                     if verts.is_empty() {
-                        return Ok((Vec::new(), Vec::new(), true));
+                        return Ok((Vec::new(), Vec::new(), true, PartitionStats::default()));
                     }
                     let (sub, map) = hg.induced_subgraph(&verts);
                     let mut pc2 = PartitionConfig::new(y)
                         .with_epsilon(self.cfg.eps_intra)
                         .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
                     pc2.refine_enabled = self.cfg.refine;
-                    let local = partition(&sub, &pc2)?;
-                    Ok((map, local.assignment, local.balanced))
+                    let (local, s2) = partition_with_stats(&sub, &pc2)?;
+                    Ok((map, local.assignment, local.balanced, s2))
                 })
                 .collect();
             let mut assignment = vec![0u32; hg.num_vertices()];
             for (m, res) in locals.into_iter().enumerate() {
-                let (map, local, local_balanced) = res?;
+                let (map, local, local_balanced, s2) = res?;
                 balanced &= local_balanced;
+                stats.merge(&s2);
                 for (i, &orig) in map.iter().enumerate() {
                     assignment[orig as usize] = m as u32 * y + local[i];
                 }
@@ -375,6 +522,7 @@ impl Planner {
                 comp_to_dev: assignment[nt..].to_vec(),
             },
             balanced,
+            stats,
         ))
     }
 }
@@ -643,6 +791,110 @@ mod tests {
             (max as f64) <= avg + max_block as f64,
             "greedy LPT bound violated: max {max} avg {avg}"
         );
+    }
+
+    #[test]
+    fn cache_hit_is_bitwise_equal_to_fresh_plan() {
+        let p = planner(2);
+        let seqs = vec![
+            (16384, MaskSpec::Causal),
+            (4096, MaskSpec::paper_lambda()),
+            (2048, MaskSpec::Causal),
+        ];
+        let cold = p.plan(&seqs).unwrap();
+        assert!(!cold.stats.cache_hit);
+        let warm = p.plan(&seqs).unwrap();
+        assert!(warm.stats.cache_hit);
+        // A fresh planner (empty cache) must produce the identical plan.
+        let fresh = planner(2).plan(&seqs).unwrap();
+        for out in [&warm, &fresh] {
+            assert_eq!(out.placement, cold.placement);
+            assert_eq!(out.plan, cold.plan);
+            assert_eq!(out.tier, cold.tier);
+        }
+        assert_eq!(p.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn differing_masks_or_configs_never_collide() {
+        // Same lengths, different mask: must be a miss, not a false hit.
+        let p = planner(1);
+        let a = p.plan(&[(16384, MaskSpec::Causal)]).unwrap();
+        let b = p.plan(&[(16384, MaskSpec::paper_lambda())]).unwrap();
+        assert!(!a.stats.cache_hit && !b.stats.cache_hit);
+        assert_eq!(p.cache_stats(), (0, 2));
+        // Same batch, different config: separate planners share nothing,
+        // but even the signature must differ.
+        let mk = |seed: u64| {
+            Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    seed,
+                    ..Default::default()
+                },
+            )
+        };
+        let seqs = [(8192, MaskSpec::Causal)];
+        assert_ne!(mk(1).signature(&seqs), mk(2).signature(&seqs));
+        // Batch order is part of the signature (plans are order-sensitive).
+        let fwd = [(16384, MaskSpec::Causal), (4096, MaskSpec::Causal)];
+        let rev = [(4096, MaskSpec::Causal), (16384, MaskSpec::Causal)];
+        assert_ne!(mk(1).signature(&fwd), mk(1).signature(&rev));
+    }
+
+    #[test]
+    fn cache_is_shared_across_clones_and_lru_bounded() {
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                plan_cache: 2,
+                ..Default::default()
+            },
+        );
+        let s1 = [(8192, MaskSpec::Causal)];
+        let s2 = [(12288, MaskSpec::Causal)];
+        let s3 = [(16384, MaskSpec::Causal)];
+        p.plan(&s1).unwrap();
+        // A clone sees the entry (shared cache).
+        assert!(p.clone().plan(&s1).unwrap().stats.cache_hit);
+        // Fill past capacity: s3 evicts the least-recently-used entry (s1).
+        p.plan(&s2).unwrap();
+        p.plan(&s3).unwrap();
+        assert!(p.plan(&s3).unwrap().stats.cache_hit);
+        assert!(p.plan(&s2).unwrap().stats.cache_hit);
+        assert!(!p.plan(&s1).unwrap().stats.cache_hit, "s1 was evicted");
+    }
+
+    #[test]
+    fn plan_cache_zero_disables_caching() {
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                plan_cache: 0,
+                ..Default::default()
+            },
+        );
+        let seqs = [(8192, MaskSpec::Causal)];
+        assert!(!p.plan(&seqs).unwrap().stats.cache_hit);
+        assert!(!p.plan(&seqs).unwrap().stats.cache_hit);
+        assert_eq!(p.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn stats_record_stage_times_on_miss() {
+        let p = planner(2);
+        let out = p.plan(&[(32768, MaskSpec::Causal)]).unwrap();
+        let s = out.stats;
+        assert!(!s.cache_hit);
+        assert!(s.coarsen_s > 0.0, "coarsening must be timed: {s:?}");
+        assert!(s.refine_s > 0.0, "refinement must be timed: {s:?}");
+        assert!(s.total_s >= s.schedule_s, "{s:?}");
     }
 
     #[test]

@@ -5,11 +5,20 @@
 //! and contracts matched pairs into single coarse vertices. Contraction
 //! dedups pins, drops edges that collapse below two pins, and merges
 //! parallel edges (identical pin sets) by summing their weights.
+//!
+//! Matching is split into a **parallel proposal** phase — every unmatched
+//! vertex independently rates its neighbors against an immutable snapshot
+//! of the current matching — and a **serial resolution** phase that greedily
+//! commits proposals in a seed-shuffled order. Proposals are pure functions
+//! of the snapshot with a deterministic tie-break, and the single RNG draw
+//! (the shuffle) happens on the serial path, so the result is bitwise
+//! identical at every `RAYON_NUM_THREADS`.
 
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use rayon::prelude::*;
 
 use crate::graph::{Hypergraph, VertexWeight};
 
@@ -26,6 +35,86 @@ pub struct Level {
 /// Skip edges larger than this during match rating: huge edges carry almost
 /// no locality signal (`w/(|e|-1)` is tiny) and dominate the runtime.
 const MAX_RATED_EDGE: usize = 512;
+
+/// Upper bound on proposal/resolution rounds per matching level. One round
+/// leaves vertices unmatched when their proposal was claimed first; later
+/// rounds re-propose against the updated matching and recover them. The
+/// rounds shrink geometrically, so the bound is rarely reached.
+const MAX_MATCH_ROUNDS: usize = 8;
+
+/// Scratch for rating accumulation: a dense per-candidate accumulator reset
+/// between vertices via a touch list (cheaper than sorting contribution
+/// lists — a vertex can receive hundreds of contributions through large
+/// edges).
+struct RatingScratch {
+    rating: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl RatingScratch {
+    fn new(n: usize) -> Self {
+        RatingScratch {
+            rating: vec![0.0; n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Best match candidate for `v` against the `mate` snapshot: the unmatched,
+/// weight-compatible neighbor with the highest accumulated heavy-edge
+/// rating, ties broken toward the smaller vertex id. Pure in `hg`/`mate`/
+/// `parts` (the scratch is reset on entry), so proposals can be computed in
+/// parallel without affecting the result.
+fn propose(
+    hg: &Hypergraph,
+    v: u32,
+    max_cluster: VertexWeight,
+    mate: &[u32],
+    parts: Option<&[u32]>,
+    scratch: &mut RatingScratch,
+) -> Option<u32> {
+    let vw = hg.vertex_weight(v);
+    scratch.touched.clear();
+    for &e in hg.incident_edges(v) {
+        let pins = hg.pins(e);
+        if pins.len() < 2 || pins.len() > MAX_RATED_EDGE {
+            continue;
+        }
+        let score = hg.edge_weight(e) as f64 / (pins.len() - 1) as f64;
+        for &u in pins {
+            if u == v || mate[u as usize] != u32::MAX {
+                continue;
+            }
+            if let Some(parts) = parts {
+                if parts[u as usize] != parts[v as usize] {
+                    continue;
+                }
+            }
+            if scratch.rating[u as usize] == 0.0 {
+                scratch.touched.push(u);
+            }
+            scratch.rating[u as usize] += score;
+        }
+    }
+    let mut best: Option<(u32, f64)> = None;
+    for &u in &scratch.touched {
+        let r = scratch.rating[u as usize];
+        scratch.rating[u as usize] = 0.0;
+        let uw = hg.vertex_weight(u);
+        let fits = vw[0] + uw[0] <= max_cluster[0] && vw[1] + uw[1] <= max_cluster[1];
+        if !fits {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bu, br)) => r > br || (r == br && u < bu),
+        };
+        if better {
+            best = Some((u, r));
+        }
+    }
+    best.map(|(u, _)| u)
+}
 
 /// Computes one level of heavy-edge matching.
 ///
@@ -45,53 +134,54 @@ pub fn match_level(
     order.shuffle(rng);
 
     let mut mate = vec![u32::MAX; n];
-    // Scratch rating accumulator, reset per vertex via a touch list.
-    let mut rating: Vec<f64> = vec![0.0; n];
-    let mut touched: Vec<u32> = Vec::new();
-
-    for &v in &order {
-        if mate[v as usize] != u32::MAX {
-            continue;
-        }
-        let vw = hg.vertex_weight(v);
-        touched.clear();
-        for &e in hg.incident_edges(v) {
-            let pins = hg.pins(e);
-            if pins.len() < 2 || pins.len() > MAX_RATED_EDGE {
-                continue;
-            }
-            let score = hg.edge_weight(e) as f64 / (pins.len() - 1) as f64;
-            for &u in pins {
-                if u == v || mate[u as usize] != u32::MAX {
+    // Process the shuffled order in fixed-size waves: proposals within a
+    // wave are computed in parallel against the mate state left by earlier
+    // waves, then committed serially in wave order. Wave boundaries depend
+    // only on `n`, never on the thread count, so the result is identical at
+    // any `RAYON_NUM_THREADS`; seeing earlier waves' matches lets later
+    // waves skip matched vertices instead of re-rating the whole graph.
+    let wave_size = n.div_ceil(8).max(256);
+    let mut queue: Vec<u32> = order;
+    for _ in 0..MAX_MATCH_ROUNDS {
+        // Vertices whose proposal lost the race this round; they re-propose
+        // against the updated matching next round. Vertices that proposed
+        // nothing are dropped for good (the candidate pool only shrinks).
+        let mut retry: Vec<u32> = Vec::new();
+        let mut committed = 0usize;
+        let nt = rayon::current_num_threads().max(1);
+        for wave in queue.chunks(wave_size) {
+            let chunk = wave.len().div_ceil(4 * nt).max(64);
+            let proposals: Vec<Vec<(u32, u32)>> = wave
+                .par_chunks(chunk)
+                .map(|vs| {
+                    let mut scratch = RatingScratch::new(n);
+                    vs.iter()
+                        .filter_map(|&v| {
+                            if mate[v as usize] != u32::MAX {
+                                return None;
+                            }
+                            propose(hg, v, max_cluster, &mate, parts, &mut scratch).map(|u| (v, u))
+                        })
+                        .collect()
+                })
+                .collect();
+            for (v, u) in proposals.into_iter().flatten() {
+                if mate[v as usize] != u32::MAX {
                     continue;
                 }
-                if let Some(parts) = parts {
-                    if parts[u as usize] != parts[v as usize] {
-                        continue;
-                    }
+                if mate[u as usize] != u32::MAX {
+                    retry.push(v);
+                    continue;
                 }
-                if rating[u as usize] == 0.0 {
-                    touched.push(u);
-                }
-                rating[u as usize] += score;
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+                committed += 1;
             }
         }
-        let mut best: Option<(u32, f64)> = None;
-        for &u in &touched {
-            let uw = hg.vertex_weight(u);
-            let fits = vw[0] + uw[0] <= max_cluster[0] && vw[1] + uw[1] <= max_cluster[1];
-            if fits {
-                let r = rating[u as usize];
-                if best.is_none_or(|(_, br)| r > br) {
-                    best = Some((u, r));
-                }
-            }
-            rating[u as usize] = 0.0;
+        if committed == 0 || retry.is_empty() {
+            break;
         }
-        if let Some((u, _)) = best {
-            mate[v as usize] = u;
-            mate[u as usize] = v;
-        }
+        queue = retry;
     }
 
     // Assign coarse ids.

@@ -55,4 +55,6 @@ pub mod partitioner;
 pub mod refine;
 
 pub use graph::{Hypergraph, HypergraphBuilder, VertexWeight};
-pub use partitioner::{partition, Partition, PartitionConfig};
+pub use partitioner::{
+    partition, partition_with_stats, Partition, PartitionConfig, PartitionStats,
+};

@@ -1,5 +1,7 @@
 //! The multilevel partitioning driver.
 
+use std::time::Instant;
+
 use dcp_types::{DcpError, DcpResult};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -81,6 +83,33 @@ pub struct Partition {
     pub caps: VertexWeight,
 }
 
+/// Wall-clock breakdown of one partitioning run by pipeline stage.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Seconds spent coarsening (including V-cycle re-coarsening).
+    pub coarsen_s: f64,
+    /// Seconds spent on initial partitioning of the coarsest level.
+    pub initial_s: f64,
+    /// Seconds spent in FM refinement and balance repair.
+    pub refine_s: f64,
+    /// Coarsening levels built by the first multilevel pass.
+    pub levels: u32,
+    /// V-cycles actually executed.
+    pub vcycles: u32,
+}
+
+impl PartitionStats {
+    /// Accumulates `other` into `self` (summing times and counts) — used to
+    /// aggregate the stats of hierarchical sub-partitions.
+    pub fn merge(&mut self, other: &PartitionStats) {
+        self.coarsen_s += other.coarsen_s;
+        self.initial_s += other.initial_s;
+        self.refine_s += other.refine_s;
+        self.levels += other.levels;
+        self.vcycles += other.vcycles;
+    }
+}
+
 /// Computes the per-part balance caps for `hg` under `cfg`.
 ///
 /// `cap[d] = max(ceil((1 + eps[d]) * avg), floor(avg) + max_vertex[d])` with
@@ -107,6 +136,19 @@ pub fn balance_caps(hg: &Hypergraph, cfg: &PartitionConfig) -> VertexWeight {
 /// Returns [`DcpError::InvalidArgument`] if `k == 0` or the hypergraph has no
 /// vertices.
 pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition> {
+    partition_with_stats(hg, cfg).map(|(p, _)| p)
+}
+
+/// Like [`partition`], but also returns the per-stage wall-clock breakdown.
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidArgument`] if `k == 0` or the hypergraph has no
+/// vertices.
+pub fn partition_with_stats(
+    hg: &Hypergraph,
+    cfg: &PartitionConfig,
+) -> DcpResult<(Partition, PartitionStats)> {
     if cfg.k == 0 {
         return Err(DcpError::invalid_argument("k must be > 0"));
     }
@@ -118,10 +160,11 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
     let k = cfg.k;
     let caps = balance_caps(hg, cfg);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut stats = PartitionStats::default();
 
     if k == 1 {
         let assignment = vec![0u32; hg.num_vertices()];
-        return Ok(finish(hg, assignment, k, caps));
+        return Ok((finish(hg, assignment, k, caps), stats));
     }
 
     // Coarsen.
@@ -135,11 +178,17 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
         (total[0] / (k as u64 * 8)).max(1),
         (total[1] / (k as u64 * 8)).max(1),
     ];
+    let t = Instant::now();
     let levels = coarsen_to(hg, target, max_cluster, &mut rng);
+    stats.coarsen_s += t.elapsed().as_secs_f64();
+    stats.levels = levels.len() as u32;
     let coarsest = levels.last().map_or(hg, |l| &l.coarse);
 
     // Initial partition on the coarsest level.
+    let t = Instant::now();
     let mut assignment = initial_partition(coarsest, k, caps, cfg.initial_tries, &mut rng);
+    stats.initial_s += t.elapsed().as_secs_f64();
+    let t = Instant::now();
     if cfg.refine_enabled {
         refine(
             coarsest,
@@ -172,6 +221,7 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
     if cfg.refine_enabled {
         refine(hg, &mut assignment, k, caps, cfg.refine_passes, &mut rng);
     }
+    stats.refine_s += t.elapsed().as_secs_f64();
 
     // V-cycles: re-coarsen respecting the partition, refine back up.
     for _ in 0..cfg.vcycles {
@@ -179,10 +229,13 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
             break;
         }
         let before = hg.connectivity_cost(&assignment, k);
+        let t = Instant::now();
         let levels = coarsen_to_respecting(hg, target, max_cluster, &mut rng, Some(&assignment));
+        stats.coarsen_s += t.elapsed().as_secs_f64();
         if levels.is_empty() {
             break;
         }
+        stats.vcycles += 1;
         // Project the assignment to the coarsest level (well defined:
         // matched vertices share a part by construction).
         let mut coarse = assignment.clone();
@@ -195,6 +248,7 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
         }
         let mut a = coarse;
         let coarsest = &levels.last().expect("nonempty").coarse;
+        let t = Instant::now();
         refine(coarsest, &mut a, k, caps, cfg.refine_passes, &mut rng);
         for i in (0..levels.len()).rev() {
             let fine: &Hypergraph = if i == 0 { hg } else { &levels[i - 1].coarse };
@@ -206,6 +260,7 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
             a = fine_assignment;
             refine(fine, &mut a, k, caps, cfg.refine_passes, &mut rng);
         }
+        stats.refine_s += t.elapsed().as_secs_f64();
         let after = hg.connectivity_cost(&a, k);
         if after < before && is_balanced(hg, &a, k, caps) == is_balanced(hg, &assignment, k, caps) {
             assignment = a;
@@ -213,7 +268,7 @@ pub fn partition(hg: &Hypergraph, cfg: &PartitionConfig) -> DcpResult<Partition>
             break;
         }
     }
-    Ok(finish(hg, assignment, k, caps))
+    Ok((finish(hg, assignment, k, caps), stats))
 }
 
 fn finish(hg: &Hypergraph, assignment: Vec<u32>, k: u32, caps: VertexWeight) -> Partition {

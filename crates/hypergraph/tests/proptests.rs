@@ -1,7 +1,8 @@
 //! Property tests for the partitioner: refinement preserves feasibility,
-//! V-cycles never worsen cost, determinism.
+//! V-cycles never worsen cost, determinism, and the FM gain cache's delta
+//! updates staying exact under arbitrary move sequences.
 
-use dcp_hypergraph::refine::refine;
+use dcp_hypergraph::refine::{refine, GainCache, RefineState};
 use dcp_hypergraph::{partition, HypergraphBuilder, PartitionConfig};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -74,6 +75,57 @@ proptest! {
             a.cost,
             b.cost
         );
+    }
+
+    /// After an arbitrary random move sequence applied through the gain
+    /// cache's delta updates, every cached gain equals a from-scratch
+    /// rebuild (`RefineState::new` + `GainCache::new`) — the invariant the
+    /// incremental `lambda`-threshold updates must maintain.
+    #[test]
+    fn delta_gain_updates_match_scratch_rebuild(
+        n in 4usize..48,
+        ne in 1usize..80,
+        k in 2u32..5,
+        seed in 0u64..500,
+        moves in 1usize..40,
+    ) {
+        let hg = random_hypergraph(n, ne, seed);
+        let mut assignment: Vec<u32> = (0..n as u32).map(|v| v % k).collect();
+        let mut state = RefineState::new(&hg, &assignment, k);
+        let mut cache = GainCache::new(&hg, &state, &assignment);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
+        let mut touched = Vec::new();
+        for _ in 0..moves {
+            let v = rng.gen_range(0..n) as u32;
+            let from = assignment[v as usize];
+            let to = (from + rng.gen_range(1..k)) % k;
+            cache.apply(&hg, &mut state, &mut assignment, v, to, &mut touched);
+        }
+        let fresh_state = RefineState::new(&hg, &assignment, k);
+        let fresh = GainCache::new(&hg, &fresh_state, &assignment);
+        for v in 0..n as u32 {
+            let from = assignment[v as usize];
+            for to in 0..k {
+                if to == from {
+                    continue;
+                }
+                prop_assert_eq!(
+                    cache.gain(v, to),
+                    fresh.gain(v, to),
+                    "cached gain drifted for v={} to={}",
+                    v,
+                    to
+                );
+                prop_assert_eq!(
+                    cache.gain(v, to),
+                    fresh_state.gain(&hg, v, from, to),
+                    "cache disagrees with direct recomputation for v={} to={}",
+                    v,
+                    to
+                );
+            }
+        }
+        prop_assert_eq!(state.cost, hg.connectivity_cost(&assignment, k));
     }
 
     /// Partitioning is deterministic for a fixed seed, including V-cycles.

@@ -1,0 +1,54 @@
+//! Thread-count determinism regression: the partitioner parallelizes
+//! coarsening (wave-based matching proposals) and is required to produce
+//! *bitwise identical* partitions at every `RAYON_NUM_THREADS` — proposals
+//! are computed against an immutable snapshot and committed in a fixed
+//! serial order, so the thread count must never leak into the result.
+//!
+//! Everything lives in a single `#[test]` in its own integration-test
+//! binary because `RAYON_NUM_THREADS` is process-global state.
+
+use dcp_hypergraph::{partition, HypergraphBuilder, PartitionConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A hypergraph large enough to force several coarsening levels (and thus
+/// the parallel matching waves): clustered 2-pin ring edges plus random
+/// many-pin hyperedges, planner-like weights.
+fn large_hypergraph(n: usize, seed: u64) -> dcp_hypergraph::Hypergraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = HypergraphBuilder::new(n);
+    for v in 0..n {
+        b.set_vertex_weight(v, [rng.gen_range(1..16), rng.gen_range(1..16)]);
+    }
+    for v in 0..n as u32 {
+        b.add_edge(rng.gen_range(1..32), &[v, (v + 1) % n as u32]);
+    }
+    for _ in 0..n / 2 {
+        let deg = rng.gen_range(3..12);
+        let pins: Vec<u32> = (0..deg).map(|_| rng.gen_range(0..n) as u32).collect();
+        b.add_edge(rng.gen_range(1..64), &pins);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn partitioner_is_bitwise_deterministic_across_thread_counts() {
+    let hg = large_hypergraph(3000, 7);
+    for k in [2u32, 16] {
+        let cfg = PartitionConfig::new(k).with_seed(7);
+        let mut runs = Vec::new();
+        for threads in ["1", "2", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            runs.push((threads, partition(&hg, &cfg).unwrap()));
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let (_, first) = &runs[0];
+        for (threads, part) in &runs[1..] {
+            assert_eq!(
+                part.assignment, first.assignment,
+                "k={k}: partition differs between 1 and {threads} threads"
+            );
+            assert_eq!(part.cost, first.cost, "k={k}: cost differs at {threads}");
+        }
+    }
+}

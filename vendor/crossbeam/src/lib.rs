@@ -5,12 +5,16 @@
 //! senders when full, receivers block on `recv` until a message or
 //! disconnect.
 
-/// Multi-producer channels (subset of `crossbeam-channel`).
+/// Multi-producer multi-consumer channels (subset of `crossbeam-channel`).
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
 
-    /// Receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Receiving half of a channel; cloneable (multi-consumer) like the
+    /// real `crossbeam-channel` receiver. Clones share one underlying
+    /// queue: each message is delivered to exactly one receiver. Blocking
+    /// receives hold the internal lock, so contending clones are served
+    /// one message at a time (sufficient for work-queue usage).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
 
     /// Sending half of a channel; cloneable.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -64,7 +68,7 @@ pub mod channel {
     /// Creates a channel that holds at most `cap` in-flight messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
     }
 
     /// Creates a channel with unlimited buffering.
@@ -72,12 +76,18 @@ pub mod channel {
         // mpsc's unbounded channel has a distinct type; emulate with a
         // large sync buffer to keep one Sender type.
         let (tx, rx) = mpsc::sync_channel(1 << 20);
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
         }
     }
 
@@ -91,30 +101,49 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders are dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            self.0
+                .lock()
+                .expect("channel poisoned")
+                .recv()
+                .map_err(|_| RecvError)
         }
 
         /// Returns immediately with a message if one is buffered.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
+            self.0.lock().expect("channel poisoned").try_recv()
         }
 
         /// Blocks until a message arrives, all senders are dropped, or
         /// `timeout` elapses.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            self.0
+                .lock()
+                .expect("channel poisoned")
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
+        }
+    }
+
+    /// Draining iterator over a receiver (ends at disconnect).
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.0.into_iter()
+            IntoIter(self)
         }
     }
 }
@@ -141,6 +170,20 @@ mod tests {
         let (tx, rx) = bounded::<u32>(1);
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = vec![rx.recv().unwrap(), rx2.recv().unwrap()];
+        got.extend(rx2);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(rx.recv().is_err(), "queue drained and disconnected");
     }
 
     #[test]
