@@ -30,15 +30,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dcp_bench::Table;
+use dcp_bench::{trace_doc, trace_workload, Table, BENCH_SCHEMA_VERSION};
 use dcp_blocks::TokenBlockId;
 use dcp_core::dataloader::PlanFn;
-use dcp_core::{DcpDataloader, PlanOutput, Planner, PlannerConfig, RetryConfig};
+use dcp_core::{
+    simulate_iteration, simulate_iteration_with_recovery, DcpDataloader, E2eConfig, PlanOutput,
+    Planner, PlannerConfig, RetryConfig,
+};
 use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
 use dcp_exec::executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
 use dcp_mask::MaskSpec;
 use dcp_sim::{simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
-use dcp_types::{AttnSpec, ClusterSpec, PlanTier};
+use dcp_types::{AttnSpec, ClusterSpec, ModelSpec, PlanTier};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
@@ -247,7 +250,34 @@ fn robustness_report(cluster: &ClusterSpec, attn: AttnSpec, n: usize) -> serde_j
     let loader_wall = t0.elapsed().as_secs_f64();
     assert_eq!(yielded, batches.len() as u64);
 
+    // Charge the loader's recovery wall time into the end-to-end timeline:
+    // a synchronous re-plan stalls the training step, so the e2e model adds
+    // it to the iteration total rather than only reporting it on the side.
+    let recovery_s: f64 = loader
+        .replan_events()
+        .iter()
+        .map(|e| e.recovery_wall_s)
+        .sum();
+    let e2e_cfg = E2eConfig {
+        model: ModelSpec::gpt_8b(),
+        tp: 1,
+        cluster: cluster.clone(),
+    };
+    let out = planner.plan(&batches[0].seqs).expect("plan");
+    let sim = simulate_plan(cluster, &out.plan).expect("simulate");
+    let max_tokens = *out.placement.token_loads(&out.layout).iter().max().unwrap();
+    let clean = simulate_iteration(&e2e_cfg, &sim, max_tokens, out.layout.total_tokens());
+    let charged = simulate_iteration_with_recovery(
+        &e2e_cfg,
+        &sim,
+        max_tokens,
+        out.layout.total_tokens(),
+        recovery_s,
+    );
+    assert!(charged.total >= clean.total);
+
     json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
         "workload": {
             "cluster": "p4de(2)",
             "dataset": "LongDataCollections",
@@ -270,10 +300,37 @@ fn robustness_report(cluster: &ClusterSpec, attn: AttnSpec, n: usize) -> serde_j
             "replan_events": loader.replan_events(),
             "wall_s": loader_wall,
         },
+        "e2e_recovery_accounting": {
+            "recovery_wall_s": recovery_s,
+            "iteration_s_clean": clean.total,
+            "iteration_s_with_recovery": charged.total,
+            "recovery_charged": charged.recovery,
+        },
     })
 }
 
 fn main() {
+    // `--trace <path>`: additionally run one *instrumented* pass over the
+    // causal batches and write a unified Chrome trace there. The timed runs
+    // below always use the no-op sink, so the flag never perturbs the
+    // measurements this report exists to take.
+    let mut trace_path: Option<String> = None;
+    let mut cli = std::env::args().skip(1);
+    while let Some(arg) = cli.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(cli.next().unwrap_or_else(|| {
+                    eprintln!("perf_report: --trace requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("perf_report: unknown argument {other} (supported: --trace <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let cluster = ClusterSpec::p4de(2);
     let attn = exec_attn();
     let n = batches_per_mask();
@@ -435,6 +492,7 @@ fn main() {
     );
 
     let exec_report = json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
         "workload": {
             "cluster": "p4de(2)",
             "dataset": "LongDataCollections",
@@ -466,6 +524,7 @@ fn main() {
         },
     );
     let plan_report = json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
         "workload": { "cluster": "p4de(2)", "dataset": "LongDataCollections", "seed": SEED },
         "planner": {
             "threads_default": threads_default as u64,
@@ -503,5 +562,36 @@ fn main() {
         )
         .unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
         println!("[written {name}]");
+    }
+
+    if let Some(path) = trace_path {
+        let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
+        let batches: Vec<Batch> =
+            pack_batches(&lengths, BUDGET, |l| MaskSetting::Causal.mask_for(l))
+                .into_iter()
+                .take(n)
+                .collect();
+        let iters = batches.len() as u64;
+        let outcome =
+            trace_workload(&cluster, attn, &plan_cfg, batches, true).expect("trace workload");
+        let doc = trace_doc(
+            &outcome,
+            json!({
+                "cluster": "p4de(2)",
+                "dataset": "LongDataCollections",
+                "max_len": MAX_LEN,
+                "budget_tokens": BUDGET,
+                "block_size": BLOCK_SIZE,
+                "seed": SEED,
+                "iterations": iters,
+                "executed": true,
+            }),
+        );
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("[written {path} — open in chrome://tracing or Perfetto]");
     }
 }

@@ -4,16 +4,21 @@
 //! `perf_report`) against the committed baseline
 //! `results/BENCH_plan_baseline.json` and fails (exit 1) when:
 //!
-//! 1. the median cold `plan_wall_s` regressed by more than the allowed
+//! 1. either document's `schema_version` is missing or differs from
+//!    [`dcp_bench::BENCH_SCHEMA_VERSION`] (schema drift must fail loudly,
+//!    never silently compare mismatched shapes),
+//! 2. the median cold `plan_wall_s` regressed by more than the allowed
 //!    factor (default 1.25, i.e. >25%; override with
 //!    `DCP_PLAN_GATE_FACTOR`),
-//! 2. the serial-vs-parallel partitioner equivalence check did not pass, or
-//! 3. the warm (cache-hit) median is not well below the cold median
+//! 3. the serial-vs-parallel partitioner equivalence check did not pass, or
+//! 4. the warm (cache-hit) median is not well below the cold median
 //!    (< 5% — a cache hit must cost a lookup, not a re-plan).
 //!
 //! Usage: `plan_gate [report.json] [baseline.json]`.
 
 use std::process::exit;
+
+use dcp_bench::check_schema;
 
 fn median_plan_wall(report: &serde_json::Value) -> Option<f64> {
     // Prefer the precomputed median; recompute from the rows otherwise
@@ -62,6 +67,14 @@ fn main() {
 
     let report = load(&report_path);
     let baseline = load(&baseline_path);
+
+    for (doc, path) in [(&report, &report_path), (&baseline, &baseline_path)] {
+        if let Err(e) = check_schema(doc, path) {
+            eprintln!("plan_gate: FAIL: {e}");
+            exit(1);
+        }
+    }
+    println!("plan_gate: schema_version OK on report and baseline");
 
     let current = median_plan_wall(&report).unwrap_or_else(|| {
         eprintln!("plan_gate: no plan_wall_s rows in {report_path}");

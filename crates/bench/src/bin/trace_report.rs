@@ -1,0 +1,125 @@
+//! End-to-end observability trace: runs a pinned workload through the
+//! instrumented dataloader → planner → executor → simulator pipeline and
+//! writes `results/TRACE_e2e.json` — a single Chrome Trace Event file
+//! merging all four sources onto per-device rows, doubled as a
+//! machine-readable report carrying the schema version and the
+//! communication-overlap summary (the fraction of transfer time hidden
+//! under compute, per device and per division).
+//!
+//! Open the trace at `chrome://tracing` or <https://ui.perfetto.dev>; the
+//! planner, dataloader, executor and simulator each get their own process
+//! row, devices their own thread rows (compute and `net` tracks).
+//!
+//! A JSONL event log (`results/TRACE_e2e.jsonl`) and a Prometheus-style
+//! metric snapshot (`results/TRACE_e2e.prom`) are written alongside from
+//! the same event stream.
+//!
+//! Environment knobs: `DCP_BENCH_BATCHES` (default 2) batches per mask.
+
+use std::path::Path;
+
+use dcp_bench::{trace_doc, trace_workload, Table};
+use dcp_core::PlannerConfig;
+use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
+use dcp_obs::{to_jsonl, Registry};
+use dcp_types::{AttnSpec, ClusterSpec};
+use serde_json::json;
+
+/// Fixed dataset seed (the report must be comparable across machines).
+const SEED: u64 = 7;
+/// Tokens per batch.
+const BUDGET: u64 = 8192;
+/// Maximum sequence length.
+const MAX_LEN: u32 = 2048;
+/// Planner block size.
+const BLOCK_SIZE: u32 = 128;
+
+fn main() {
+    let cluster = ClusterSpec::p4de(2);
+    // Small operator so the f32 executor runs at a tractable scale.
+    let attn = AttnSpec::new(4, 2, 16, 1);
+    let n = std::env::var("DCP_BENCH_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize);
+
+    // Distinct masks give the trace recognizable per-iteration structure.
+    let mut batches: Vec<Batch> = Vec::new();
+    for mask in [MaskSetting::Causal, MaskSetting::Lambda] {
+        let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
+        batches.extend(
+            pack_batches(&lengths, BUDGET, |l| mask.mask_for(l))
+                .into_iter()
+                .take(n),
+        );
+    }
+    let iters = batches.len();
+    println!(
+        "trace_report: p4de(2) / LongDataCollections / block {BLOCK_SIZE} / {iters} iteration(s)"
+    );
+
+    let cfg = PlannerConfig {
+        block_size: BLOCK_SIZE,
+        ..Default::default()
+    };
+    let outcome = trace_workload(&cluster, attn, &cfg, batches, true).expect("trace workload");
+
+    let summary = outcome.overlap_summary();
+    let mut table = Table::new(&["device", "comm_ms", "hidden_ms", "efficiency"]);
+    for row in summary["per_device"].as_array().expect("per_device rows") {
+        table.row(vec![
+            row["device"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.3}", row["comm_s"].as_f64().unwrap_or(0.0) * 1e3),
+            format!("{:.3}", row["hidden_s"].as_f64().unwrap_or(0.0) * 1e3),
+            format!("{:.3}", row["efficiency"].as_f64().unwrap_or(1.0)),
+        ]);
+    }
+    table.print();
+    println!(
+        "overall overlap efficiency: {:.3} ({} events captured, {} division rows)",
+        summary["overall"].as_f64().unwrap_or(1.0),
+        outcome.events.len(),
+        summary["per_division"].as_array().map_or(0, Vec::len),
+    );
+
+    let doc = trace_doc(
+        &outcome,
+        json!({
+            "cluster": "p4de(2)",
+            "dataset": "LongDataCollections",
+            "max_len": MAX_LEN,
+            "budget_tokens": BUDGET,
+            "block_size": BLOCK_SIZE,
+            "attn": { "q_heads": 4, "kv_heads": 2, "head_dim": 16 },
+            "seed": SEED,
+            "iterations": iters as u64,
+            "executed": true,
+        }),
+    );
+
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("TRACE_e2e.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!(
+        "[written {} — open in chrome://tracing or Perfetto]",
+        path.display()
+    );
+
+    let jsonl = dir.join("TRACE_e2e.jsonl");
+    std::fs::write(&jsonl, to_jsonl(&outcome.events))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", jsonl.display()));
+    println!("[written {}]", jsonl.display());
+
+    let prom = dir.join("TRACE_e2e.prom");
+    std::fs::write(
+        &prom,
+        Registry::from_events(&outcome.events).render_prometheus(),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {}: {e}", prom.display()));
+    println!("[written {}]", prom.display());
+}

@@ -15,13 +15,41 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
 use dcp_baselines::{Baseline, BaselineOutput};
-use dcp_core::{PlanOutput, Planner, PlannerConfig};
-use dcp_data::{pack_batches, sample_lengths, DatasetKind, MaskSetting};
+use dcp_core::{DcpDataloader, PlanOutput, Planner, PlannerConfig};
+use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
 use dcp_mask::MaskSpec;
-use dcp_sim::{simulate_plan, PlanSim};
+use dcp_obs::{Event as ObsEvent, ObsHandle, ObsSink, RecordingSink};
+use dcp_sim::{simulate_phase_traced, simulate_plan, trace_to_obs, PlanSim, TraceEvent, TraceKind};
 use dcp_types::{AttnSpec, ClusterSpec, DcpResult};
+use serde::Serialize;
+
+/// Schema version stamped into every machine-readable report this crate
+/// writes (`BENCH_exec.json`, `BENCH_plan.json`, `BENCH_robustness.json`,
+/// `results/TRACE_e2e.json`). Bump it whenever a report's shape changes so
+/// the gate binaries fail loudly instead of silently comparing mismatched
+/// documents.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Checks that `report` carries the expected `schema_version`. Returns a
+/// human-readable description of the drift, or `Ok` when the version
+/// matches. Gate binaries treat a missing field the same as a mismatch: a
+/// report without a version predates the schema contract and must be
+/// regenerated, not compared.
+pub fn check_schema(report: &serde_json::Value, what: &str) -> Result<(), String> {
+    match report["schema_version"].as_u64() {
+        Some(v) if v == BENCH_SCHEMA_VERSION => Ok(()),
+        Some(v) => Err(format!(
+            "{what}: schema_version {v} != expected {BENCH_SCHEMA_VERSION} — regenerate the report"
+        )),
+        None => Err(format!(
+            "{what}: missing schema_version (expected {BENCH_SCHEMA_VERSION}) — regenerate the \
+             report"
+        )),
+    }
+}
 
 /// Batches averaged per configuration (`DCP_BENCH_BATCHES`, default 8).
 pub fn num_batches() -> usize {
@@ -290,6 +318,274 @@ pub fn write_results(name: &str, value: &serde_json::Value) {
     }
 }
 
+/// Merges intervals into a sorted disjoint union.
+fn interval_union(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_by(|a, b| a.partial_cmp(b).expect("no NaN interval"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint union.
+fn union_len(u: &[(f64, f64)]) -> f64 {
+    u.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Length of the intersection of two disjoint unions (two-pointer sweep).
+fn intersect_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+/// Communication-overlap summary for one division of one device's simulated
+/// timeline: how much of the division's incoming-transfer time was hidden
+/// under that device's compute.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DivisionOverlap {
+    /// Device rank.
+    pub device: u32,
+    /// Division index on that device (attention calls close divisions,
+    /// matching [`dcp_sched::DivisionReport`]'s attribution).
+    pub division: u32,
+    /// Seconds of incoming transfer activity in this division's window.
+    pub comm_s: f64,
+    /// Seconds of that activity concurrent with this device's compute.
+    pub hidden_s: f64,
+    /// `hidden_s / comm_s`; defined as 1.0 for a communication-free
+    /// division (nothing was exposed).
+    pub efficiency: f64,
+}
+
+/// Derives per-division overlap efficiency from a simulated phase trace.
+///
+/// Each device's timeline is split at the end of each fused attention call
+/// (the instant its division closes); transfers are clipped to the division
+/// windows and intersected with the device's compute segments (attention,
+/// reductions, copies and straggle time all keep the device busy). Trailing
+/// activity after the last attention call is charged to the last division,
+/// mirroring [`dcp_sched::PlanReport`]'s division accounting.
+pub fn division_overlap(trace: &[TraceEvent]) -> Vec<DivisionOverlap> {
+    let n = trace.iter().map(|e| e.device).max().map_or(0, |d| d + 1);
+    let mut out = Vec::new();
+    for d in 0..n {
+        let dev: Vec<&TraceEvent> = trace.iter().filter(|e| e.device == d).collect();
+        let compute: Vec<(f64, f64)> = dev
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Attn
+                        | TraceKind::AttnBwd
+                        | TraceKind::Reduce
+                        | TraceKind::Copy
+                        | TraceKind::Straggle
+                )
+            })
+            .map(|e| (e.start, e.end))
+            .collect();
+        let transfers: Vec<(f64, f64)> = dev
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Transfer { .. }))
+            .map(|e| (e.start, e.end))
+            .collect();
+        let mut bounds: Vec<f64> = dev
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Attn | TraceKind::AttnBwd))
+            .map(|e| e.end)
+            .collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("no NaN trace"));
+        if bounds.is_empty() {
+            bounds.push(f64::INFINITY);
+        }
+        let m = bounds.len();
+        for (k, &bound) in bounds.iter().enumerate() {
+            let w0 = if k == 0 { 0.0 } else { bounds[k - 1] };
+            // The last division absorbs trailing activity.
+            let w1 = if k == m - 1 { f64::INFINITY } else { bound };
+            let clip = |iv: &[(f64, f64)]| -> Vec<(f64, f64)> {
+                iv.iter()
+                    .map(|&(s, e)| (s.max(w0), e.min(w1)))
+                    .filter(|(s, e)| e > s)
+                    .collect()
+            };
+            let tu = interval_union(clip(&transfers));
+            let cu = interval_union(clip(&compute));
+            let comm_s = union_len(&tu);
+            let hidden_s = intersect_len(&tu, &cu);
+            out.push(DivisionOverlap {
+                device: d,
+                division: k as u32,
+                comm_s,
+                hidden_s,
+                efficiency: if comm_s > 0.0 { hidden_s / comm_s } else { 1.0 },
+            });
+        }
+    }
+    out
+}
+
+/// The unified event stream and overlap summary produced by
+/// [`trace_workload`].
+pub struct TraceOutcome {
+    /// All captured events, in deterministic arrival order: planner and
+    /// dataloader spans (replayed serially by the loader), executor
+    /// instruction spans and buffer gauges, and the adapted simulator
+    /// timeline.
+    pub events: Vec<ObsEvent>,
+    /// Per-iteration, per-phase, per-device, per-division overlap rows.
+    pub overlap: Vec<serde_json::Value>,
+    /// Aggregate per-device `(comm_s, hidden_s)` from the simulator's own
+    /// interval accounting, across all iterations and both phases.
+    pub device_comm: Vec<(f64, f64)>,
+}
+
+impl TraceOutcome {
+    /// The overlap-efficiency summary block for trace reports.
+    pub fn overlap_summary(&self) -> serde_json::Value {
+        let per_device: Vec<serde_json::Value> = self
+            .device_comm
+            .iter()
+            .enumerate()
+            .map(|(d, (comm, hidden))| {
+                serde_json::json!({
+                    "device": d,
+                    "comm_s": comm,
+                    "hidden_s": hidden,
+                    "efficiency": if *comm > 0.0 { hidden / comm } else { 1.0 },
+                })
+            })
+            .collect();
+        let comm: f64 = self.device_comm.iter().map(|(c, _)| c).sum();
+        let hidden: f64 = self.device_comm.iter().map(|(_, h)| h).sum();
+        serde_json::json!({
+            "overall": if comm > 0.0 { hidden / comm } else { 1.0 },
+            "per_device": per_device,
+            "per_division": self.overlap,
+        })
+    }
+}
+
+/// Runs `batches` through the full instrumented pipeline — look-ahead
+/// dataloader (which replays planner stage spans serially), the numeric
+/// executor (when `execute` is set) and the cluster simulator — collecting
+/// every span, counter and gauge into one recorded stream plus a
+/// per-division communication-overlap summary.
+///
+/// The event stream is deterministic across `RAYON_NUM_THREADS` up to span
+/// durations: all emission happens on the consumer thread (loader), the
+/// executor's serial interpreter loop, or the simulator's sorted trace.
+///
+/// # Errors
+///
+/// Propagates loader, executor and simulator failures.
+pub fn trace_workload(
+    cluster: &ClusterSpec,
+    attn: AttnSpec,
+    cfg: &PlannerConfig,
+    batches: Vec<Batch>,
+    execute: bool,
+) -> DcpResult<TraceOutcome> {
+    use dcp_blocks::TokenBlockId;
+    use dcp_exec::{execute_backward_obs, execute_forward_obs, BatchData, ExecObs};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let sink = Arc::new(RecordingSink::new());
+    let obs = ObsHandle::new(sink.clone());
+    let planner = Planner::new(cluster.clone(), attn, cfg.clone());
+    let loader = DcpDataloader::new(planner, batches, 2).with_obs(obs);
+    let mut overlap = Vec::new();
+    let mut device_comm = vec![(0.0f64, 0.0f64); cluster.num_devices() as usize];
+    for (iter, item) in loader.enumerate() {
+        let iter = iter as u64;
+        let (_batch, out) = item?;
+        if execute {
+            let data = BatchData::random(&out.layout, 2024);
+            let (qh, _) = BatchData::head_counts(&out.layout);
+            let dim = out.layout.attn.head_dim as usize;
+            let mut d_o = std::collections::HashMap::new();
+            let mut rng = SmallRng::seed_from_u64(99);
+            for (i, tb) in out.layout.token_blocks.iter().enumerate() {
+                let v: Vec<f32> = (0..tb.len as usize * qh * dim)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                d_o.insert(TokenBlockId(i as u32), v);
+            }
+            let eo = ExecObs::new(sink.as_ref()).with_iter(iter);
+            let fwd = execute_forward_obs(&out.layout, &out.placement, &out.plan, &data, &eo)?;
+            execute_backward_obs(
+                &out.layout,
+                &out.placement,
+                &out.plan,
+                &data,
+                &fwd,
+                &d_o,
+                &eo,
+            )?;
+        }
+        for (phase, obs_phase, plan_phase) in [
+            ("fwd", dcp_obs::Phase::Fwd, &out.plan.fwd),
+            ("bwd", dcp_obs::Phase::Bwd, &out.plan.bwd),
+        ] {
+            let (sim, trace) = simulate_phase_traced(cluster, plan_phase)?;
+            sink.record_all(trace_to_obs(&trace, obs_phase, Some(iter)));
+            for (d, tl) in sim.devices.iter().enumerate() {
+                device_comm[d].0 += tl.comm_active;
+                device_comm[d].1 += tl.overlap;
+            }
+            for row in division_overlap(&trace) {
+                overlap.push(serde_json::json!({
+                    "iter": iter,
+                    "phase": phase,
+                    "device": row.device,
+                    "division": row.division,
+                    "comm_s": row.comm_s,
+                    "hidden_s": row.hidden_s,
+                    "efficiency": row.efficiency,
+                }));
+            }
+        }
+    }
+    Ok(TraceOutcome {
+        events: sink.drain(),
+        overlap,
+        device_comm,
+    })
+}
+
+/// Assembles the unified trace document: a valid Chrome Trace Event file
+/// (open it at `chrome://tracing` or in Perfetto — extra top-level keys are
+/// ignored by both) that doubles as a machine-readable report with the
+/// schema version, workload description and overlap-efficiency summary.
+pub fn trace_doc(outcome: &TraceOutcome, workload: serde_json::Value) -> serde_json::Value {
+    serde_json::json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload,
+        "overlap_efficiency": outcome.overlap_summary(),
+        "events_captured": outcome.events.len() as u64,
+        "traceEvents": dcp_obs::chrome_trace_events(&outcome.events),
+        "displayTimeUnit": "ms",
+    })
+}
+
 /// A simple fixed-width table printer for the harness binaries.
 pub struct Table {
     header: Vec<String>,
@@ -374,6 +670,107 @@ mod tests {
             let tokens: u64 = b.iter().map(|(l, _)| *l as u64).sum();
             assert!(tokens <= 131072);
         }
+    }
+
+    #[test]
+    fn schema_check_flags_drift_loudly() {
+        let ok = serde_json::json!({ "schema_version": BENCH_SCHEMA_VERSION });
+        assert!(check_schema(&ok, "report").is_ok());
+        let drifted = serde_json::json!({ "schema_version": BENCH_SCHEMA_VERSION + 1 });
+        let err = check_schema(&drifted, "report").unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let missing = serde_json::json!({ "runs": [] });
+        let err = check_schema(&missing, "old.json").unwrap_err();
+        assert!(err.contains("missing") && err.contains("old.json"), "{err}");
+    }
+
+    #[test]
+    fn division_overlap_splits_at_attention_calls() {
+        use dcp_sim::TraceKind;
+        // Device 0: two divisions. Division 0: attn [0,2) with a transfer
+        // [1,3) — 1s hidden under attn, 1s exposed in division 1's window.
+        // Division 1: attn [4,6) closes it; a trailing transfer [6,7) is
+        // charged to it, fully exposed.
+        let t = |kind, start: f64, end: f64| TraceEvent {
+            device: 0,
+            kind,
+            start,
+            end,
+        };
+        let trace = vec![
+            t(TraceKind::Attn, 0.0, 2.0),
+            t(TraceKind::Transfer { from: 1 }, 1.0, 3.0),
+            t(TraceKind::Attn, 4.0, 6.0),
+            t(TraceKind::Transfer { from: 1 }, 6.0, 7.0),
+        ];
+        let rows = division_overlap(&trace);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].device, rows[0].division), (0, 0));
+        assert!((rows[0].comm_s - 1.0).abs() < 1e-12);
+        assert!((rows[0].hidden_s - 1.0).abs() < 1e-12);
+        assert!((rows[0].efficiency - 1.0).abs() < 1e-12);
+        // Division 1: transfer slice [2,3) exposed (no compute there),
+        // trailing [6,7) exposed too.
+        assert!((rows[1].comm_s - 2.0).abs() < 1e-12);
+        assert!(rows[1].hidden_s.abs() < 1e-12);
+        assert!(rows[1].efficiency.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_overlap_handles_attention_free_devices() {
+        use dcp_sim::TraceKind;
+        let trace = vec![TraceEvent {
+            device: 0,
+            kind: TraceKind::Transfer { from: 1 },
+            start: 0.0,
+            end: 1.0,
+        }];
+        let rows = division_overlap(&trace);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].division, 0);
+        assert!((rows[0].comm_s - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].efficiency, 0.0);
+        assert!(division_overlap(&[]).is_empty());
+    }
+
+    #[test]
+    fn trace_workload_captures_all_sources() {
+        let batches = vec![Batch {
+            seqs: vec![(1024, MaskSpec::Causal)],
+        }];
+        let cfg = PlannerConfig {
+            block_size: 256,
+            ..Default::default()
+        };
+        let outcome = trace_workload(
+            &ClusterSpec::single_node(4),
+            AttnSpec::new(4, 2, 16, 1),
+            &cfg,
+            batches,
+            false,
+        )
+        .unwrap();
+        assert!(!outcome.events.is_empty());
+        for source in [
+            dcp_obs::Source::Planner,
+            dcp_obs::Source::Dataloader,
+            dcp_obs::Source::Sim,
+        ] {
+            assert!(
+                outcome.events.iter().any(|e| e.source == source),
+                "no events from {source:?}"
+            );
+        }
+        // execute = false: no executor events.
+        assert!(!outcome
+            .events
+            .iter()
+            .any(|e| e.source == dcp_obs::Source::Executor));
+        let doc = trace_doc(&outcome, serde_json::json!({"w": 1}));
+        assert_eq!(doc["schema_version"].as_u64(), Some(BENCH_SCHEMA_VERSION));
+        assert!(doc["traceEvents"].as_array().map_or(0, Vec::len) > 0);
+        let eff = doc["overlap_efficiency"]["overall"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&eff));
     }
 
     #[test]

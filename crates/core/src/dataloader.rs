@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use dcp_data::Batch;
 use dcp_mask::MaskSpec;
+use dcp_obs::{Event, ObsHandle, Source as ObsSource};
 use dcp_types::{DcpError, DcpResult};
 use serde::{Deserialize, Serialize};
 
@@ -200,6 +201,10 @@ pub struct DcpDataloader {
     pool: WorkerPool,
     /// Structured log of every recovery incident, in batch order.
     events: Vec<ReplanEvent>,
+    /// Observability sink. All emission happens on the consumer thread
+    /// inside `next()`, in batch order, never on pool workers — so the
+    /// recorded stream stays deterministic regardless of worker count.
+    obs: ObsHandle,
 }
 
 impl DcpDataloader {
@@ -248,7 +253,23 @@ impl DcpDataloader {
             inflight: VecDeque::new(),
             pool,
             events: Vec::new(),
+            obs: ObsHandle::noop(),
         }
+    }
+
+    /// Attaches an observability sink (builder style). The loader emits the
+    /// look-ahead job lifecycle (`lookahead_submit` → `plan_wait` →
+    /// `plan_ready`), per-attempt `replan_attempt` spans, recovery incidents
+    /// (`recovery`/`recovery_failed` spans mirroring [`ReplanEvent`]), and
+    /// re-emits the worker-side planner stage breakdown from
+    /// [`crate::PlanStats`] in batch order.
+    ///
+    /// Attach the sink here *or* to the [`Planner`], not both: planner spans
+    /// emitted from concurrent pool workers would interleave
+    /// nondeterministically, so the loader replays them serially instead.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replaces the planning pool with one of `n` threads (builder style;
@@ -291,6 +312,12 @@ impl DcpDataloader {
             let (tx, rx) = bounded(1);
             self.pool
                 .submit(self.batches[self.submitted].seqs.clone(), tx);
+            if self.obs.enabled() {
+                self.obs.record(
+                    Event::instant(ObsSource::Dataloader, "lookahead_submit")
+                        .with_iter(self.submitted as u64),
+                );
+            }
             self.inflight.push_back(rx);
             self.submitted += 1;
         }
@@ -332,6 +359,42 @@ impl DcpDataloader {
             Err(_) => Err("synchronous re-plan panicked".to_string()),
         }
     }
+
+    /// Re-emits the worker-side planning summary for batch `index` on the
+    /// consumer thread: cache outcome, then the stage breakdown recorded in
+    /// [`crate::PlanStats`] as consecutive planner-source spans.
+    fn emit_plan_summary(&self, index: usize, out: &PlanOutput) {
+        let iter = index as u64;
+        let s = &out.stats;
+        let cache = if s.cache_hit {
+            "plan_cache_hit"
+        } else {
+            "plan_cache_miss"
+        };
+        self.obs.record(
+            Event::counter(ObsSource::Planner, cache, 1.0)
+                .with_iter(iter)
+                .with_label(out.tier.label()),
+        );
+        if !s.cache_hit {
+            let mut at = 0.0;
+            for (name, dur) in [
+                ("block_gen", out.times.block_gen),
+                ("coarsen", s.coarsen_s),
+                ("initial", s.initial_s),
+                ("refine", s.refine_s),
+                ("schedule", s.schedule_s),
+            ] {
+                self.obs.record(
+                    Event::span(ObsSource::Planner, name)
+                        .with_iter(iter)
+                        .with_label(out.tier.label())
+                        .with_time(at, dur),
+                );
+                at += dur;
+            }
+        }
+    }
 }
 
 impl Iterator for DcpDataloader {
@@ -364,8 +427,28 @@ impl Iterator for DcpDataloader {
         let index = self.consumed;
         self.consumed += 1;
 
-        let (failure, mut last_error) = match self.await_worker(&rx) {
-            Ok(Ok(plan)) => return Some(Ok((batch, plan))),
+        let obs_on = self.obs.enabled();
+        let t_wait = Instant::now();
+        let waited = self.await_worker(&rx);
+        if obs_on {
+            self.obs.record(
+                Event::span(ObsSource::Dataloader, "plan_wait")
+                    .with_iter(index as u64)
+                    .with_time(0.0, t_wait.elapsed().as_secs_f64()),
+            );
+        }
+        let (failure, mut last_error) = match waited {
+            Ok(Ok(plan)) => {
+                if obs_on {
+                    self.emit_plan_summary(index, &plan);
+                    self.obs.record(
+                        Event::instant(ObsSource::Dataloader, "plan_ready")
+                            .with_iter(index as u64)
+                            .with_label(plan.tier.label()),
+                    );
+                }
+                return Some(Ok((batch, plan)));
+            }
             Ok(Err(e)) => (FailureClass::PlanError, e.to_string()),
             Err((class, msg)) => (class, msg),
         };
@@ -381,7 +464,18 @@ impl Iterator for DcpDataloader {
                 std::thread::sleep(self.retry.backoff * attempt);
             }
             attempts += 1;
-            match self.replan(&batch.seqs) {
+            let t_attempt = Instant::now();
+            let replanned = self.replan(&batch.seqs);
+            if obs_on {
+                self.obs.record(
+                    Event::span(ObsSource::Dataloader, "replan_attempt")
+                        .with_iter(index as u64)
+                        .with_label(failure.label())
+                        .with_value(attempt as f64)
+                        .with_time(0.0, t_attempt.elapsed().as_secs_f64()),
+                );
+            }
+            match replanned {
                 Ok(plan) => {
                     recovered = Some(plan);
                     break;
@@ -389,13 +483,34 @@ impl Iterator for DcpDataloader {
                 Err(msg) => last_error = msg,
             }
         }
-        self.events.push(ReplanEvent {
+        let event = ReplanEvent {
             batch_index: index,
             failure,
             attempts,
             recovered: recovered.is_some(),
             recovery_wall_s: t_recover.elapsed().as_secs_f64(),
-        });
+        };
+        if obs_on {
+            // The incident re-emitted as a span mirroring `ReplanEvent`.
+            self.obs.record(
+                Event::span(
+                    ObsSource::Dataloader,
+                    if event.recovered {
+                        "recovery"
+                    } else {
+                        "recovery_failed"
+                    },
+                )
+                .with_iter(index as u64)
+                .with_label(failure.label())
+                .with_value(attempts as f64)
+                .with_time(0.0, event.recovery_wall_s),
+            );
+            if let Some(plan) = &recovered {
+                self.emit_plan_summary(index, plan);
+            }
+        }
+        self.events.push(event);
         match recovered {
             Some(plan) => Some(Ok((batch, plan))),
             None => Some(Err(DcpError::planning_failed(

@@ -23,6 +23,8 @@ pub mod groups;
 pub mod planner;
 
 pub use dataloader::{DcpDataloader, FailureClass, PlanFn, ReplanEvent, RetryConfig};
-pub use e2e::{cp_cluster, simulate_iteration, E2eConfig, IterationBreakdown};
+pub use e2e::{
+    cp_cluster, simulate_iteration, simulate_iteration_with_recovery, E2eConfig, IterationBreakdown,
+};
 pub use groups::{plan_grouped, GroupedPlan};
 pub use planner::{PlanOutput, PlanStats, Planner, PlannerConfig, PlanningTimes};

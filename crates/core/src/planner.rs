@@ -10,6 +10,7 @@ use dcp_hypergraph::{
     partition_with_stats, Hypergraph, HypergraphBuilder, PartitionConfig, PartitionStats,
 };
 use dcp_mask::MaskSpec;
+use dcp_obs::{Event, ObsHandle, Source as ObsSource};
 use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
 use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult, PlanTier};
 use serde::{Deserialize, Serialize};
@@ -199,6 +200,7 @@ pub struct Planner {
     attn: AttnSpec,
     cfg: PlannerConfig,
     cache: Arc<Mutex<PlanCache>>,
+    obs: ObsHandle,
 }
 
 impl Planner {
@@ -209,7 +211,18 @@ impl Planner {
             attn,
             cfg,
             cache: Arc::new(Mutex::new(PlanCache::default())),
+            obs: ObsHandle::noop(),
         }
+    }
+
+    /// Attaches an observability sink: every subsequent `plan()` call emits
+    /// stage spans (block_gen / place / schedule plus the partitioner's
+    /// coarsen / initial / refine breakdown), cache hit/miss counters and
+    /// fallback-tier transition events. All emission happens on the calling
+    /// thread, in plan order, so the stream is deterministic.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Lifetime cache hit / miss counts of this planner (shared across
@@ -253,6 +266,18 @@ impl Planner {
     /// failures, and placement/scheduling failures only once every enabled
     /// tier has been exhausted.
     pub fn plan(&self, seqs: &[(u32, MaskSpec)]) -> DcpResult<PlanOutput> {
+        self.plan_for_iter(seqs, None)
+    }
+
+    /// [`Planner::plan`] with an explicit iteration/batch index stamped onto
+    /// every emitted observability event (the planner itself has no notion
+    /// of iterations; callers that do — the dataloader, the trace harness —
+    /// pass it here so planner spans correlate with executor/sim spans).
+    pub fn plan_for_iter(
+        &self,
+        seqs: &[(u32, MaskSpec)],
+        iter: Option<u64>,
+    ) -> DcpResult<PlanOutput> {
         if seqs.is_empty() {
             return Err(DcpError::invalid_argument("empty batch"));
         }
@@ -266,6 +291,13 @@ impl Planner {
             return Err(DcpError::invalid_argument("divisions must be > 0"));
         }
         let t_total = Instant::now();
+        // Observability events carry the batch index when known; all
+        // emission below is on the calling thread, in plan order.
+        let obs_on = self.obs.enabled();
+        let stamp = |e: Event| match iter {
+            Some(i) => e.with_iter(i),
+            None => e,
+        };
         let key = if self.cfg.plan_cache > 0 {
             let key = self.signature(seqs);
             if let Some(mut out) = self.cache.lock().unwrap().get(&key) {
@@ -274,7 +306,20 @@ impl Planner {
                     total_s: t_total.elapsed().as_secs_f64(),
                     ..PlanStats::default()
                 };
+                if obs_on {
+                    self.obs.record(stamp(
+                        Event::counter(ObsSource::Planner, "plan_cache_hit", 1.0)
+                            .with_label(out.tier.label()),
+                    ));
+                }
                 return Ok(out);
+            }
+            if obs_on {
+                self.obs.record(stamp(Event::counter(
+                    ObsSource::Planner,
+                    "plan_cache_miss",
+                    1.0,
+                )));
             }
             Some(key)
         } else {
@@ -291,6 +336,12 @@ impl Planner {
             seqs,
         )?;
         let block_gen = t0.elapsed().as_secs_f64();
+        if obs_on {
+            self.obs.record(stamp(
+                Event::span(ObsSource::Planner, "block_gen")
+                    .with_time((t0 - t_total).as_secs_f64(), block_gen),
+            ));
+        }
 
         let start = self.cfg.force_tier.unwrap_or(PlanTier::Partitioned);
         let mut partition_s = 0.0;
@@ -305,10 +356,25 @@ impl Planner {
             }
             let tp = Instant::now();
             let placed = self.placement_for_tier(&layout, tier, n, &mut pstats);
-            partition_s += tp.elapsed().as_secs_f64();
+            let place_dt = tp.elapsed().as_secs_f64();
+            partition_s += place_dt;
+            if obs_on {
+                self.obs.record(stamp(
+                    Event::span(ObsSource::Planner, "place")
+                        .with_label(tier.label())
+                        .with_time((tp - t_total).as_secs_f64(), place_dt),
+                ));
+            }
             let placement = match placed {
                 Ok(p) => p,
                 Err(e) => {
+                    if obs_on {
+                        self.obs.record(stamp(
+                            Event::instant(ObsSource::Planner, "tier_fallback")
+                                .with_label(tier.label())
+                                .with_time((t_total.elapsed()).as_secs_f64(), 0.0),
+                        ));
+                    }
                     reasons.push(format!("{}: {e}", tier.label()));
                     last_err = Some(e);
                     if !self.cfg.fallback {
@@ -326,13 +392,28 @@ impl Planner {
                     ..Default::default()
                 },
             );
-            schedule_s += ts.elapsed().as_secs_f64();
+            let sched_dt = ts.elapsed().as_secs_f64();
+            schedule_s += sched_dt;
+            if obs_on {
+                self.obs.record(stamp(
+                    Event::span(ObsSource::Planner, "schedule")
+                        .with_label(tier.label())
+                        .with_time((ts - t_total).as_secs_f64(), sched_dt),
+                ));
+            }
             match built {
                 Ok(plan) => {
                     chosen = Some((placement, plan, tier));
                     break;
                 }
                 Err(e) => {
+                    if obs_on {
+                        self.obs.record(stamp(
+                            Event::instant(ObsSource::Planner, "tier_fallback")
+                                .with_label(tier.label())
+                                .with_time((t_total.elapsed()).as_secs_f64(), 0.0),
+                        ));
+                    }
                     reasons.push(format!("{}: {e}", tier.label()));
                     last_err = Some(e);
                     if !self.cfg.fallback {
@@ -346,6 +427,23 @@ impl Planner {
             return Err(last_err
                 .unwrap_or_else(|| DcpError::invalid_plan("no fallback tier produced a plan")));
         };
+        if obs_on {
+            // Partitioner stage breakdown (CPU seconds summed over the
+            // hierarchy, rendered as consecutive segments of one row).
+            let mut at = block_gen;
+            for (name, dur) in [
+                ("coarsen", pstats.coarsen_s),
+                ("initial", pstats.initial_s),
+                ("refine", pstats.refine_s),
+            ] {
+                self.obs.record(stamp(
+                    Event::span(ObsSource::Planner, name)
+                        .with_label(tier.label())
+                        .with_time(at, dur),
+                ));
+                at += dur;
+            }
+        }
         let out = PlanOutput {
             layout,
             placement,

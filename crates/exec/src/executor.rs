@@ -17,8 +17,10 @@
 //! correct-looking results — executing a plan is itself a verification.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use dcp_blocks::{BatchLayout, TokenBlockId};
+use dcp_obs::{Event, ObsSink, Phase as ObsPhase, Source as ObsSource, NOOP};
 use dcp_sched::{ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan, Placement};
 use dcp_types::{DcpError, DcpResult};
 use rand::rngs::SmallRng;
@@ -155,6 +157,46 @@ enum Data {
     PartialDkv(Vec<f32>, Vec<f32>),
 }
 
+/// Observability context for an executor call: the sink plus the iteration
+/// index stamped onto every emitted event. [`ExecObs::disabled`] is the
+/// zero-overhead default used by the plain entry points.
+pub struct ExecObs<'a> {
+    /// Destination sink.
+    pub sink: &'a dyn ObsSink,
+    /// Iteration / batch index, when known.
+    pub iter: Option<u64>,
+}
+
+impl<'a> ExecObs<'a> {
+    /// Wraps a sink with no iteration index.
+    pub fn new(sink: &'a dyn ObsSink) -> Self {
+        ExecObs { sink, iter: None }
+    }
+
+    /// Stamps `iter` onto every event (builder style).
+    pub fn with_iter(mut self, iter: u64) -> Self {
+        self.iter = Some(iter);
+        self
+    }
+
+    fn stamp(&self, e: Event) -> Event {
+        match self.iter {
+            Some(i) => e.with_iter(i),
+            None => e,
+        }
+    }
+}
+
+impl ExecObs<'static> {
+    /// The no-op context: a single disabled-branch per instruction.
+    pub fn disabled() -> Self {
+        ExecObs {
+            sink: &NOOP,
+            iter: None,
+        }
+    }
+}
+
 /// Shared interpreter scaffolding for one phase.
 struct Interp<'a> {
     phase: &'a PhasePlan,
@@ -163,26 +205,54 @@ struct Interp<'a> {
     avail: Vec<HashMap<Payload, Data>>,
     /// Per device instruction pointer.
     ip: Vec<usize>,
+    /// Observability context (inert when the sink is disabled).
+    obs: &'a ExecObs<'a>,
+    obs_phase: ObsPhase,
+    /// Time origin shared by every span of this phase.
+    t0: Instant,
+    /// Per device: divisions completed so far (an `Attn`/`AttnBwd`
+    /// instruction closes a division).
+    division: Vec<u32>,
+    /// Per device: when the device first blocked on its pending `CommWait`,
+    /// so the eventual `comm_wait` span covers the whole blocked interval.
+    wait_since: Vec<Option<Instant>>,
 }
 
 impl<'a> Interp<'a> {
-    fn new(placement: &Placement, phase: &'a PhasePlan) -> Self {
+    fn new(
+        placement: &Placement,
+        phase: &'a PhasePlan,
+        obs: &'a ExecObs<'a>,
+        obs_phase: ObsPhase,
+    ) -> Self {
         let n = placement.num_devices as usize;
         Interp {
             phase,
             mailbox: HashMap::new(),
             avail: vec![HashMap::new(); n],
             ip: vec![0; n],
+            obs,
+            obs_phase,
+            t0: Instant::now(),
+            division: vec![0; n],
+            wait_since: vec![None; n],
         }
     }
 
     /// Runs the round-robin loop; `step` executes one instruction and
     /// returns `Ok(true)` on progress, `Ok(false)` when blocked.
+    ///
+    /// When observability is enabled, every completed instruction emits one
+    /// span from this (serial) loop. The round-robin order depends only on
+    /// plan structure and mailbox state — rayon parallelism stays inside an
+    /// instruction — so the emitted stream is deterministic across thread
+    /// counts.
     fn run(
         &mut self,
         mut step: impl FnMut(&mut Self, u32, &Instr) -> DcpResult<bool>,
     ) -> DcpResult<()> {
         let n = self.avail.len();
+        let enabled = self.obs.sink.enabled();
         loop {
             let mut progressed = false;
             let mut all_done = true;
@@ -194,10 +264,17 @@ impl<'a> Interp<'a> {
                     };
                     all_done = false;
                     let ins = ins.clone();
+                    let t_start = if enabled { Some(Instant::now()) } else { None };
                     if step(self, d as u32, &ins)? {
+                        if let Some(t) = t_start {
+                            self.emit(d as u32, &ins, t);
+                        }
                         self.ip[d] += 1;
                         progressed = true;
                     } else {
+                        if enabled && self.wait_since[d].is_none() {
+                            self.wait_since[d] = t_start;
+                        }
                         break;
                     }
                 }
@@ -210,6 +287,106 @@ impl<'a> Interp<'a> {
                     "interpreter deadlock: no device can make progress",
                 ));
             }
+        }
+    }
+
+    /// Emits the span for one completed instruction: per-instruction-class
+    /// name, per-division index, and the bytes/flops payload.
+    fn emit(&mut self, dev: u32, ins: &Instr, t_start: Instant) {
+        let d = dev as usize;
+        let base = Event::span(ObsSource::Executor, "")
+            .with_device(dev)
+            .with_phase(self.obs_phase);
+        let (mut ev, started) = match ins {
+            Instr::CommLaunch(cid) => {
+                let mut e = base;
+                e.name = "comm_launch".into();
+                (
+                    e.with_division(self.division[d])
+                        .with_bytes(self.phase.comms[cid.0 as usize].bytes()),
+                    t_start,
+                )
+            }
+            Instr::CommWait(cid) => {
+                // The span covers the whole blocked interval, not just the
+                // final successful poll.
+                let began = self.wait_since[d].take().unwrap_or(t_start);
+                let mut e = base;
+                e.name = "comm_wait".into();
+                (
+                    e.with_division(self.division[d])
+                        .with_bytes(self.phase.comms[cid.0 as usize].bytes_into(dev)),
+                    began,
+                )
+            }
+            Instr::Attn { items, flops } => {
+                let div = self.division[d];
+                self.division[d] += 1;
+                let mut e = base;
+                e.name = "attn".into();
+                (
+                    e.with_division(div)
+                        .with_flops(*flops)
+                        .with_value(items.len() as f64),
+                    t_start,
+                )
+            }
+            Instr::AttnBwd { items, flops } => {
+                let div = self.division[d];
+                self.division[d] += 1;
+                let mut e = base;
+                e.name = "attn_bwd".into();
+                (
+                    e.with_division(div)
+                        .with_flops(*flops)
+                        .with_value(items.len() as f64),
+                    t_start,
+                )
+            }
+            Instr::Reduce { items, bytes } => {
+                let mut e = base;
+                e.name = "reduce".into();
+                (
+                    e.with_division(self.division[d].saturating_sub(1))
+                        .with_bytes(*bytes)
+                        .with_value(items.len() as f64),
+                    t_start,
+                )
+            }
+            Instr::Copy { bytes } => {
+                let mut e = base;
+                e.name = "copy".into();
+                (
+                    e.with_division(self.division[d].saturating_sub(1))
+                        .with_bytes(*bytes),
+                    t_start,
+                )
+            }
+        };
+        ev = ev.with_time(
+            (started - self.t0).as_secs_f64(),
+            started.elapsed().as_secs_f64(),
+        );
+        self.obs.sink.record(self.obs.stamp(ev));
+    }
+
+    /// Per-device peak planned buffer gauges for this phase.
+    fn emit_buffer_gauges(&self) {
+        if !self.obs.sink.enabled() {
+            return;
+        }
+        for ds in &self.phase.devices {
+            self.obs.sink.record(
+                self.obs.stamp(
+                    Event::gauge(
+                        ObsSource::Executor,
+                        "peak_buffer_bytes",
+                        ds.buffer.peak_bytes() as f64,
+                    )
+                    .with_device(ds.device)
+                    .with_phase(self.obs_phase),
+                ),
+            );
         }
     }
 
@@ -249,6 +426,21 @@ pub fn execute_forward(
     plan: &ExecutionPlan,
     data: &BatchData,
 ) -> DcpResult<HashMap<TokenBlockId, BlockOut>> {
+    execute_forward_obs(layout, placement, plan, data, &ExecObs::disabled())
+}
+
+/// [`execute_forward`] with observability: emits one span per completed
+/// instruction (`attn` / `reduce` / `copy` / `comm_launch` / `comm_wait`,
+/// with per-division indices and bytes/flops payloads) plus per-device
+/// `peak_buffer_bytes` gauges. With [`ExecObs::disabled`] the overhead is a
+/// single branch per instruction.
+pub fn execute_forward_obs(
+    layout: &BatchLayout,
+    placement: &Placement,
+    plan: &ExecutionPlan,
+    data: &BatchData,
+    obs: &ExecObs<'_>,
+) -> DcpResult<HashMap<TokenBlockId, BlockOut>> {
     placement.validate(layout)?;
     let (qh, kvh) = BatchData::head_counts(layout);
     let dim = layout.attn.head_dim as usize;
@@ -258,7 +450,7 @@ pub fn execute_forward(
     let mut accs: Vec<HashMap<TokenBlockId, BlockAcc>> = vec![HashMap::new(); n];
     let mut finals: HashMap<TokenBlockId, BlockOut> = HashMap::new();
 
-    let mut interp = Interp::new(placement, &plan.fwd);
+    let mut interp = Interp::new(placement, &plan.fwd, obs, ObsPhase::Fwd);
     interp.run(|it, dev, ins| {
         match ins {
             Instr::CommLaunch(cid) => {
@@ -413,6 +605,7 @@ pub fn execute_forward(
             Instr::Copy { .. } => Ok(true),
         }
     })?;
+    interp.emit_buffer_gauges();
 
     // Owned blocks whose outputs were computed entirely locally.
     for (i, _) in layout.token_blocks.iter().enumerate() {
@@ -457,6 +650,28 @@ pub fn execute_backward(
     fwd_out: &HashMap<TokenBlockId, BlockOut>,
     d_o: &HashMap<TokenBlockId, Vec<f32>>,
 ) -> DcpResult<HashMap<TokenBlockId, BlockGrads>> {
+    execute_backward_obs(
+        layout,
+        placement,
+        plan,
+        data,
+        fwd_out,
+        d_o,
+        &ExecObs::disabled(),
+    )
+}
+
+/// [`execute_backward`] with observability — the backward mirror of
+/// [`execute_forward_obs`] (`attn_bwd` spans instead of `attn`).
+pub fn execute_backward_obs(
+    layout: &BatchLayout,
+    placement: &Placement,
+    plan: &ExecutionPlan,
+    data: &BatchData,
+    fwd_out: &HashMap<TokenBlockId, BlockOut>,
+    d_o: &HashMap<TokenBlockId, Vec<f32>>,
+    obs: &ExecObs<'_>,
+) -> DcpResult<HashMap<TokenBlockId, BlockGrads>> {
     placement.validate(layout)?;
     let (qh, kvh) = BatchData::head_counts(layout);
     let dim = layout.attn.head_dim as usize;
@@ -476,7 +691,7 @@ pub fn execute_backward(
     let mut dq_acc: Vec<HashMap<TokenBlockId, Vec<f32>>> = vec![HashMap::new(); n];
     let mut dkv_acc: Vec<HashMap<TokenBlockId, KvGradPair>> = vec![HashMap::new(); n];
 
-    let mut interp = Interp::new(placement, &plan.bwd);
+    let mut interp = Interp::new(placement, &plan.bwd, obs, ObsPhase::Bwd);
     interp.run(|it, dev, ins| {
         match ins {
             Instr::CommLaunch(cid) => {
@@ -708,6 +923,7 @@ pub fn execute_backward(
             Instr::Copy { .. } => Ok(true),
         }
     })?;
+    interp.emit_buffer_gauges();
 
     // Assemble owned gradients.
     let mut grads = HashMap::new();

@@ -26,4 +26,7 @@ pub mod kernels;
 pub mod reference;
 pub mod train;
 
-pub use executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
+pub use executor::{
+    execute_backward, execute_backward_obs, execute_forward, execute_forward_obs, BatchData,
+    BlockGrads, BlockOut, ExecObs,
+};

@@ -1,0 +1,149 @@
+//! Metric registry: counters and gauges aggregated from an event stream
+//! (or updated directly), with a Prometheus-style text snapshot.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// Aggregated counters and gauges. Keys are `name` plus the event's
+/// dimension labels, so ordering (and the rendered snapshot) is
+/// deterministic via `BTreeMap`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `key`.
+    pub fn inc(&mut self, key: impl Into<String>, delta: f64) {
+        *self.counters.entry(key.into()).or_insert(0.0) += delta;
+    }
+
+    /// Sets gauge `key` to `value` (last write wins).
+    pub fn set_gauge(&mut self, key: impl Into<String>, value: f64) {
+        self.gauges.insert(key.into(), value);
+    }
+
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, key: &str) -> f64 {
+        self.counters.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Folds an event stream into a registry:
+    ///
+    /// - `Counter` events add `value` to the counter keyed by name+labels;
+    /// - `Gauge` events set the gauge keyed by name+labels;
+    /// - `Span` events additionally accumulate `<name>_seconds_total` and
+    ///   `<name>_total` counters, so stage timings are queryable without
+    ///   walking the raw stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut reg = Registry::new();
+        for e in events {
+            let key = metric_key(e);
+            match e.kind {
+                EventKind::Counter => reg.inc(key, e.value.unwrap_or(1.0)),
+                EventKind::Gauge => reg.set_gauge(key, e.value.unwrap_or(0.0)),
+                EventKind::Span => {
+                    reg.inc(format!("{key}_count"), 1.0);
+                    reg.inc(format!("{key}_seconds_total"), e.dur_s);
+                }
+                EventKind::Instant => reg.inc(format!("{key}_count"), 1.0),
+            }
+        }
+        reg
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` headers plus one
+    /// `name value` line per metric, sorted by key.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n{} {v}\n", base_name(k), k));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n{} {v}\n", base_name(k), k));
+        }
+        out
+    }
+}
+
+/// `name{source="...",device="...",...}` — Prometheus-flavoured key built
+/// from the event's dimensions (timing excluded).
+fn metric_key(e: &Event) -> String {
+    let mut labels: Vec<String> = vec![format!("source=\"{}\"", e.source.label())];
+    if let Some(d) = e.device {
+        labels.push(format!("device=\"{d}\""));
+    }
+    if let Some(p) = e.phase {
+        labels.push(format!("phase=\"{}\"", p.label()));
+    }
+    if let Some(l) = &e.label {
+        labels.push(format!("label=\"{l}\""));
+    }
+    format!("{}{{{}}}", e.name, labels.join(","))
+}
+
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Source;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = Registry::new();
+        r.inc("a", 1.0);
+        r.inc("a", 2.0);
+        r.set_gauge("g", 5.0);
+        r.set_gauge("g", 7.0);
+        assert_eq!(r.counter("a"), 3.0);
+        assert_eq!(r.gauge("g"), Some(7.0));
+        assert_eq!(r.counter("missing"), 0.0);
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn from_events_aggregates() {
+        let events = vec![
+            Event::counter(Source::Planner, "plan_cache_hit", 1.0),
+            Event::counter(Source::Planner, "plan_cache_hit", 1.0),
+            Event::gauge(Source::Executor, "peak_buffer_bytes", 1024.0).with_device(0),
+            Event::span(Source::Planner, "coarsen").with_time(0.0, 0.5),
+        ];
+        let r = Registry::from_events(&events);
+        assert_eq!(r.counter("plan_cache_hit{source=\"planner\"}"), 2.0);
+        assert_eq!(
+            r.gauge("peak_buffer_bytes{source=\"executor\",device=\"0\"}"),
+            Some(1024.0)
+        );
+        assert_eq!(r.counter("coarsen{source=\"planner\"}_count"), 1.0);
+        assert!((r.counter("coarsen{source=\"planner\"}_seconds_total") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_snapshot_is_sorted_text() {
+        let mut r = Registry::new();
+        r.inc("b_total", 2.0);
+        r.inc("a_total", 1.0);
+        r.set_gauge("z_gauge", 3.5);
+        let text = r.render_prometheus();
+        let a = text.find("a_total 1").unwrap();
+        let b = text.find("b_total 2").unwrap();
+        assert!(a < b, "sorted by key");
+        assert!(text.contains("# TYPE z_gauge gauge\nz_gauge 3.5\n"));
+    }
+}

@@ -34,5 +34,5 @@ pub use plan::{
     CommId, CommOp, DeviceStream, ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan,
     ReduceItem, Transfer,
 };
-pub use report::{DeviceReport, PlanReport};
+pub use report::{DeviceReport, DivisionReport, PlanReport};
 pub use schedule::{build_plan, ScheduleConfig};

@@ -29,6 +29,30 @@ pub struct DeviceReport {
     pub peak_buffer_bytes: u64,
 }
 
+/// Per-division summary on one device: how one slice of the
+/// compute/communication pipeline is loaded. A division is closed by its
+/// fused `Attn`/`AttnBwd` call; `CommLaunch`/`CommWait` issued before that
+/// call (prefetching the *next* division's data) are attributed to the
+/// division they run under, and trailing `Reduce`/`Copy` work lands on the
+/// last division.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DivisionReport {
+    /// Division index within the device's stream.
+    pub division: u32,
+    /// FLOPs of this division's fused attention call.
+    pub attn_flops: u64,
+    /// Computation blocks in the fused call.
+    pub attn_items: u32,
+    /// Bytes launched (sent) while this division was current.
+    pub launch_bytes: u64,
+    /// Bytes moved by reductions in this division.
+    pub reduce_bytes: u64,
+    /// Bytes moved by copies in this division.
+    pub copy_bytes: u64,
+    /// `CommWait` synchronization points in this division.
+    pub waits: u32,
+}
+
 /// A full phase summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanReport {
@@ -36,6 +60,10 @@ pub struct PlanReport {
     pub devices: Vec<DeviceReport>,
     /// `comm_matrix[from][to]`: bytes moved between each device pair.
     pub comm_matrix: Vec<Vec<u64>>,
+    /// `divisions[device]`: the per-division breakdown of each device's
+    /// stream, so imbalance can be inspected per division (the granularity
+    /// the paper's §4.3 overlap objective operates at), not just per device.
+    pub divisions: Vec<Vec<DivisionReport>>,
 }
 
 impl PlanReport {
@@ -44,6 +72,7 @@ impl PlanReport {
         let n = phase.devices.len();
         let mut devices = vec![DeviceReport::default(); n];
         let mut comm_matrix = vec![vec![0u64; n]; n];
+        let mut divisions: Vec<Vec<DivisionReport>> = vec![Vec::new(); n];
         for op in &phase.comms {
             for tr in &op.transfers {
                 if (tr.from as usize) < n && (tr.to as usize) < n {
@@ -55,22 +84,59 @@ impl PlanReport {
         }
         for (d, stream) in phase.devices.iter().enumerate() {
             devices[d].peak_buffer_bytes = stream.buffer.peak_bytes();
+            let mut cur = DivisionReport::default();
+            let mut closed = false;
             for ins in &stream.instrs {
                 match ins {
-                    Instr::Attn { flops, .. } | Instr::AttnBwd { flops, .. } => {
+                    Instr::Attn { items, flops } | Instr::AttnBwd { items, flops } => {
                         devices[d].attn_flops += flops;
                         devices[d].attn_calls += 1;
+                        // The fused attention call closes the division.
+                        cur.attn_flops = *flops;
+                        cur.attn_items = items.len() as u32;
+                        divisions[d].push(cur);
+                        cur = DivisionReport {
+                            division: divisions[d].len() as u32,
+                            ..Default::default()
+                        };
+                        closed = true;
                     }
-                    Instr::Reduce { bytes, .. } => devices[d].reduce_bytes += bytes,
-                    Instr::Copy { bytes } => devices[d].copy_bytes += bytes,
-                    Instr::CommWait(_) => devices[d].waits += 1,
-                    Instr::CommLaunch(_) => {}
+                    Instr::Reduce { bytes, .. } => {
+                        devices[d].reduce_bytes += bytes;
+                        cur.reduce_bytes += bytes;
+                    }
+                    Instr::Copy { bytes } => {
+                        devices[d].copy_bytes += bytes;
+                        cur.copy_bytes += bytes;
+                    }
+                    Instr::CommWait(cid) => {
+                        devices[d].waits += 1;
+                        cur.waits += 1;
+                        let _ = cid;
+                    }
+                    Instr::CommLaunch(cid) => {
+                        cur.launch_bytes += phase.comms[cid.0 as usize].bytes();
+                    }
+                }
+            }
+            // Trailing work after the last fused call (final reductions,
+            // copies, waits) belongs to the last division.
+            if (cur.launch_bytes | cur.reduce_bytes | cur.copy_bytes) != 0 || cur.waits != 0 {
+                match (closed, divisions[d].last_mut()) {
+                    (true, Some(last)) => {
+                        last.launch_bytes += cur.launch_bytes;
+                        last.reduce_bytes += cur.reduce_bytes;
+                        last.copy_bytes += cur.copy_bytes;
+                        last.waits += cur.waits;
+                    }
+                    _ => divisions[d].push(cur),
                 }
             }
         }
         PlanReport {
             devices,
             comm_matrix,
+            divisions,
         }
     }
 
@@ -108,6 +174,31 @@ impl PlanReport {
             self.imbalance(|r| r.peak_buffer_bytes),
             self.imbalance(|r| r.sent_bytes + r.recv_bytes),
         ));
+        out
+    }
+
+    /// Renders the per-division breakdown as CSV (one row per device ×
+    /// division) for plotting imbalance at division granularity. The header
+    /// is `device,division,attn_flops,attn_items,launch_bytes,reduce_bytes,
+    /// copy_bytes,waits`.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from(
+            "device,division,attn_flops,attn_items,launch_bytes,reduce_bytes,copy_bytes,waits\n",
+        );
+        for (d, divs) in self.divisions.iter().enumerate() {
+            for r in divs {
+                out.push_str(&format!(
+                    "{d},{},{},{},{},{},{},{}\n",
+                    r.division,
+                    r.attn_flops,
+                    r.attn_items,
+                    r.launch_bytes,
+                    r.reduce_bytes,
+                    r.copy_bytes,
+                    r.waits,
+                ));
+            }
+        }
         out
     }
 }
@@ -170,6 +261,69 @@ mod tests {
         for d in 0..4usize {
             assert_eq!(report.comm_matrix[d][d], 0);
         }
+    }
+
+    #[test]
+    fn divisions_reconcile_with_device_totals() {
+        let (_, _, plan) = sample_phase();
+        let report = PlanReport::from_phase(&plan.fwd);
+        assert_eq!(report.divisions.len(), report.devices.len());
+        for (d, dev) in report.devices.iter().enumerate() {
+            let divs = &report.divisions[d];
+            assert_eq!(divs.len() as u32, dev.attn_calls);
+            // Division indices are dense and in order.
+            for (i, r) in divs.iter().enumerate() {
+                assert_eq!(r.division, i as u32);
+            }
+            // Per-division sums reconcile with the device aggregates.
+            assert_eq!(
+                divs.iter().map(|r| r.attn_flops).sum::<u64>(),
+                dev.attn_flops
+            );
+            assert_eq!(
+                divs.iter().map(|r| r.reduce_bytes).sum::<u64>(),
+                dev.reduce_bytes
+            );
+            assert_eq!(
+                divs.iter().map(|r| r.copy_bytes).sum::<u64>(),
+                dev.copy_bytes
+            );
+            assert_eq!(divs.iter().map(|r| r.waits).sum::<u32>(), dev.waits);
+        }
+        // Launch bytes across all divisions cover every comm op once.
+        let launched: u64 = report
+            .divisions
+            .iter()
+            .flatten()
+            .map(|r| r.launch_bytes)
+            .sum();
+        assert_eq!(launched, plan.fwd.total_comm_bytes());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_division() {
+        let (_, _, plan) = sample_phase();
+        let report = PlanReport::from_phase(&plan.fwd);
+        let csv = report.render_csv();
+        let total_divs: usize = report.divisions.iter().map(Vec::len).sum();
+        assert_eq!(csv.lines().count(), 1 + total_divs);
+        assert!(csv.starts_with(
+            "device,division,attn_flops,attn_items,launch_bytes,reduce_bytes,copy_bytes,waits\n"
+        ));
+        // Every data row has the full column count.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 8);
+        }
+    }
+
+    #[test]
+    fn render_format_is_unchanged_by_divisions() {
+        let (_, _, plan) = sample_phase();
+        let report = PlanReport::from_phase(&plan.fwd);
+        let text = report.render();
+        // Header + one row per device + the imbalance footer, exactly.
+        assert_eq!(text.lines().count(), 2 + report.devices.len());
+        assert!(text.starts_with("dev    attn_TFLOP"));
     }
 
     #[test]

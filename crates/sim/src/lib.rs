@@ -33,4 +33,4 @@ pub use sim::{
     simulate_phase, simulate_phase_faulted, simulate_phase_traced, simulate_plan,
     simulate_plan_faulted, DeviceTimeline, PhaseSim, PlanSim,
 };
-pub use trace::{ascii_gantt, to_chrome_trace, TraceEvent, TraceKind};
+pub use trace::{ascii_gantt, to_chrome_trace, trace_to_obs, TraceEvent, TraceKind};

@@ -79,10 +79,47 @@ pub struct TraceEvent {
     pub end: f64,
 }
 
+/// Adapts simulated [`TraceEvent`]s into the unified observability stream
+/// (`dcp-obs` [`dcp_obs::Event`]s, source [`dcp_obs::Source::Sim`]), so the
+/// simulated timeline merges with planner/dataloader/executor spans in one
+/// Chrome trace. Timestamps are *simulated* seconds; the multi-source
+/// exporter keeps each source on its own process row, so the differing
+/// clocks never mix on one track. Transfers become `recv` spans with the
+/// sender recorded in the label.
+///
+/// Events are adapted in input order; `simulate_phase_traced` emits its
+/// trace deterministically, so the adapted stream is too.
+pub fn trace_to_obs(
+    events: &[TraceEvent],
+    phase: dcp_obs::Phase,
+    iter: Option<u64>,
+) -> Vec<dcp_obs::Event> {
+    events
+        .iter()
+        .map(|e| {
+            let mut ev = dcp_obs::Event::span(dcp_obs::Source::Sim, e.kind.label())
+                .with_device(e.device)
+                .with_phase(phase)
+                .with_time(e.start, e.end - e.start);
+            if let TraceKind::Transfer { from } = e.kind {
+                ev = ev.with_label(format!("from dev{from}"));
+            }
+            if let Some(i) = iter {
+                ev = ev.with_iter(i);
+            }
+            ev
+        })
+        .collect()
+}
+
 /// Serializes events to the Chrome Trace Event format (JSON object with a
 /// `traceEvents` array of complete `"X"` events; timestamps in µs).
 /// Compute/wait segments go on track `tid = 2*device`, transfers on
 /// `tid = 2*device + 1`.
+///
+/// This is the single-source renderer kept for quick looks at one simulated
+/// phase; the multi-source export shared with the real executor lives in
+/// [`dcp_obs::to_chrome_trace`] (see [`trace_to_obs`]).
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
     #[derive(Serialize)]
     struct ChromeEvent<'a> {
@@ -209,6 +246,27 @@ mod tests {
         assert_eq!(recv["tid"], 3);
         // Microsecond timestamps.
         assert!((evs[0]["dur"].as_f64().unwrap() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_adapts_into_obs_stream() {
+        let obs = trace_to_obs(&sample(), dcp_obs::Phase::Fwd, Some(3));
+        assert_eq!(obs.len(), 3);
+        for e in &obs {
+            assert_eq!(e.source, dcp_obs::Source::Sim);
+            assert_eq!(e.phase, Some(dcp_obs::Phase::Fwd));
+            assert_eq!(e.iter, Some(3));
+        }
+        assert_eq!(obs[0].name, "attn");
+        assert!((obs[0].dur_s - 0.5e-3).abs() < 1e-12);
+        let recv = &obs[2];
+        assert_eq!(recv.name, "recv");
+        assert_eq!(recv.label.as_deref(), Some("from dev0"));
+        assert_eq!(recv.device, Some(1));
+        // The unified exporter accepts the adapted stream.
+        let chrome = dcp_obs::to_chrome_trace(&obs);
+        let v: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+        assert!(v["traceEvents"].as_array().unwrap().len() >= 3);
     }
 
     #[test]

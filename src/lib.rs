@@ -8,6 +8,9 @@
 //! - [`types`]: cluster topology, attention/model shapes.
 //! - [`mask`]: attention mask specifications (causal, lambda, causal
 //!   blockwise, shared question) and blockwise sparsity queries.
+//! - [`obs`]: unified observability layer — structured spans/counters/
+//!   gauges threaded through planner, dataloader, executor and sim, with
+//!   Chrome-trace/JSONL/Prometheus exporters.
 //! - [`blocks`]: fine-grained data/computation block generation (paper §4.1).
 //! - [`hypergraph`]: multilevel multi-constraint hypergraph partitioner
 //!   (paper §4.2; a from-scratch KaHyPar replacement).
@@ -50,6 +53,7 @@ pub use dcp_data as data;
 pub use dcp_exec as exec;
 pub use dcp_hypergraph as hypergraph;
 pub use dcp_mask as mask;
+pub use dcp_obs as obs;
 pub use dcp_sched as sched;
 pub use dcp_sim as sim;
 pub use dcp_types as types;

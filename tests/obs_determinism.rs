@@ -1,0 +1,181 @@
+//! Observability determinism regression: the unified event stream must be
+//! *identical up to span durations* at every `RAYON_NUM_THREADS`. Identity
+//! covers everything else — `seq` (arrival order at the sink), source,
+//! kind, name, iteration, device, phase, division, label, bytes, flops and
+//! values — so this pins both what is emitted and the order it arrives in.
+//!
+//! The workload exercises every emitting layer: the planner (stage spans,
+//! cache counters), the look-ahead dataloader (which replays worker-side
+//! planner summaries serially on the consumer thread), the numeric
+//! executor's instruction spans and buffer gauges, and the adapted
+//! simulator timeline.
+//!
+//! Everything lives in a single `#[test]` because `RAYON_NUM_THREADS` is
+//! process-global state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dcp::blocks::TokenBlockId;
+use dcp::core::{DcpDataloader, Planner, PlannerConfig};
+use dcp::data::Batch;
+use dcp::exec::{execute_backward_obs, execute_forward_obs, BatchData, ExecObs};
+use dcp::mask::MaskSpec;
+use dcp::obs::{identities, Event, ObsHandle, ObsSink, Phase, RecordingSink};
+use dcp::sim::{simulate_phase_traced, trace_to_obs};
+use dcp::types::{AttnSpec, ClusterSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The `determinism.rs` skewed batch (one long sequence, many short ones).
+fn skewed_batch() -> Vec<(u32, MaskSpec)> {
+    let mut seqs = vec![(768u32, MaskSpec::Causal)];
+    for i in 0..12u32 {
+        let len = 64 + 32 * (i % 5);
+        seqs.push((
+            len,
+            MaskSpec::Lambda {
+                sink: 4,
+                window: 24,
+            },
+        ));
+    }
+    seqs
+}
+
+/// A second batch with a distinct signature, so loader runs never depend on
+/// racy plan-cache hits between concurrent look-ahead workers.
+fn plain_batch() -> Vec<(u32, MaskSpec)> {
+    (0..8u32)
+        .map(|i| (128 + 64 * (i % 3), MaskSpec::Causal))
+        .collect()
+}
+
+fn planner_cfg() -> PlannerConfig {
+    PlannerConfig {
+        block_size: 128,
+        ..Default::default()
+    }
+}
+
+/// Runs the full instrumented pipeline once and returns the captured
+/// stream: direct planner pass, look-ahead loader over two distinct
+/// batches, executor forward + backward, simulated forward phase.
+fn capture() -> Vec<Event> {
+    let cluster = ClusterSpec::p4de(1);
+    let attn = AttnSpec::new(4, 2, 16, 1);
+    let sink = Arc::new(RecordingSink::new());
+    let handle = ObsHandle::new(sink.clone());
+
+    // 1. Planner, called directly on this thread.
+    let planner = Planner::new(cluster.clone(), attn, planner_cfg()).with_obs(handle.clone());
+    let out = planner
+        .plan_for_iter(&skewed_batch(), Some(0))
+        .expect("plan");
+
+    // 2. Look-ahead dataloader: worker-side planner summaries are replayed
+    //    serially on the consumer thread.
+    let loader_planner = Planner::new(cluster.clone(), attn, planner_cfg());
+    let batches = vec![
+        Batch {
+            seqs: skewed_batch(),
+        },
+        Batch {
+            seqs: plain_batch(),
+        },
+    ];
+    let loader = DcpDataloader::new(loader_planner, batches, 2).with_obs(handle.clone());
+    for item in loader {
+        item.expect("loader yields");
+    }
+
+    // 3. Executor: per-instruction spans from the serial interpreter loop,
+    //    buffer gauges after each phase.
+    let data = BatchData::random(&out.layout, 2024);
+    let (qh, _) = BatchData::head_counts(&out.layout);
+    let dim = out.layout.attn.head_dim as usize;
+    let mut d_o = HashMap::new();
+    let mut rng = SmallRng::seed_from_u64(99);
+    for (i, tb) in out.layout.token_blocks.iter().enumerate() {
+        let v: Vec<f32> = (0..tb.len as usize * qh * dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        d_o.insert(TokenBlockId(i as u32), v);
+    }
+    let eo = ExecObs::new(sink.as_ref()).with_iter(0);
+    let fwd =
+        execute_forward_obs(&out.layout, &out.placement, &out.plan, &data, &eo).expect("forward");
+    execute_backward_obs(
+        &out.layout,
+        &out.placement,
+        &out.plan,
+        &data,
+        &fwd,
+        &d_o,
+        &eo,
+    )
+    .expect("backward");
+
+    // 4. Simulator timeline, adapted into the same stream.
+    let (_, trace) = simulate_phase_traced(&cluster, &out.plan.fwd).expect("simulate");
+    sink.record_all(trace_to_obs(&trace, Phase::Fwd, Some(0)));
+
+    sink.drain()
+}
+
+#[test]
+fn event_stream_is_identical_across_thread_counts() {
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+
+    let mut streams = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        streams.push((threads, capture()));
+    }
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+
+    let (_, base) = &streams[0];
+    assert!(
+        base.len() > 100,
+        "expected a substantial stream, got {} events",
+        base.len()
+    );
+    // All four sources present.
+    for source in [
+        dcp::obs::Source::Planner,
+        dcp::obs::Source::Dataloader,
+        dcp::obs::Source::Executor,
+        dcp::obs::Source::Sim,
+    ] {
+        assert!(
+            base.iter().any(|e| e.source == source),
+            "no events from {source:?}"
+        );
+    }
+
+    let base_ids = identities(base);
+    for (threads, stream) in &streams[1..] {
+        assert_eq!(
+            stream.len(),
+            base.len(),
+            "event count differs at RAYON_NUM_THREADS={threads}"
+        );
+        let ids = identities(stream);
+        for (i, (a, b)) in base_ids.iter().zip(ids.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "event {i} differs at RAYON_NUM_THREADS={threads} (seq/order/payload \
+                 must not depend on thread count)"
+            );
+        }
+    }
+
+    // Sanity on the identity contract itself: durations are excluded.
+    let with_time = Event::span(dcp::obs::Source::Executor, "attn").with_time(1.0, 2.0);
+    assert_eq!(with_time.identity(), with_time.identity());
+    assert_eq!(with_time.identity().start_s, 0.0);
+    assert_eq!(with_time.identity().dur_s, 0.0);
+}

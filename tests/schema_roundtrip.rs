@@ -1,0 +1,161 @@
+//! Serde round-trip regression for every report struct that reaches a
+//! machine-readable artifact (`BENCH_*.json`, `TRACE_e2e.json`, figure
+//! JSON). The contract: serialize → deserialize must reproduce the value
+//! exactly. Because the vendored serde derive treats *missing* fields as
+//! errors for non-`Option` types, adding a field to any of these structs
+//! breaks deserialization of old documents — which is exactly the loud
+//! schema drift the versioned reports are designed to surface.
+
+use std::fmt::Debug;
+
+use dcp::core::{
+    simulate_iteration_with_recovery, E2eConfig, FailureClass, PlanStats, Planner, PlannerConfig,
+    PlanningTimes, ReplanEvent,
+};
+use dcp::mask::MaskSpec;
+use dcp::obs::{Event, Phase, Source};
+use dcp::sched::{DivisionReport, PlanReport};
+use dcp::sim::{simulate_plan, Fault, FaultSpec, TraceEvent, TraceKind};
+use dcp::types::{AttnSpec, ClusterSpec};
+use serde::{Deserialize, Serialize};
+
+/// Serialize → deserialize → compare, through both a JSON string and a
+/// `serde_json::Value` (the path the report binaries use).
+fn roundtrip<T>(val: &T)
+where
+    T: Serialize + Deserialize + PartialEq + Debug,
+{
+    let text = serde_json::to_string(val).expect("serialize");
+    let back: T = serde_json::from_str(&text).expect("deserialize");
+    assert_eq!(&back, val, "JSON string round-trip changed the value");
+    let value = serde_json::to_value(val).expect("to_value");
+    let back: T = serde_json::from_value(&value).expect("from_value");
+    assert_eq!(&back, val, "Value round-trip changed the value");
+}
+
+/// One small planned workload shared by the structural tests.
+fn plan_small() -> dcp::core::PlanOutput {
+    let planner = Planner::new(
+        ClusterSpec::p4de(1),
+        AttnSpec::new(4, 2, 16, 1),
+        PlannerConfig {
+            block_size: 128,
+            ..Default::default()
+        },
+    );
+    planner
+        .plan(&[(768, MaskSpec::Causal), (256, MaskSpec::Causal)])
+        .expect("plan")
+}
+
+#[test]
+fn plan_report_structs_roundtrip() {
+    let out = plan_small();
+    let report = PlanReport::from_phase(&out.plan.fwd);
+    assert!(!report.devices.is_empty());
+    assert!(report.divisions.iter().any(|d| !d.is_empty()));
+    roundtrip(&report);
+    roundtrip(&report.devices[0]);
+    let div: &DivisionReport = report
+        .divisions
+        .iter()
+        .flatten()
+        .next()
+        .expect("at least one division");
+    roundtrip(div);
+}
+
+#[test]
+fn planner_stats_roundtrip() {
+    let out = plan_small();
+    roundtrip(&out.stats);
+    roundtrip(&out.times);
+    // Defaults too: all-zero values must not serialize differently.
+    roundtrip(&PlanStats::default());
+    roundtrip(&PlanningTimes::default());
+}
+
+#[test]
+fn dataloader_events_roundtrip() {
+    for failure in [
+        FailureClass::WorkerDied,
+        FailureClass::Timeout,
+        FailureClass::PlanError,
+    ] {
+        roundtrip(&failure);
+        roundtrip(&ReplanEvent {
+            batch_index: 3,
+            failure,
+            attempts: 2,
+            recovered: failure != FailureClass::PlanError,
+            recovery_wall_s: 0.125,
+        });
+    }
+}
+
+#[test]
+fn e2e_breakdown_roundtrip() {
+    let cfg = E2eConfig {
+        model: dcp::types::ModelSpec::gpt_8b(),
+        tp: 1,
+        cluster: ClusterSpec::p4de(1),
+    };
+    let out = plan_small();
+    let sim = simulate_plan(&cfg.cluster, &out.plan).expect("simulate");
+    let max_tokens = *out.placement.token_loads(&out.layout).iter().max().unwrap();
+    let it =
+        simulate_iteration_with_recovery(&cfg, &sim, max_tokens, out.layout.total_tokens(), 0.25);
+    assert_eq!(it.recovery, 0.25);
+    roundtrip(&it);
+}
+
+#[test]
+fn sim_structs_roundtrip() {
+    let out = plan_small();
+    let sim = simulate_plan(&ClusterSpec::p4de(1), &out.plan).expect("simulate");
+    roundtrip(&sim);
+    roundtrip(&sim.fwd);
+    roundtrip(&sim.fwd.devices[0]);
+    roundtrip(&TraceEvent {
+        device: 2,
+        kind: TraceKind::Transfer { from: 1 },
+        start: 0.5e-3,
+        end: 0.9e-3,
+    });
+    roundtrip(&FaultSpec {
+        seed: 7,
+        faults: vec![
+            Fault::Straggler {
+                device: 0,
+                slowdown: 4.0,
+            },
+            Fault::DegradedLink {
+                src: 1,
+                dst: 0,
+                factor: 0.1,
+            },
+            Fault::DelayedStart {
+                device: 2,
+                delay_s: 1e-3,
+            },
+        ],
+    });
+}
+
+#[test]
+fn obs_events_roundtrip() {
+    let span = Event::span(Source::Executor, "attn")
+        .with_iter(4)
+        .with_device(3)
+        .with_phase(Phase::Bwd)
+        .with_division(2)
+        .with_label("tier partitioned")
+        .with_bytes(4096)
+        .with_flops(1 << 20)
+        .with_time(0.25, 0.125);
+    roundtrip(&span);
+    roundtrip(&Event::counter(Source::Planner, "plan_cache_hit", 1.0));
+    roundtrip(&Event::gauge(Source::Executor, "peak_buffer_bytes", 2048.0).with_device(1));
+    // Identity (timing-stripped) events serialize cleanly too.
+    roundtrip(&span.identity());
+}
