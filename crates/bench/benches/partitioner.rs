@@ -110,7 +110,7 @@ fn bench_refinement(c: &mut Criterion) {
             b.iter(|| {
                 let mut a = start.clone();
                 let mut rng = SmallRng::seed_from_u64(7);
-                refine::refine(&hg, &mut a, 8, caps, 8, &mut rng)
+                refine::refine(&hg, &mut a, 8, &caps.into(), 8, &mut rng)
             })
         });
         group.bench_with_input(
@@ -120,7 +120,7 @@ fn bench_refinement(c: &mut Criterion) {
                 b.iter(|| {
                     let mut a = start.clone();
                     let mut rng = SmallRng::seed_from_u64(7);
-                    refine::reference::refine(&hg, &mut a, 8, caps, 8, &mut rng)
+                    refine::reference::refine(&hg, &mut a, 8, &caps.into(), 8, &mut rng)
                 })
             },
         );

@@ -34,13 +34,14 @@ use dcp_bench::{trace_doc, trace_workload, Table, BENCH_SCHEMA_VERSION};
 use dcp_blocks::TokenBlockId;
 use dcp_core::dataloader::PlanFn;
 use dcp_core::{
-    simulate_iteration, simulate_iteration_with_recovery, DcpDataloader, E2eConfig, PlanOutput,
-    Planner, PlannerConfig, RetryConfig,
+    simulate_iteration, simulate_iteration_with_recovery, DcpDataloader, E2eConfig, FailureEvent,
+    PlanOutput, Planner, PlannerConfig, RecoveryConfig, RecoveryPlanner, RetryConfig,
 };
 use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
 use dcp_exec::executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
 use dcp_mask::MaskSpec;
-use dcp_sim::{simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
+use dcp_sched::Instr;
+use dcp_sim::{simulate_phase, simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
 use dcp_types::{AttnSpec, ClusterSpec, ModelSpec, PlanTier};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -221,6 +222,81 @@ fn robustness_report(cluster: &ClusterSpec, attn: AttnSpec, n: usize) -> serde_j
         }));
     }
 
+    // Elastic mid-iteration recovery: kill the busiest device of each
+    // batch's plan halfway through its attention divisions, patch-plan the
+    // residual work onto the survivors, and price the patch (planning
+    // latency, redone computation, recovered-vs-clean makespan).
+    let rp = RecoveryPlanner::new(RecoveryConfig::default());
+    let mut recovery_rows = Vec::new();
+    let mut patch_walls: Vec<f64> = Vec::new();
+    for (bi, b) in batches.iter().enumerate() {
+        let out = planner.plan(&b.seqs).expect("plan");
+        let (dev, nd) = out
+            .plan
+            .fwd
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let n = s
+                    .instrs
+                    .iter()
+                    .filter(|ins| matches!(ins, Instr::Attn { .. }))
+                    .count() as u32;
+                (i as u32, n)
+            })
+            .max_by_key(|&(i, n)| (n, std::cmp::Reverse(i)))
+            .expect("nonempty plan");
+        if nd < 2 {
+            continue;
+        }
+        let k = (nd / 2).max(1);
+        let patch = rp
+            .plan_recovery(
+                &out,
+                &FailureEvent {
+                    device: dev,
+                    divisions_done: k,
+                },
+            )
+            .expect("patch plan");
+        let clean_fwd = simulate_phase(cluster, &out.plan.fwd).expect("simulate clean fwd");
+        let recovered_fwd = simulate_phase(cluster, &patch.timing).expect("simulate recovered fwd");
+        let st = patch.stats;
+        patch_walls.push(st.plan_wall_s);
+        recovery_rows.push(json!({
+            "batch": bi,
+            "failed_device": dev,
+            "divisions_done": k,
+            "attn_divisions": nd,
+            "patch_plan_wall_s": st.plan_wall_s,
+            "failed_flops": st.failed_flops,
+            "redone_flops": st.redone_flops,
+            "redone_fraction": if st.failed_flops > 0 {
+                st.redone_flops as f64 / st.failed_flops as f64
+            } else {
+                0.0
+            },
+            "salvage_bytes": st.salvage_bytes,
+            "refetch_bytes": st.refetch_bytes,
+            "residual_units": st.residual_units as u64,
+            "greedy_fallback": st.greedy_fallback,
+            "clean_fwd_makespan_s": clean_fwd.makespan,
+            "recovered_fwd_makespan_s": recovered_fwd.makespan,
+            "makespan_ratio": if clean_fwd.makespan > 0.0 {
+                recovered_fwd.makespan / clean_fwd.makespan
+            } else {
+                0.0
+            },
+        }));
+    }
+    let patch_wall_median = median(&patch_walls);
+    println!(
+        "[robustness: elastic recovery — {} patch plans, median {:.2}ms]",
+        patch_walls.len(),
+        patch_wall_median * 1e3
+    );
+
     // Dataloader recovery: the first look-ahead planning worker is killed;
     // the loader must still yield every batch (via a synchronous re-plan).
     println!("[robustness: killing one planning worker on purpose — a panic message follows]");
@@ -291,6 +367,11 @@ fn robustness_report(cluster: &ClusterSpec, attn: AttnSpec, n: usize) -> serde_j
         "infeasible_fallback_tier_counts": tier_counts,
         "fault_spec": faults,
         "faulted_simulation": fault_rows,
+        "elastic_recovery": {
+            "patch_plans": patch_walls.len() as u64,
+            "patch_plan_wall_s_median": patch_wall_median,
+            "runs": recovery_rows,
+        },
         "dataloader_recovery": {
             "batches": batches.len() as u64,
             "killed_workers": 1u64,

@@ -14,7 +14,16 @@
 //! 4. the warm (cache-hit) median is not well below the cold median
 //!    (< 5% — a cache hit must cost a lookup, not a re-plan).
 //!
-//! Usage: `plan_gate [report.json] [baseline.json]`.
+//! It also gates elastic recovery: `BENCH_robustness.json` (written by the
+//! same `perf_report` run) is compared against the committed
+//! `results/BENCH_robustness_baseline.json` with the same schema check, and
+//! the gate fails when the median patch-plan latency
+//! (`elastic_recovery.patch_plan_wall_s_median`) regressed by more than the
+//! allowed factor. The robustness leg is skipped (with a notice) only when
+//! the committed baseline does not exist.
+//!
+//! Usage: `plan_gate [report.json] [baseline.json] [robustness.json]
+//! [robustness_baseline.json]`.
 
 use std::process::exit;
 
@@ -60,6 +69,12 @@ fn main() {
     let baseline_path = args
         .next()
         .unwrap_or_else(|| "results/BENCH_plan_baseline.json".into());
+    let rob_report_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_robustness.json".into());
+    let rob_baseline_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_robustness_baseline.json".into());
     let factor: f64 = std::env::var("DCP_PLAN_GATE_FACTOR")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -126,6 +141,53 @@ fn main() {
                 ratio * 100.0
             ));
         }
+    }
+
+    // Elastic recovery: patch-plan latency vs the committed baseline. Only
+    // skipped when no baseline is committed; a missing or schema-drifted
+    // report with a committed baseline is a failure, never a silent pass.
+    if std::path::Path::new(&rob_baseline_path).exists() {
+        let rob = load(&rob_report_path);
+        let rob_base = load(&rob_baseline_path);
+        for (doc, path) in [(&rob, &rob_report_path), (&rob_base, &rob_baseline_path)] {
+            if let Err(e) = check_schema(doc, path) {
+                eprintln!("plan_gate: FAIL: {e}");
+                exit(1);
+            }
+        }
+        println!("plan_gate: schema_version OK on robustness report and baseline");
+        let cur = rob["elastic_recovery"]["patch_plan_wall_s_median"].as_f64();
+        let base = rob_base["elastic_recovery"]["patch_plan_wall_s_median"].as_f64();
+        match (cur, base) {
+            (Some(cur), Some(base)) => {
+                let limit = base * factor;
+                println!(
+                    "plan_gate: median patch_plan_wall_s {:.2}ms vs baseline {:.2}ms \
+                     (limit {:.2}ms = {factor:.2}x)",
+                    cur * 1e3,
+                    base * 1e3,
+                    limit * 1e3
+                );
+                if cur > limit {
+                    failures.push(format!(
+                        "median patch_plan_wall_s regressed: {:.2}ms > {:.2}ms \
+                         ({factor:.2}x baseline)",
+                        cur * 1e3,
+                        limit * 1e3
+                    ));
+                }
+            }
+            (None, Some(_)) => {
+                failures.push(format!(
+                    "{rob_report_path} has no elastic_recovery.patch_plan_wall_s_median \
+                     but the baseline does"
+                ));
+            }
+            // A pre-recovery baseline: nothing to compare against.
+            (_, None) => println!("plan_gate: no patch-plan latency in baseline (skipped)"),
+        }
+    } else {
+        println!("plan_gate: no robustness baseline at {rob_baseline_path} (skipped)");
     }
 
     if failures.is_empty() {

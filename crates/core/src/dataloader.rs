@@ -91,6 +91,40 @@ impl FailureClass {
     }
 }
 
+/// A checkpoint of the dataloader's planning progress: the consume cursor
+/// plus every planned-but-unconsumed [`PlanOutput`] in the look-ahead
+/// window. Restoring after a restart resumes the stream at the same batch
+/// without re-planning the window ([`DcpDataloader::snapshot`] /
+/// [`DcpDataloader::restore`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataloaderSnapshot {
+    /// Number of batches already handed out.
+    pub consumed: usize,
+    /// Planned-but-unconsumed results, contiguous from `consumed`, as
+    /// `(batch_index, plan)` pairs.
+    pub planned: Vec<(usize, PlanOutput)>,
+}
+
+impl DataloaderSnapshot {
+    /// Serializes the snapshot to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcpError::Serialization`] if encoding fails.
+    pub fn to_json(&self) -> DcpResult<String> {
+        serde_json::to_string(self).map_err(|e| DcpError::Serialization(e.to_string()))
+    }
+
+    /// Deserializes a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcpError::Serialization`] on malformed input.
+    pub fn from_json(s: &str) -> DcpResult<Self> {
+        serde_json::from_str(s).map_err(|e| DcpError::Serialization(e.to_string()))
+    }
+}
+
 /// One planning-recovery incident: a batch whose look-ahead result was
 /// unusable and had to be re-planned synchronously.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -195,7 +229,10 @@ pub struct DcpDataloader {
     lookahead: usize,
     /// Retry/timeout policy.
     retry: RetryConfig,
-    /// In-flight plan results, in batch order.
+    /// Plans already in hand (restored from a snapshot or drained by one),
+    /// contiguous from `consumed`; served before polling workers.
+    ready: VecDeque<PlanOutput>,
+    /// In-flight plan results, in batch order after `ready`.
     inflight: VecDeque<Receiver<DcpResult<PlanOutput>>>,
     /// The fixed look-ahead planning pool.
     pool: WorkerPool,
@@ -250,6 +287,7 @@ impl DcpDataloader {
             consumed: 0,
             lookahead,
             retry,
+            ready: VecDeque::new(),
             inflight: VecDeque::new(),
             pool,
             events: Vec::new(),
@@ -305,6 +343,84 @@ impl DcpDataloader {
     /// Structured log of every recovery incident so far, in batch order.
     pub fn replan_events(&self) -> &[ReplanEvent] {
         &self.events
+    }
+
+    /// Checkpoints the loader: drains every in-flight look-ahead result
+    /// (a barrier, honoring [`RetryConfig::batch_deadline`] per batch) into
+    /// the ready queue and returns the consume cursor plus all
+    /// planned-but-unconsumed plans. The loader stays usable afterwards —
+    /// drained plans are served from memory, nothing is re-planned.
+    ///
+    /// A worker that failed, timed out, or died during the drain truncates
+    /// the snapshot at its batch: that batch and everything after it are
+    /// simply re-planned after [`Self::restore`] (or on this loader's own
+    /// retry path when iteration continues).
+    pub fn snapshot(&mut self) -> DataloaderSnapshot {
+        while let Some(rx) = self.inflight.pop_front() {
+            match self.await_worker(&rx) {
+                Ok(Ok(plan)) => self.ready.push_back(plan),
+                _ => {
+                    self.inflight.clear();
+                    break;
+                }
+            }
+        }
+        // Whatever was not drained cleanly must be re-submitted.
+        self.submitted = self.consumed + self.ready.len();
+        let snap = DataloaderSnapshot {
+            consumed: self.consumed,
+            planned: self
+                .ready
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (self.consumed + i, p.clone()))
+                .collect(),
+        };
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant(ObsSource::Dataloader, "snapshot")
+                    .with_iter(self.consumed as u64)
+                    .with_value(snap.planned.len() as f64),
+            );
+        }
+        snap
+    }
+
+    /// Resumes from a [`DataloaderSnapshot`] (builder style; call before
+    /// iterating): the consume cursor jumps to `snapshot.consumed` and the
+    /// snapshot's plans are served without re-planning.
+    ///
+    /// The restored plans must match this loader's batches: each entry is
+    /// accepted only while contiguous from the cursor *and* its layout's
+    /// sequence lengths equal the corresponding batch's. The first mismatch
+    /// (a snapshot taken against a different dataset, or a gap) discards
+    /// that entry and everything after it — those batches are re-planned by
+    /// the normal look-ahead path, never served a stale plan.
+    pub fn restore(mut self, snapshot: &DataloaderSnapshot) -> Self {
+        self.consumed = snapshot.consumed.min(self.batches.len());
+        self.ready.clear();
+        self.inflight.clear();
+        let mut expect = self.consumed;
+        for (idx, plan) in &snapshot.planned {
+            let lens: Vec<u32> = match self.batches.get(*idx) {
+                Some(b) => b.seqs.iter().map(|s| s.0).collect(),
+                None => break,
+            };
+            if *idx != expect || plan.layout.seq_lens != lens {
+                break;
+            }
+            self.ready.push_back(plan.clone());
+            expect += 1;
+        }
+        self.submitted = expect;
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant(ObsSource::Dataloader, "snapshot_restored")
+                    .with_iter(self.consumed as u64)
+                    .with_value(self.ready.len() as f64),
+            );
+        }
+        self
     }
 
     fn submit_upto(&mut self, target: usize) {
@@ -411,6 +527,22 @@ impl Iterator for DcpDataloader {
                 .saturating_add(1)
                 .saturating_add(self.lookahead),
         );
+        // Plans restored from a snapshot (or drained by one) are served
+        // from memory first.
+        if let Some(plan) = self.ready.pop_front() {
+            let batch = self.batches[self.consumed].clone();
+            let index = self.consumed;
+            self.consumed += 1;
+            if self.obs.enabled() {
+                self.emit_plan_summary(index, &plan);
+                self.obs.record(
+                    Event::instant(ObsSource::Dataloader, "plan_ready")
+                        .with_iter(index as u64)
+                        .with_label(plan.tier.label()),
+                );
+            }
+            return Some(Ok((batch, plan)));
+        }
         let Some(rx) = self.inflight.pop_front() else {
             // Unreachable (submit_upto above guarantees an in-flight entry
             // for a non-exhausted loader), but a malformed internal state
@@ -760,6 +892,93 @@ mod tests {
                 assert_eq!(batch, &bs[i]);
                 assert_eq!(plan.num_devices(), 4);
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_without_replanning() {
+        let bs = batches(6);
+        // Reference stream: plan everything synchronously.
+        let p = planner();
+        let expect: Vec<String> = bs
+            .iter()
+            .map(|b| serde_json::to_string(&p.plan(&b.seqs).unwrap().plan).unwrap())
+            .collect();
+
+        // Consume two batches, then checkpoint mid-stream.
+        let mut loader = DcpDataloader::new(planner(), bs.clone(), 3);
+        let first: Vec<_> = loader.by_ref().take(2).map(|r| r.unwrap()).collect();
+        let snap = loader.snapshot();
+        assert_eq!(snap.consumed, 2);
+        assert!(
+            !snap.planned.is_empty(),
+            "the look-ahead window was planned and must be captured"
+        );
+        for (i, (idx, _)) in snap.planned.iter().enumerate() {
+            assert_eq!(*idx, 2 + i, "planned entries are contiguous");
+        }
+        // The snapshotting loader itself keeps streaming, nothing lost.
+        let rest: Vec<_> = loader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(first.len() + rest.len(), bs.len());
+
+        // Serialize, restore into a *fresh* loader whose plan function
+        // counts invocations: the restored window must not be re-planned.
+        let json = snap.to_json().unwrap();
+        let back = DataloaderSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.consumed, snap.consumed);
+        assert_eq!(back.planned.len(), snap.planned.len());
+
+        let p = planner();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = Arc::clone(&calls);
+        let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            p.plan(seqs)
+        });
+        let restored = DcpDataloader::with_plan_fn(plan_fn, bs.clone(), 2, RetryConfig::default())
+            .restore(&back);
+        let got: Vec<_> = restored.map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), bs.len() - 2, "resumes at the consume cursor");
+        for (i, (batch, out)) in got.iter().enumerate() {
+            assert_eq!(batch, &bs[2 + i]);
+            assert_eq!(
+                serde_json::to_string(&out.plan).unwrap(),
+                expect[2 + i],
+                "restored stream diverges from synchronous planning at {i}"
+            );
+        }
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            bs.len() - 2 - back.planned.len(),
+            "the restored window was served from the snapshot, not re-planned"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_plans_for_a_different_dataset() {
+        let bs = batches(4);
+        let mut loader = DcpDataloader::new(planner(), bs, 3);
+        loader.by_ref().take(1).for_each(|r| {
+            r.unwrap();
+        });
+        let snap = loader.snapshot();
+        assert!(!snap.planned.is_empty());
+
+        // Different sequence lengths: every restored plan is stale.
+        let other: Vec<Batch> = (0..4)
+            .map(|_| Batch {
+                seqs: vec![(4096, MaskSpec::Causal)],
+            })
+            .collect();
+        let restored = DcpDataloader::new(planner(), other.clone(), 1).restore(&snap);
+        let got: Vec<_> = restored.map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), other.len() - 1, "cursor still honored");
+        for (batch, out) in &got {
+            assert_eq!(
+                out.layout.seq_lens,
+                batch.seqs.iter().map(|s| s.0).collect::<Vec<u32>>(),
+                "stale snapshot plans must be re-planned, not served"
+            );
         }
     }
 

@@ -21,10 +21,14 @@ pub mod dataloader;
 pub mod e2e;
 pub mod groups;
 pub mod planner;
+pub mod recovery;
 
-pub use dataloader::{DcpDataloader, FailureClass, PlanFn, ReplanEvent, RetryConfig};
+pub use dataloader::{
+    DataloaderSnapshot, DcpDataloader, FailureClass, PlanFn, ReplanEvent, RetryConfig,
+};
 pub use e2e::{
     cp_cluster, simulate_iteration, simulate_iteration_with_recovery, E2eConfig, IterationBreakdown,
 };
 pub use groups::{plan_grouped, GroupedPlan};
 pub use planner::{PlanOutput, PlanStats, Planner, PlannerConfig, PlanningTimes};
+pub use recovery::{FailureEvent, RecoveryConfig, RecoveryPatch, RecoveryPlanner, RecoveryStats};

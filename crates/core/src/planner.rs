@@ -8,12 +8,18 @@ use std::time::Instant;
 use dcp_blocks::{BatchLayout, BlockConfig};
 use dcp_hypergraph::{
     partition_with_stats, Hypergraph, HypergraphBuilder, PartitionConfig, PartitionStats,
+    VertexWeight,
 };
 use dcp_mask::MaskSpec;
 use dcp_obs::{Event, ObsHandle, Source as ObsSource};
 use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
+use dcp_sim::{simulate_plan, FaultSpec};
 use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult, PlanTier};
 use serde::{Deserialize, Serialize};
+
+/// Floor on the per-device network weight derived from degraded links, so a
+/// near-dead link never drives a placement target to zero.
+const MIN_NET_WEIGHT: f64 = 0.05;
 
 /// Planner hyper-parameters (the paper's defaults from Sec. 7.1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,10 +61,28 @@ pub struct PlannerConfig {
     /// re-partitioning. `0` disables caching.
     #[serde(default = "default_plan_cache")]
     pub plan_cache: usize,
+    /// Quality gate on the fallback chain: a greedy or static plan whose
+    /// simulated makespan exceeds this factor times the partitioned tier's
+    /// estimate is rejected ([`DcpError::FallbackRejected`]) instead of
+    /// silently shipped. The reference is the partitioned placement that
+    /// failed the balance check — degraded, but still the best available
+    /// estimate. `force_tier` skips the gate (there is no reference).
+    #[serde(default = "default_max_fallback_regression")]
+    pub max_fallback_regression: f64,
+    /// Known cluster degradations the placement should plan *around*:
+    /// straggler devices get proportionally less compute, devices behind
+    /// degraded or flapping links get proportionally fewer token blocks.
+    /// `None` (the default) places for a healthy cluster.
+    #[serde(default)]
+    pub fault_spec: Option<FaultSpec>,
 }
 
 fn default_plan_cache() -> usize {
     64
+}
+
+fn default_max_fallback_regression() -> f64 {
+    2.0
 }
 
 impl Default for PlannerConfig {
@@ -76,6 +100,8 @@ impl Default for PlannerConfig {
             strict_epsilon: false,
             force_tier: None,
             plan_cache: default_plan_cache(),
+            max_fallback_regression: default_max_fallback_regression(),
+            fault_spec: None,
         }
     }
 }
@@ -119,8 +145,9 @@ pub struct PlanStats {
     pub total_s: f64,
 }
 
-/// Everything the planner produces for one batch.
-#[derive(Debug, Clone)]
+/// Everything the planner produces for one batch. Serializable so planned
+/// batches survive a dataloader snapshot/restore cycle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlanOutput {
     /// The block decomposition.
     pub layout: BatchLayout,
@@ -350,12 +377,15 @@ impl Planner {
         let mut reasons: Vec<String> = Vec::new();
         let mut last_err: Option<DcpError> = None;
         let mut chosen: Option<(Placement, ExecutionPlan, PlanTier)> = None;
+        // The partitioned placement that failed the balance check, kept as
+        // the makespan reference the fallback quality gate compares against.
+        let mut reference: Option<Placement> = None;
         for tier in PlanTier::all() {
             if tier < start {
                 continue;
             }
             let tp = Instant::now();
-            let placed = self.placement_for_tier(&layout, tier, n, &mut pstats);
+            let placed = self.placement_for_tier(&layout, tier, n, &mut pstats, &mut reference);
             let place_dt = tp.elapsed().as_secs_f64();
             partition_s += place_dt;
             if obs_on {
@@ -403,6 +433,38 @@ impl Planner {
             }
             match built {
                 Ok(plan) => {
+                    // Fallback quality gate: a degraded-tier plan must not
+                    // regress the simulated makespan past the configured
+                    // factor of what the (unbalanced) partitioned placement
+                    // would have achieved. `force_tier` has no reference to
+                    // compare against and is exempt.
+                    if tier != PlanTier::Partitioned && self.cfg.force_tier.is_none() {
+                        if let Some(factor) = reference
+                            .as_ref()
+                            .and_then(|r| self.fallback_regression(&layout, r, &plan))
+                        {
+                            if factor > self.cfg.max_fallback_regression {
+                                let e = DcpError::fallback_rejected(
+                                    tier,
+                                    factor,
+                                    self.cfg.max_fallback_regression,
+                                );
+                                if obs_on {
+                                    self.obs.record(stamp(
+                                        Event::instant(ObsSource::Planner, "fallback_rejected")
+                                            .with_label(tier.label())
+                                            .with_time(t_total.elapsed().as_secs_f64(), 0.0),
+                                    ));
+                                }
+                                reasons.push(format!("{}: {e}", tier.label()));
+                                last_err = Some(e);
+                                if !self.cfg.fallback {
+                                    break;
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     chosen = Some((placement, plan, tier));
                     break;
                 }
@@ -486,12 +548,14 @@ impl Planner {
         tier: PlanTier,
         n: u32,
         pstats: &mut PartitionStats,
+        reference: &mut Option<Placement>,
     ) -> DcpResult<Placement> {
         match tier {
             PlanTier::Partitioned => {
                 let (placement, balanced, stats) = self.place(layout)?;
                 pstats.merge(&stats);
                 if !balanced {
+                    *reference = Some(placement);
                     return Err(DcpError::Infeasible(
                         "partition exceeded the balance caps (ε-infeasible)".into(),
                     ));
@@ -502,6 +566,7 @@ impl Planner {
                     let avg = total as f64 / loads.len().max(1) as f64;
                     let max = loads.iter().copied().max().unwrap_or(0) as f64;
                     if max > (1.0 + self.cfg.eps_intra) * avg {
+                        *reference = Some(placement);
                         return Err(DcpError::Infeasible(format!(
                             "strict ε violated: max load {max:.0} > (1 + {}) * avg {avg:.0}",
                             self.cfg.eps_intra
@@ -513,6 +578,29 @@ impl Planner {
             PlanTier::Greedy => Placement::greedy(layout, n),
             PlanTier::Static => dcp_baselines::static_placement(layout, n, true),
         }
+    }
+
+    /// Makespan ratio of a fallback candidate to the partitioned reference
+    /// placement, both simulated on the planner's cluster. `None` (gate
+    /// skipped) when the reference cannot be scheduled or either simulation
+    /// fails — the gate only ever vetoes with positive evidence.
+    fn fallback_regression(
+        &self,
+        layout: &BatchLayout,
+        reference: &Placement,
+        candidate: &ExecutionPlan,
+    ) -> Option<f64> {
+        let sched = ScheduleConfig {
+            divisions: self.cfg.divisions,
+            ..Default::default()
+        };
+        let ref_plan = build_plan(layout, reference, &sched).ok()?;
+        let ref_t = simulate_plan(&self.cluster, &ref_plan).ok()?.total();
+        let cand_t = simulate_plan(&self.cluster, candidate).ok()?.total();
+        if !ref_t.is_finite() || ref_t <= 0.0 || !cand_t.is_finite() {
+            return None;
+        }
+        Some(cand_t / ref_t)
     }
 
     /// Builds the placement hypergraph of `layout`: one vertex per token
@@ -551,6 +639,51 @@ impl Planner {
         b.build().expect("pins are in range by construction")
     }
 
+    /// Per-device capacity weights derived from `cfg.fault_spec`:
+    /// `[compute, bytes]` — compute ∝ 1/slowdown, bytes ∝ the rate factor of
+    /// the device's worst incident link (flapping links contribute their
+    /// duty-weighted mean). `None` when no spec is set or it changes nothing,
+    /// so the healthy path is byte-identical to a fault-blind planner.
+    fn fault_weights(&self, n: u32) -> Option<Vec<[f64; 2]>> {
+        let spec = self.cfg.fault_spec.as_ref()?;
+        let n = n as usize;
+        let slow = spec.slowdowns(n);
+        let mut net = vec![1.0f64; n];
+        for (src, dst, factor) in spec.link_factors() {
+            for d in [src, dst] {
+                if (d as usize) < n {
+                    net[d as usize] = net[d as usize].min(factor.max(MIN_NET_WEIGHT));
+                }
+            }
+        }
+        for (src, dst, _period, duty, factor) in spec.flapping_links() {
+            let mean = duty * factor + (1.0 - duty);
+            for d in [src, dst] {
+                if (d as usize) < n {
+                    net[d as usize] = net[d as usize].min(mean.max(MIN_NET_WEIGHT));
+                }
+            }
+        }
+        let w: Vec<[f64; 2]> = (0..n).map(|d| [1.0 / slow[d].max(1.0), net[d]]).collect();
+        if w.iter().all(|x| x[0] >= 1.0 - 1e-12 && x[1] >= 1.0 - 1e-12) {
+            return None;
+        }
+        Some(w)
+    }
+
+    /// Splits `totals` across parts proportionally to `weights` (per
+    /// dimension, floored at 1 so downstream caps stay positive).
+    fn targets_from_weights(totals: VertexWeight, weights: &[[f64; 2]]) -> Vec<VertexWeight> {
+        let mut t = vec![[0u64; 2]; weights.len()];
+        for dim in 0..2 {
+            let sum: f64 = weights.iter().map(|w| w[dim]).sum();
+            for (ti, w) in t.iter_mut().zip(weights) {
+                ti[dim] = ((totals[dim] as f64 * w[dim] / sum).round() as u64).max(1);
+            }
+        }
+        t
+    }
+
     fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool, PartitionStats)> {
         // Per-machine sub-partition: vertex map, local assignment, balanced,
         // stage timings.
@@ -560,6 +693,8 @@ impl Planner {
         let x = self.cluster.nodes;
         let y = self.cluster.devices_per_node;
         let n = x * y;
+        let fw = self.fault_weights(n);
+        let totals = hg.part_weights(&vec![0u32; hg.num_vertices()], 1)[0];
 
         let mut stats = PartitionStats::default();
         let (assignment, balanced): (Vec<u32>, bool) = if !self.cfg.hierarchical || x == 1 {
@@ -567,6 +702,9 @@ impl Planner {
                 .with_epsilon(self.cfg.eps_intra)
                 .with_seed(self.cfg.seed);
             pc.refine_enabled = self.cfg.refine;
+            if let Some(w) = &fw {
+                pc = pc.with_part_targets(Self::targets_from_weights(totals, w));
+            }
             let (part, s) = partition_with_stats(&hg, &pc)?;
             stats.merge(&s);
             (part.assignment, part.balanced)
@@ -576,6 +714,20 @@ impl Planner {
                 .with_epsilon(self.cfg.eps_inter)
                 .with_seed(self.cfg.seed);
             pc.refine_enabled = self.cfg.refine;
+            if let Some(w) = &fw {
+                // A machine's capacity is the sum of its member devices'.
+                let mw: Vec<[f64; 2]> = (0..x as usize)
+                    .map(|m| {
+                        let mut s = [0.0f64; 2];
+                        for j in 0..y as usize {
+                            s[0] += w[m * y as usize + j][0];
+                            s[1] += w[m * y as usize + j][1];
+                        }
+                        s
+                    })
+                    .collect();
+                pc = pc.with_part_targets(Self::targets_from_weights(totals, &mw));
+            }
             let (machine, s1) = partition_with_stats(&hg, &pc)?;
             stats.merge(&s1);
             let mut balanced = machine.balanced;
@@ -597,6 +749,13 @@ impl Planner {
                         .with_epsilon(self.cfg.eps_intra)
                         .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
                     pc2.refine_enabled = self.cfg.refine;
+                    if let Some(w) = &fw {
+                        // Re-scale the member devices' weights to the load
+                        // level 1 actually assigned to this machine.
+                        let sub_totals = sub.part_weights(&vec![0u32; sub.num_vertices()], 1)[0];
+                        let dw = &w[m as usize * y as usize..(m as usize + 1) * y as usize];
+                        pc2 = pc2.with_part_targets(Self::targets_from_weights(sub_totals, dw));
+                    }
                     let (local, s2) = partition_with_stats(&sub, &pc2)?;
                     Ok((map, local.assignment, local.balanced, s2))
                 })
@@ -861,6 +1020,123 @@ mod tests {
         // Strict mode surfaces the infeasibility instead.
         let err = mk(false).plan(&seqs).unwrap_err();
         assert!(matches!(err, DcpError::Infeasible(_)), "{err}");
+    }
+
+    #[test]
+    fn tiny_regression_limit_rejects_every_fallback_tier() {
+        // Same ε-infeasible setup as `infeasible_epsilon_falls_back...`, but
+        // with an absurdly tight quality gate: every fallback candidate
+        // regresses past it, the chain exhausts, and the typed rejection
+        // surfaces instead of a silently degraded plan.
+        let seqs = vec![(16384, MaskSpec::Causal), (2048, MaskSpec::Causal)];
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 4096,
+                eps_intra: 0.0,
+                strict_epsilon: true,
+                max_fallback_regression: 1e-6,
+                ..Default::default()
+            },
+        );
+        let err = p.plan(&seqs).unwrap_err();
+        assert!(matches!(err, DcpError::FallbackRejected { .. }), "{err}");
+    }
+
+    #[test]
+    fn force_tier_skips_the_fallback_gate() {
+        // Pinning a tier is an explicit user decision; there is no
+        // partitioned reference to compare against, so the gate must not
+        // veto it even at an impossible limit.
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                force_tier: Some(PlanTier::Static),
+                max_fallback_regression: 1e-6,
+                ..Default::default()
+            },
+        );
+        let out = p.plan(&[(16384, MaskSpec::Causal)]).unwrap();
+        assert_eq!(out.tier, PlanTier::Static);
+    }
+
+    #[test]
+    fn fault_aware_placement_shifts_load_off_straggler() {
+        use dcp_sim::Fault;
+        let seqs = vec![(32768, MaskSpec::Causal), (32768, MaskSpec::Causal)];
+        let mk = |spec: Option<FaultSpec>| {
+            Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    fault_spec: spec,
+                    ..Default::default()
+                },
+            )
+        };
+        let healthy = mk(None).plan(&seqs).unwrap();
+        let spec = FaultSpec {
+            seed: 0,
+            faults: vec![Fault::Straggler {
+                device: 0,
+                slowdown: 4.0,
+            }],
+        };
+        let aware = mk(Some(spec)).plan(&seqs).unwrap();
+        assert_eq!(
+            aware.tier,
+            PlanTier::Partitioned,
+            "{:?}",
+            aware.fallback_reason
+        );
+        let hl = healthy.placement.comp_loads(&healthy.layout);
+        let al = aware.placement.comp_loads(&aware.layout);
+        assert!(
+            (al[0] as f64) < 0.6 * hl[0] as f64,
+            "straggler kept its load: {} vs healthy {}",
+            al[0],
+            hl[0]
+        );
+    }
+
+    #[test]
+    fn empty_fault_spec_places_identically_to_none() {
+        let seqs = vec![(16384, MaskSpec::Causal), (4096, MaskSpec::Causal)];
+        let mk = |spec: Option<FaultSpec>| {
+            Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    fault_spec: spec,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = mk(None).plan(&seqs).unwrap();
+        let b = mk(Some(FaultSpec {
+            seed: 0,
+            faults: Vec::new(),
+        }))
+        .plan(&seqs)
+        .unwrap();
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn plan_output_roundtrips_through_json() {
+        let p = planner(1);
+        let out = p.plan(&[(8192, MaskSpec::Causal)]).unwrap();
+        let j = serde_json::to_string(&out).unwrap();
+        let back: PlanOutput = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.placement, out.placement);
+        assert_eq!(back.plan, out.plan);
+        assert_eq!(back.tier, out.tier);
     }
 
     #[test]

@@ -1,0 +1,991 @@
+//! Elastic mid-iteration recovery: shrink-and-reshard a live plan onto the
+//! surviving devices after a device loss.
+//!
+//! The planner (Sec. 4) assumes the device set is fixed for the whole
+//! iteration. This module relaxes that: given a [`PlanOutput`] already in
+//! flight, a per-device execution frontier (how many fused attention
+//! divisions each device completed) and a [`FailureEvent`] naming the lost
+//! device, [`RecoveryPlanner::plan_recovery`] produces a [`RecoveryPatch`]
+//! that completes the batch on the survivors **without recomputing anything
+//! the failed device already finished**:
+//!
+//! - the failed device's *un-executed* computation blocks and its ownership
+//!   duties are grouped into per-Q-block **residual units** and re-sharded
+//!   over the survivors by the same hypergraph partitioner the planner uses,
+//!   with each survivor's *remaining* capacity (its own unfinished divisions)
+//!   as the per-part target weight (via
+//!   [`dcp_hypergraph::PartitionConfig::with_part_targets`]);
+//! - partial outputs the failed device already reduced are **salvaged**: its
+//!   raw online-softmax accumulators ship to the replacement shards over
+//!   dedicated salvage comm ops, so the shards fold the residual blocks into
+//!   them exactly where the failed device left off — the merged batch output
+//!   is bitwise identical to an unfaulted run (see
+//!   `dcp_exec::execute_forward_recovery`);
+//! - survivor instruction streams are reused **verbatim**: shards deposit
+//!   the failed device's outstanding partials under the original comm ids,
+//!   so nothing downstream of the failure is regenerated. Only the failed
+//!   device's stream (truncated at the frontier plus salvage launches) and
+//!   the shard streams are new.
+//!
+//! The patch carries two phase plans: `fwd`, a *functional* plan over
+//! `D + S` logical devices (shard `j` is logical device `D + j`) for the
+//! numerical executor, and `timing`, the same work folded back onto the `D`
+//! physical ranks (shard `j` on survivor `shard_hosts[j]`) for the cluster
+//! simulator — the recovered-vs-clean makespan delta is the recovery cost
+//! charged into the iteration breakdown. The backward phase has no partial
+//! state to salvage, so it is re-planned from scratch on the survivors.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+use dcp_blocks::{BatchLayout, CompBlockId, TokenBlockId};
+use dcp_hypergraph::{partition, HypergraphBuilder, PartitionConfig, VertexWeight};
+use dcp_obs::{Event, ObsHandle, Source as ObsSource};
+use dcp_sched::{
+    build_plan, BufferStats, CommId, CommOp, DeviceStream, ExecutionPlan, Instr, Payload,
+    PayloadKind, PhasePlan, Placement, ReduceItem, ScheduleConfig, Transfer,
+};
+use dcp_types::{DcpError, DcpResult};
+use serde::{Deserialize, Serialize};
+
+use crate::planner::PlanOutput;
+
+/// A device loss at a division boundary of the forward phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// The lost device rank.
+    pub device: u32,
+    /// Fused attention divisions the device completed before failing (its
+    /// execution frontier). `0` means it failed before computing anything;
+    /// a value equal to its division count means only its ownership duties
+    /// (output reduction) remain.
+    pub divisions_done: u32,
+}
+
+/// Tuning knobs for the recovery planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Imbalance tolerance for the residual re-shard (both weight
+    /// dimensions). The residual subproblem is small, so this is looser
+    /// than the planner's placement epsilon.
+    pub epsilon: f64,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Divisions for the re-planned backward phase (match the original
+    /// [`crate::PlannerConfig::divisions`]).
+    pub divisions: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            epsilon: 0.4,
+            seed: 0x5eed,
+            divisions: 4,
+        }
+    }
+}
+
+/// Accounting for one recovery patch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Forward FLOPs the failed device was assigned in the original plan.
+    pub failed_flops: u64,
+    /// Forward FLOPs re-assigned to shards (the failed device's un-executed
+    /// blocks). Everything it finished is salvaged, not redone.
+    pub redone_flops: u64,
+    /// Bytes of raw accumulators evacuated from the failed device.
+    pub salvage_bytes: u64,
+    /// Bytes of Q/KV inputs the shards re-fetch for residual blocks.
+    pub refetch_bytes: u64,
+    /// Residual units (Q-block groups) re-sharded over the survivors.
+    pub residual_units: usize,
+    /// Whether the hypergraph re-shard fell back to greedy waterfilling.
+    pub greedy_fallback: bool,
+    /// Wall time spent building this patch.
+    pub plan_wall_s: f64,
+}
+
+/// The shrink-and-reshard patch for one [`FailureEvent`].
+///
+/// `fwd` is the functional plan: `D + shard_hosts.len()` logical devices,
+/// executed with `dcp_exec::execute_forward_recovery` using a salvage
+/// context built from `failed` / `salvage_comms` / `producer_of` /
+/// `reowned`. `timing` folds the shard work onto the `D` physical ranks for
+/// the simulator. The backward phase is re-planned: `bwd_placement` assigns
+/// nothing to the failed device and `bwd` is its freshly built plan.
+#[derive(Debug, Clone)]
+pub struct RecoveryPatch {
+    /// The failed device rank.
+    pub failed: u32,
+    /// Divisions the failed device completed (copied from the event).
+    pub divisions_done: u32,
+    /// Physical survivor hosting each shard: shard `j` (logical device
+    /// `D + j`) runs on rank `shard_hosts[j]`.
+    pub shard_hosts: Vec<u32>,
+    /// Placement over the `D + S` logical devices of `fwd`.
+    pub placement: Placement,
+    /// Patched forward phase over `D + S` logical devices.
+    pub fwd: PhasePlan,
+    /// Comm ids in `fwd` carrying raw salvaged accumulators.
+    pub salvage_comms: HashSet<u32>,
+    /// Shard (logical device id) that deposits each token block's
+    /// outstanding partial under the original comm ids.
+    pub producer_of: HashMap<TokenBlockId, u32>,
+    /// Token blocks whose ownership moved from the failed device to a shard.
+    pub reowned: HashSet<TokenBlockId>,
+    /// The patched forward phase folded onto the `D` physical ranks, for
+    /// the cluster simulator.
+    pub timing: PhasePlan,
+    /// Backward placement over `D` devices with nothing on the failed rank.
+    pub bwd_placement: Placement,
+    /// Freshly built plan for `bwd_placement` (use its `bwd` phase).
+    pub bwd: ExecutionPlan,
+    /// Patch accounting.
+    pub stats: RecoveryStats,
+}
+
+/// One residual unit: a Q block plus the failed device's un-executed
+/// computation blocks targeting it, moved to a shard as a whole so the
+/// salvaged accumulator, the residual folds and the ownership duties of the
+/// block stay colocated.
+#[derive(Debug)]
+struct Unit {
+    tb: TokenBlockId,
+    items: Vec<CompBlockId>,
+    flops: u64,
+    owned: bool,
+}
+
+/// Builds [`RecoveryPatch`]es for failures against live [`PlanOutput`]s.
+#[derive(Debug, Clone)]
+pub struct RecoveryPlanner {
+    cfg: RecoveryConfig,
+    obs: ObsHandle,
+}
+
+impl RecoveryPlanner {
+    /// A recovery planner with the given configuration and no observability.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        RecoveryPlanner {
+            cfg,
+            obs: ObsHandle::noop(),
+        }
+    }
+
+    /// Attaches an observability sink: `plan_recovery` emits a
+    /// `device_lost` instant, a `recovery_plan` span and salvage/redo
+    /// counters under [`dcp_obs::Source::Planner`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Produces the shrink-and-reshard patch for `ev` against `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcpError::InvalidArgument`] if the failed device is out of
+    /// range, there are no survivors, or `divisions_done` exceeds the
+    /// device's division count; [`DcpError::InvalidPlan`] if the plan's
+    /// streams are internally inconsistent.
+    pub fn plan_recovery(&self, out: &PlanOutput, ev: &FailureEvent) -> DcpResult<RecoveryPatch> {
+        let t0 = Instant::now();
+        let d_total = out.plan.num_devices;
+        let failed = ev.device;
+        if failed >= d_total {
+            return Err(DcpError::invalid_argument(format!(
+                "failed device {failed} out of range for {d_total} devices"
+            )));
+        }
+        if d_total < 2 {
+            return Err(DcpError::invalid_argument(
+                "cannot recover: no surviving devices",
+            ));
+        }
+        let layout = &out.layout;
+        let fwd = &out.plan.fwd;
+        let fstream = &fwd.devices[failed as usize];
+
+        // --- 1. Execution frontier: split the failed stream. -------------
+        let (cut, executed, residual, failed_flops) =
+            split_frontier(&fstream.instrs, ev.divisions_done)?;
+        let redone_flops: u64 = residual
+            .iter()
+            .map(|&c| layout.comp_blocks[c.0 as usize].flops)
+            .sum();
+
+        // --- 2. Residual units: group by Q block, absorb ownership. ------
+        let mut units: Vec<Unit> = Vec::new();
+        let mut unit_of: HashMap<TokenBlockId, usize> = HashMap::new();
+        for &c in &residual {
+            let cb = layout.comp_blocks[c.0 as usize];
+            let idx = *unit_of.entry(cb.q_block).or_insert_with(|| {
+                units.push(Unit {
+                    tb: cb.q_block,
+                    items: Vec::new(),
+                    flops: 0,
+                    owned: false,
+                });
+                units.len() - 1
+            });
+            units[idx].items.push(c);
+            units[idx].flops += cb.flops;
+        }
+        for (i, &owner) in out.placement.token_to_dev.iter().enumerate() {
+            if owner == failed {
+                let tb = TokenBlockId(i as u32);
+                let idx = *unit_of.entry(tb).or_insert_with(|| {
+                    units.push(Unit {
+                        tb,
+                        items: Vec::new(),
+                        flops: 0,
+                        owned: false,
+                    });
+                    units.len() - 1
+                });
+                units[idx].owned = true;
+            }
+        }
+
+        // --- 3. Re-shard units onto survivors' remaining capacity. -------
+        let survivors: Vec<u32> = (0..d_total).filter(|&x| x != failed).collect();
+        let s_count = survivors.len();
+        let shard_dev = |j: u32| d_total + j;
+        let remaining: Vec<u64> = survivors
+            .iter()
+            .map(|&s| remaining_flops(&fwd.devices[s as usize].instrs, ev.divisions_done))
+            .collect();
+        let unit_bytes = |u: &Unit| {
+            let tb = &layout.token_blocks[u.tb.0 as usize];
+            tb.o_bytes + if u.owned { tb.total_bytes() } else { 0 }
+        };
+        let residual_total: u64 = units.iter().map(|u| u.flops).sum();
+        let bytes_total: u64 = units.iter().map(unit_bytes).sum();
+        // Waterfill: every survivor should end this phase with the same
+        // total remaining work, so a shard's target is the shortfall between
+        // the post-recovery ideal and what its host already has queued.
+        let ideal = (remaining.iter().sum::<u64>() + residual_total) as f64 / s_count.max(1) as f64;
+        let targets: Vec<VertexWeight> = remaining
+            .iter()
+            .map(|&r| {
+                [
+                    (ideal - r as f64).max(1.0).round() as u64,
+                    (bytes_total / s_count as u64).max(1),
+                ]
+            })
+            .collect();
+        let mut greedy_fallback = false;
+        let part_of: Vec<u32> = if units.is_empty() {
+            Vec::new()
+        } else if s_count == 1 {
+            vec![0; units.len()]
+        } else {
+            let mut b = HypergraphBuilder::new(units.len());
+            for (i, u) in units.iter().enumerate() {
+                b.set_vertex_weight(i, [u.flops.max(1), unit_bytes(u)]);
+            }
+            // Units sharing a KV input want to land on the same shard so the
+            // input is fetched once.
+            let mut consumers: BTreeMap<TokenBlockId, Vec<u32>> = BTreeMap::new();
+            for (i, u) in units.iter().enumerate() {
+                for &c in &u.items {
+                    let kb = layout.comp_blocks[c.0 as usize].kv_block;
+                    consumers.entry(kb).or_default().push(i as u32);
+                }
+            }
+            for (kb, pins) in consumers {
+                if pins.len() > 1 {
+                    b.add_edge(layout.token_blocks[kb.0 as usize].kv_bytes, &pins);
+                }
+            }
+            let hg = b.build()?;
+            let mut pc = PartitionConfig::new(s_count as u32)
+                .with_epsilon(self.cfg.epsilon)
+                .with_part_targets(targets.clone());
+            pc.eps[1] = self.cfg.epsilon;
+            pc.seed = self.cfg.seed;
+            match partition(&hg, &pc) {
+                Ok(p) if p.balanced => p.assignment,
+                _ => {
+                    greedy_fallback = true;
+                    waterfill(&units, &targets)
+                }
+            }
+        };
+
+        // --- 4. Patched placement over D + S logical devices. ------------
+        let mut token_to_dev = out.placement.token_to_dev.clone();
+        let mut comp_to_dev = out.placement.comp_to_dev.clone();
+        let mut reowned: HashSet<TokenBlockId> = HashSet::new();
+        for (i, u) in units.iter().enumerate() {
+            let dev = shard_dev(part_of[i]);
+            if u.owned {
+                token_to_dev[u.tb.0 as usize] = dev;
+                reowned.insert(u.tb);
+            }
+            for &c in &u.items {
+                comp_to_dev[c.0 as usize] = dev;
+            }
+        }
+        let placement = Placement {
+            num_devices: d_total + s_count as u32,
+            token_to_dev,
+            comp_to_dev,
+        };
+
+        // --- 5. Patched comm ops. ----------------------------------------
+        let mut comms: Vec<CommOp> = fwd.comms.clone();
+        // Partials bound for the failed owner now target its block's shard.
+        for op in &mut comms {
+            for tr in &mut op.transfers {
+                if tr.to == failed {
+                    if let Payload::PartialO(tb, _) = tr.payload {
+                        let &u = unit_of.get(&tb).ok_or_else(|| {
+                            DcpError::invalid_plan(format!(
+                                "partial for {tb:?} targets failed device {failed} \
+                                 but the block has no residual unit"
+                            ))
+                        })?;
+                        tr.to = shard_dev(part_of[u]);
+                    }
+                }
+            }
+        }
+        // The failed device's outstanding out-comms: launched after the
+        // frontier, so a shard must deposit them under the original ids.
+        let mut residual_out_cids: Vec<u32> = Vec::new();
+        let mut producer_of: HashMap<TokenBlockId, u32> = HashMap::new();
+        for ins in &fstream.instrs[cut..] {
+            if let Instr::CommLaunch(cid) = ins {
+                let op = &comms[cid.0 as usize];
+                let mut is_out = false;
+                for tr in &op.transfers {
+                    if let Payload::PartialO(tb, p) = tr.payload {
+                        if p == failed {
+                            is_out = true;
+                            let &u = unit_of.get(&tb).ok_or_else(|| {
+                                DcpError::invalid_plan(format!(
+                                    "outstanding partial for {tb:?} has no residual unit"
+                                ))
+                            })?;
+                            producer_of.insert(tb, shard_dev(part_of[u]));
+                        }
+                    }
+                }
+                if is_out {
+                    residual_out_cids.push(cid.0);
+                }
+            }
+        }
+        // Salvage ops: raw accumulators the failed device built before the
+        // frontier that a shard still needs (residual folds, outstanding
+        // partials, or final assembly of a re-owned block).
+        let executed_q: HashSet<TokenBlockId> = executed
+            .iter()
+            .map(|&c| layout.comp_blocks[c.0 as usize].q_block)
+            .collect();
+        let mut salvage_comms: HashSet<u32> = HashSet::new();
+        let mut salvage_cid: Vec<Option<CommId>> = vec![None; s_count];
+        let mut salvage_bytes = 0u64;
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..s_count {
+            let transfers: Vec<Transfer> = units
+                .iter()
+                .enumerate()
+                .filter(|&(i, u)| part_of[i] == j as u32 && executed_q.contains(&u.tb))
+                .map(|(_, u)| {
+                    let bytes = layout.token_blocks[u.tb.0 as usize].o_bytes;
+                    salvage_bytes += bytes;
+                    Transfer {
+                        from: failed,
+                        to: shard_dev(j as u32),
+                        payload: Payload::PartialO(u.tb, failed),
+                        bytes,
+                    }
+                })
+                .collect();
+            if !transfers.is_empty() {
+                let cid = CommId(comms.len() as u32);
+                salvage_cid[j] = Some(cid);
+                salvage_comms.insert(cid.0);
+                comms.push(CommOp { transfers });
+            }
+        }
+        // Input re-fetch ops: Q/KV slices a shard's residual blocks read
+        // that it does not own under the patched placement. `from` is the
+        // device physically holding the data today (the original owner — the
+        // failed device keeps serving its resident blocks while draining).
+        let mut fetch_cid: Vec<Option<CommId>> = vec![None; s_count];
+        let mut refetch_bytes = 0u64;
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..s_count {
+            let dev = shard_dev(j as u32);
+            let mut seen: HashSet<Payload> = HashSet::new();
+            let mut transfers: Vec<Transfer> = Vec::new();
+            for (i, u) in units.iter().enumerate() {
+                if part_of[i] != j as u32 {
+                    continue;
+                }
+                for &c in &u.items {
+                    let cb = layout.comp_blocks[c.0 as usize];
+                    let qb = &layout.token_blocks[cb.q_block.0 as usize];
+                    let kb = &layout.token_blocks[cb.kv_block.0 as usize];
+                    for (payload, bytes) in [
+                        (Payload::Q(cb.q_block), qb.q_bytes),
+                        (Payload::Kv(cb.kv_block), kb.kv_bytes),
+                    ] {
+                        let tb = payload.token_block();
+                        if placement.token_dev(tb) == dev || !seen.insert(payload) {
+                            continue;
+                        }
+                        refetch_bytes += bytes;
+                        transfers.push(Transfer {
+                            from: out.placement.token_dev(tb),
+                            to: dev,
+                            payload,
+                            bytes,
+                        });
+                    }
+                }
+            }
+            if !transfers.is_empty() {
+                let cid = CommId(comms.len() as u32);
+                fetch_cid[j] = Some(cid);
+                comms.push(CommOp { transfers });
+            }
+        }
+
+        // --- 6. Streams: truncate the failed device, emit shards. --------
+        let mut truncated: Vec<Instr> = fstream.instrs[..cut].to_vec();
+        for cid in salvage_cid.iter().flatten() {
+            truncated.push(Instr::CommLaunch(*cid));
+        }
+        // The failed stream's original tail: output waits and the reduce,
+        // mirrored (filtered) onto the shards in the same order.
+        let tail_waits: Vec<u32> = fstream.instrs[cut..]
+            .iter()
+            .filter_map(|ins| match ins {
+                Instr::CommWait(cid) => Some(cid.0),
+                _ => None,
+            })
+            .collect();
+        let failed_reduce: Vec<ReduceItem> = fstream
+            .instrs
+            .iter()
+            .find_map(|ins| match ins {
+                Instr::Reduce { items, .. } => Some(items.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+
+        let mut devices: Vec<DeviceStream> = fwd.devices.clone();
+        devices[failed as usize] = DeviceStream {
+            device: failed,
+            instrs: truncated.clone(),
+            buffer: fstream.buffer,
+        };
+        for j in 0..s_count {
+            let dev = shard_dev(j as u32);
+            let mut instrs: Vec<Instr> = Vec::new();
+            if let Some(cid) = fetch_cid[j] {
+                instrs.push(Instr::CommLaunch(cid));
+            }
+            if let Some(cid) = salvage_cid[j] {
+                instrs.push(Instr::CommWait(cid));
+            }
+            if let Some(cid) = fetch_cid[j] {
+                instrs.push(Instr::CommWait(cid));
+            }
+            let items: Vec<CompBlockId> = residual
+                .iter()
+                .copied()
+                .filter(|&c| placement.comp_dev(c) == dev)
+                .collect();
+            if !items.is_empty() {
+                let flops = items
+                    .iter()
+                    .map(|&c| layout.comp_blocks[c.0 as usize].flops)
+                    .sum();
+                instrs.push(Instr::Attn { items, flops });
+            }
+            for &cid in &residual_out_cids {
+                let mine = comms[cid as usize].transfers.iter().any(|tr| {
+                    matches!(tr.payload, Payload::PartialO(tb, p)
+                        if p == failed && producer_of.get(&tb) == Some(&dev))
+                });
+                if mine {
+                    instrs.push(Instr::CommLaunch(CommId(cid)));
+                }
+            }
+            for &cid in &tail_waits {
+                if comms[cid as usize].transfers.iter().any(|tr| tr.to == dev) {
+                    instrs.push(Instr::CommWait(CommId(cid)));
+                }
+            }
+            let ritems: Vec<ReduceItem> = failed_reduce
+                .iter()
+                .filter(|it| placement.token_dev(it.target) == dev)
+                .cloned()
+                .collect();
+            if !ritems.is_empty() {
+                let bytes = reduce_bytes(layout, &ritems);
+                instrs.push(Instr::Reduce {
+                    items: ritems,
+                    bytes,
+                });
+            }
+            devices.push(DeviceStream {
+                device: dev,
+                instrs,
+                buffer: BufferStats::default(),
+            });
+        }
+        let patch_fwd = PhasePlan {
+            comms: comms.clone(),
+            devices,
+        };
+
+        // --- 7. Timing plan: fold shards onto their physical hosts. ------
+        let host = |x: u32| {
+            if x >= d_total {
+                survivors[(x - d_total) as usize]
+            } else {
+                x
+            }
+        };
+        let tcomms: Vec<CommOp> = comms
+            .iter()
+            .enumerate()
+            .map(|(cid, op)| CommOp {
+                transfers: op
+                    .transfers
+                    .iter()
+                    .map(|tr| {
+                        // Outstanding partials are now produced by a shard,
+                        // so the flow must originate from the shard's host
+                        // for the spliced launch to start it. Salvage ops
+                        // are genuine failed→shard evacuations and keep
+                        // their source.
+                        let from = match tr.payload {
+                            Payload::PartialO(tb, _)
+                                if tr.from == failed && !salvage_comms.contains(&(cid as u32)) =>
+                            {
+                                producer_of.get(&tb).copied().unwrap_or(tr.from)
+                            }
+                            _ => tr.from,
+                        };
+                        Transfer { from, ..*tr }
+                    })
+                    .filter(|tr| host(tr.from) != host(tr.to))
+                    .map(|tr| Transfer {
+                        from: host(tr.from),
+                        to: host(tr.to),
+                        ..tr
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut tdevices: Vec<DeviceStream> = Vec::with_capacity(d_total as usize);
+        for r in 0..d_total {
+            if r == failed {
+                tdevices.push(DeviceStream {
+                    device: r,
+                    instrs: truncated.clone(),
+                    buffer: fstream.buffer,
+                });
+                continue;
+            }
+            let j = survivors.iter().position(|&s| s == r).expect("survivor");
+            let orig = &fwd.devices[r as usize];
+            let mut instrs = orig.instrs.clone();
+            // Shard work slots in after the host's own compute, before its
+            // trailing output waits and reduce.
+            let mut tail = instrs.len();
+            while tail > 0 && matches!(instrs[tail - 1], Instr::CommWait(_) | Instr::Reduce { .. })
+            {
+                tail -= 1;
+            }
+            let shard = patch_fwd.devices[d_total as usize + j].instrs.clone();
+            instrs.splice(tail..tail, shard);
+            tdevices.push(DeviceStream {
+                device: r,
+                instrs,
+                buffer: orig.buffer,
+            });
+        }
+        let timing = PhasePlan {
+            comms: tcomms,
+            devices: tdevices,
+        };
+
+        // --- 8. Backward: re-plan from scratch on the survivors. ---------
+        let mut bwd_token = out.placement.token_to_dev.clone();
+        let mut bwd_comp = out.placement.comp_to_dev.clone();
+        for (i, u) in units.iter().enumerate() {
+            let s = survivors[part_of[i] as usize];
+            if u.owned {
+                bwd_token[u.tb.0 as usize] = s;
+            }
+            for &c in &u.items {
+                bwd_comp[c.0 as usize] = s;
+            }
+        }
+        let mut load = vec![0u64; d_total as usize];
+        for (c, &dev) in bwd_comp.iter().enumerate() {
+            if dev != failed {
+                load[dev as usize] += layout.comp_blocks[c].flops;
+            }
+        }
+        // The failed device's *executed* blocks still need a backward home;
+        // waterfill them over the survivors by total flop load.
+        for (c, dev) in bwd_comp.iter_mut().enumerate() {
+            if *dev == failed {
+                let s = *survivors
+                    .iter()
+                    .min_by_key(|&&s| (load[s as usize], s))
+                    .expect("nonempty survivors");
+                *dev = s;
+                load[s as usize] += layout.comp_blocks[c].flops;
+            }
+        }
+        let bwd_placement = Placement {
+            num_devices: d_total,
+            token_to_dev: bwd_token,
+            comp_to_dev: bwd_comp,
+        };
+        let bwd = build_plan(
+            layout,
+            &bwd_placement,
+            &ScheduleConfig {
+                divisions: self.cfg.divisions,
+                ..Default::default()
+            },
+        )?;
+
+        let stats = RecoveryStats {
+            failed_flops,
+            redone_flops,
+            salvage_bytes,
+            refetch_bytes,
+            residual_units: units.len(),
+            greedy_fallback,
+            plan_wall_s: t0.elapsed().as_secs_f64(),
+        };
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant(ObsSource::Planner, "device_lost")
+                    .with_device(failed)
+                    .with_division(ev.divisions_done),
+            );
+            self.obs.record(
+                Event::span(ObsSource::Planner, "recovery_plan")
+                    .with_device(failed)
+                    .with_time(0.0, stats.plan_wall_s),
+            );
+            self.obs.record(
+                Event::counter(
+                    ObsSource::Planner,
+                    "recovery_redone_flops",
+                    redone_flops as f64,
+                )
+                .with_flops(redone_flops),
+            );
+            self.obs.record(
+                Event::counter(
+                    ObsSource::Planner,
+                    "recovery_salvage_bytes",
+                    salvage_bytes as f64,
+                )
+                .with_bytes(salvage_bytes),
+            );
+            if greedy_fallback {
+                self.obs.record(Event::instant(
+                    ObsSource::Planner,
+                    "recovery_greedy_fallback",
+                ));
+            }
+        }
+        Ok(RecoveryPatch {
+            failed,
+            divisions_done: ev.divisions_done,
+            shard_hosts: survivors,
+            placement,
+            fwd: patch_fwd,
+            salvage_comms,
+            producer_of,
+            reowned,
+            timing,
+            bwd_placement,
+            bwd,
+            stats,
+        })
+    }
+}
+
+/// Splits a device stream at its execution frontier: the instruction just
+/// past the `k`-th fused `Attn` call, extended through the comm launches
+/// that immediately follow it (the completed division's out-comm and any
+/// already-issued prefetch). Returns the cut index, the executed and
+/// residual computation blocks (in stream order) and the stream's total
+/// forward flops.
+fn split_frontier(
+    instrs: &[Instr],
+    k: u32,
+) -> DcpResult<(usize, Vec<CompBlockId>, Vec<CompBlockId>, u64)> {
+    let mut cut = 0usize;
+    if k > 0 {
+        let mut seen = 0u32;
+        let mut found = false;
+        for (i, ins) in instrs.iter().enumerate() {
+            if matches!(ins, Instr::Attn { .. }) {
+                seen += 1;
+                if seen == k {
+                    cut = i + 1;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if !found {
+            return Err(DcpError::invalid_argument(format!(
+                "device has fewer than divisions_done = {k} attention divisions"
+            )));
+        }
+    }
+    while cut < instrs.len() && matches!(instrs[cut], Instr::CommLaunch(_)) {
+        cut += 1;
+    }
+    let mut executed = Vec::new();
+    let mut residual = Vec::new();
+    let mut total = 0u64;
+    for (i, ins) in instrs.iter().enumerate() {
+        if let Instr::Attn { items, flops } = ins {
+            total += flops;
+            if i < cut {
+                executed.extend_from_slice(items);
+            } else {
+                residual.extend_from_slice(items);
+            }
+        }
+    }
+    Ok((cut, executed, residual, total))
+}
+
+/// Forward flops a device has left after completing `k` fused divisions.
+fn remaining_flops(instrs: &[Instr], k: u32) -> u64 {
+    instrs
+        .iter()
+        .filter_map(|ins| match ins {
+            Instr::Attn { flops, .. } => Some(*flops),
+            _ => None,
+        })
+        .skip(k as usize)
+        .sum()
+}
+
+/// Deterministic greedy fallback for the residual re-shard: heaviest unit
+/// first into the shard with the most remaining flop capacity.
+fn waterfill(units: &[Unit], targets: &[VertexWeight]) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(units[i].flops), units[i].tb.0));
+    let mut cap: Vec<i128> = targets.iter().map(|t| t[0] as i128).collect();
+    let mut part = vec![0u32; units.len()];
+    for i in order {
+        let j = (0..cap.len())
+            .max_by_key(|&j| (cap[j], std::cmp::Reverse(j)))
+            .expect("nonempty targets");
+        part[i] = j as u32;
+        cap[j] -= units[i].flops.max(1) as i128;
+    }
+    part
+}
+
+/// The schedule's reduce byte model: read every partial plus the resident
+/// accumulator, write the accumulator.
+fn reduce_bytes(layout: &BatchLayout, items: &[ReduceItem]) -> u64 {
+    items
+        .iter()
+        .map(|it| {
+            let tb = &layout.token_blocks[it.target.0 as usize];
+            let unit = match it.kind {
+                PayloadKind::PartialO => tb.o_bytes,
+                PayloadKind::PartialDq => tb.q_bytes,
+                PayloadKind::PartialDkv => tb.kv_bytes,
+                _ => 0,
+            };
+            unit * (it.sources.len() as u64 + 2)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{Planner, PlannerConfig};
+    use dcp_mask::MaskSpec;
+    use dcp_types::{AttnSpec, ClusterSpec};
+
+    fn plan_8dev() -> PlanOutput {
+        let planner = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 2048,
+                divisions: 4,
+                ..Default::default()
+            },
+        );
+        planner
+            .plan(&[
+                (32768, MaskSpec::Causal),
+                (16384, MaskSpec::Causal),
+                (8192, MaskSpec::Causal),
+                (8192, MaskSpec::Causal),
+            ])
+            .unwrap()
+    }
+
+    /// The device with the most fused divisions, and that count.
+    fn busiest_device(out: &PlanOutput) -> (u32, u32) {
+        out.plan
+            .fwd
+            .devices
+            .iter()
+            .map(|s| {
+                s.instrs
+                    .iter()
+                    .filter(|i| matches!(i, Instr::Attn { .. }))
+                    .count() as u32
+            })
+            .enumerate()
+            .max_by_key(|&(i, n)| (n, std::cmp::Reverse(i)))
+            .map(|(i, n)| (i as u32, n))
+            .unwrap()
+    }
+
+    #[test]
+    fn patch_reassigns_only_unexecuted_blocks() {
+        let out = plan_8dev();
+        let (dev, nd) = busiest_device(&out);
+        assert!(nd >= 2, "planner produced a single-division stream");
+        let k = nd / 2;
+        let ev = FailureEvent {
+            device: dev,
+            divisions_done: k,
+        };
+        let patch = RecoveryPlanner::new(RecoveryConfig::default())
+            .plan_recovery(&out, &ev)
+            .unwrap();
+        assert!(patch.stats.redone_flops < patch.stats.failed_flops);
+        // Every residual computation block moved to a shard; every executed
+        // one stayed.
+        let d = out.plan.num_devices;
+        let (cut, executed, residual, _) =
+            split_frontier(&out.plan.fwd.devices[dev as usize].instrs, k).unwrap();
+        assert!(cut > 0);
+        for &c in &residual {
+            assert!(patch.placement.comp_dev(c) >= d, "residual block on {c:?}");
+        }
+        for &c in &executed {
+            assert_eq!(patch.placement.comp_dev(c), dev);
+        }
+        // Logical device count covers the shards.
+        assert_eq!(
+            patch.fwd.devices.len() as u32,
+            d + patch.shard_hosts.len() as u32
+        );
+        assert_eq!(patch.shard_hosts.len(), 7);
+    }
+
+    #[test]
+    fn ownership_and_production_move_to_shards() {
+        let out = plan_8dev();
+        let (dev, nd) = busiest_device(&out);
+        assert!(nd >= 1);
+        let ev = FailureEvent {
+            device: dev,
+            divisions_done: 1,
+        };
+        let patch = RecoveryPlanner::new(RecoveryConfig::default())
+            .plan_recovery(&out, &ev)
+            .unwrap();
+        let d = out.plan.num_devices;
+        for (i, &owner) in out.placement.token_to_dev.iter().enumerate() {
+            let tb = TokenBlockId(i as u32);
+            if owner == dev {
+                assert!(patch.placement.token_dev(tb) >= d);
+                assert!(patch.reowned.contains(&tb));
+            } else {
+                assert_eq!(patch.placement.token_dev(tb), owner);
+            }
+        }
+        for (&tb, &shard) in &patch.producer_of {
+            assert!(shard >= d);
+            assert_ne!(out.placement.token_dev(tb), dev, "owner partials self-sent");
+        }
+        // No transfer in the patch still targets the failed owner with a
+        // partial.
+        for op in &patch.fwd.comms {
+            for tr in &op.transfers {
+                if matches!(tr.payload, Payload::PartialO(..)) {
+                    assert_ne!(tr.to, dev, "partial still bound for the failed device");
+                }
+            }
+        }
+        // The timing plan stays on the physical ranks.
+        assert_eq!(patch.timing.devices.len() as u32, d);
+        for op in &patch.timing.comms {
+            for tr in &op.transfers {
+                assert!(tr.from < d && tr.to < d);
+                assert_ne!(tr.from, tr.to);
+            }
+        }
+        // Backward placement has nothing left on the failed rank.
+        assert!(patch.bwd_placement.comp_to_dev.iter().all(|&x| x != dev));
+        assert!(patch.bwd_placement.token_to_dev.iter().all(|&x| x != dev));
+        assert_eq!(patch.bwd.num_devices, d);
+    }
+
+    #[test]
+    fn failure_after_all_divisions_salvages_without_redo() {
+        let out = plan_8dev();
+        let (dev, nd) = busiest_device(&out);
+        let patch = RecoveryPlanner::new(RecoveryConfig::default())
+            .plan_recovery(
+                &out,
+                &FailureEvent {
+                    device: dev,
+                    divisions_done: nd,
+                },
+            )
+            .unwrap();
+        assert_eq!(patch.stats.redone_flops, 0);
+        assert!(patch.stats.salvage_bytes > 0);
+    }
+
+    #[test]
+    fn out_of_range_inputs_error() {
+        let out = plan_8dev();
+        let rp = RecoveryPlanner::new(RecoveryConfig::default());
+        assert!(rp
+            .plan_recovery(
+                &out,
+                &FailureEvent {
+                    device: 99,
+                    divisions_done: 0
+                }
+            )
+            .is_err());
+        assert!(rp
+            .plan_recovery(
+                &out,
+                &FailureEvent {
+                    device: 1,
+                    divisions_done: 1000
+                }
+            )
+            .is_err());
+    }
+}

@@ -155,6 +155,11 @@ enum Data {
     },
     PartialDq(Vec<f32>),
     PartialDkv(Vec<f32>, Vec<f32>),
+    /// A *raw* (un-finalized) flash-attention accumulator, salvaged from a
+    /// failing device so its replacement can keep folding blocks into it.
+    /// Shipping the finalized `(O, lse)` instead would not be bitwise equal:
+    /// finalize-then-merge and continued raw accumulation round differently.
+    Acc(BlockAcc),
 }
 
 /// Observability context for an executor call: the sink plus the iteration
@@ -622,6 +627,263 @@ pub fn execute_forward_obs(
             None => {
                 // No computation targets this block (possible only when the
                 // mask has no pairs in its rows).
+                let len = layout.token_blocks[i].len as usize;
+                BlockOut {
+                    o: vec![0.0; len * qh * dim],
+                    lse: vec![f32::NEG_INFINITY; len * qh],
+                }
+            }
+        };
+        finals.insert(tb, out);
+    }
+    Ok(finals)
+}
+
+/// Context for executing a recovery *patch plan*: a forward phase in which
+/// one logical device (`failed`) stops at its execution frontier, ships its
+/// raw partial accumulators to replacement shards over dedicated salvage
+/// comm ops, and the shards finish its remaining computation and ownership
+/// duties under the original comm ids.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageCtx {
+    /// The failed logical device whose accumulators are salvaged.
+    pub failed: u32,
+    /// Comm ids (indices into the phase's op table) carrying raw
+    /// accumulators from `failed` to its replacement shards.
+    pub salvage_comms: std::collections::HashSet<u32>,
+    /// For each token block the failed device still owed partials for, the
+    /// shard that now finishes and deposits them (under the original comm
+    /// ids, with the payload's producer field still naming `failed`).
+    pub producer_of: HashMap<TokenBlockId, u32>,
+    /// Token blocks the patch re-owns from `failed` to a shard. The failed
+    /// device still holds their data until evacuation completes, so its
+    /// truncated prefix may keep reading them directly.
+    pub reowned: std::collections::HashSet<TokenBlockId>,
+}
+
+/// Executes the forward phase of a recovery patch plan (see [`SalvageCtx`]).
+///
+/// Differences from [`execute_forward_obs`]:
+///
+/// - a `CommLaunch` on a salvage op deposits the failed device's **raw**
+///   [`BlockAcc`] instead of a finalized partial;
+/// - a `CommWait` on a salvage op installs the received accumulator as the
+///   waiting shard's starting state for that Q block, so subsequent `Attn`
+///   items fold into it exactly where the failed device left off;
+/// - partial-output deposits under original comm ids are honored when the
+///   launching device is the shard [`SalvageCtx::producer_of`] names, even
+///   though the transfer's `from`/producer still name the failed device.
+///
+/// Survivor streams execute verbatim, so a patch execution's outputs are
+/// bitwise identical to the unfaulted run's.
+pub fn execute_forward_recovery(
+    layout: &BatchLayout,
+    placement: &Placement,
+    phase: &PhasePlan,
+    data: &BatchData,
+    ctx: &SalvageCtx,
+    obs: &ExecObs<'_>,
+) -> DcpResult<HashMap<TokenBlockId, BlockOut>> {
+    placement.validate(layout)?;
+    let (qh, kvh) = BatchData::head_counts(layout);
+    let dim = layout.attn.head_dim as usize;
+    let scale = 1.0 / (dim as f32).sqrt();
+    let n = placement.num_devices as usize;
+
+    let mut accs: Vec<HashMap<TokenBlockId, BlockAcc>> = vec![HashMap::new(); n];
+    let mut finals: HashMap<TokenBlockId, BlockOut> = HashMap::new();
+
+    let mut interp = Interp::new(placement, phase, obs, ObsPhase::Fwd);
+    interp.run(|it, dev, ins| {
+        match ins {
+            Instr::CommLaunch(cid) => {
+                let op = &it.phase.comms[cid.0 as usize];
+                for tr in &op.transfers {
+                    let tb = tr.payload.token_block();
+                    match tr.payload {
+                        Payload::Q(_) if tr.to == dev => {
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::Q(data.q[tb.0 as usize].clone()),
+                            );
+                        }
+                        Payload::Kv(_) if tr.to == dev => {
+                            it.mailbox.insert(
+                                (cid.0, tr.payload),
+                                Data::Kv(
+                                    data.k[tb.0 as usize].clone(),
+                                    data.v[tb.0 as usize].clone(),
+                                ),
+                            );
+                        }
+                        Payload::PartialO(_, producer)
+                            if tr.from == dev
+                                || (tr.from == ctx.failed
+                                    && ctx.producer_of.get(&tb) == Some(&dev)) =>
+                        {
+                            debug_assert!(producer == dev || producer == ctx.failed);
+                            let acc = accs[dev as usize].get(&tb).ok_or_else(|| {
+                                DcpError::invalid_plan(format!(
+                                    "device {dev} sends partial O for {tb:?} it never computed"
+                                ))
+                            })?;
+                            if ctx.salvage_comms.contains(&cid.0) {
+                                it.mailbox
+                                    .insert((cid.0, tr.payload), Data::Acc(acc.clone()));
+                            } else {
+                                let (o, lse) = acc.finalize();
+                                it.mailbox
+                                    .insert((cid.0, tr.payload), Data::PartialO { o, lse });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(true)
+            }
+            Instr::CommWait(cid) => {
+                if !it.try_wait(dev, cid.0) {
+                    return Ok(false);
+                }
+                if ctx.salvage_comms.contains(&cid.0) {
+                    // Install salvaged accumulators as this shard's starting
+                    // state. The schedule waits on salvage ops before any
+                    // Attn touches these Q blocks, so the entry is fresh.
+                    let op = &it.phase.comms[cid.0 as usize];
+                    for tr in op.transfers.iter().filter(|t| t.to == dev) {
+                        let tb = tr.payload.token_block();
+                        if let Some(Data::Acc(acc)) = it.avail[dev as usize].remove(&tr.payload) {
+                            if accs[dev as usize].insert(tb, acc).is_some() {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} salvaged {tb:?} it already accumulates"
+                                )));
+                            }
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            Instr::Attn { items, .. } => {
+                let avail = &it.avail[dev as usize];
+                let mut work: Vec<(TokenBlockId, BlockArgs<'_>)> = Vec::with_capacity(items.len());
+                for &c in items {
+                    let cb = layout.comp_blocks[c.0 as usize];
+                    let qb = cb.q_block;
+                    let kb = cb.kv_block;
+                    let local = |tb: TokenBlockId| {
+                        placement.token_dev(tb) == dev
+                            || (dev == ctx.failed && ctx.reowned.contains(&tb))
+                    };
+                    let qdata: &[f32] = if local(qb) {
+                        &data.q[qb.0 as usize]
+                    } else {
+                        match avail.get(&Payload::Q(qb)) {
+                            Some(Data::Q(v)) => v,
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} computes {c:?} without Q({qb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let (kdata, vdata): (&[f32], &[f32]) = if local(kb) {
+                        (&data.k[kb.0 as usize], &data.v[kb.0 as usize])
+                    } else {
+                        match avail.get(&Payload::Kv(kb)) {
+                            Some(Data::Kv(k, v)) => (k, v),
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} computes {c:?} without KV({kb:?})"
+                                )))
+                            }
+                        }
+                    };
+                    let qtb = layout.token_blocks[qb.0 as usize];
+                    let ktb = layout.token_blocks[kb.0 as usize];
+                    work.push((
+                        qb,
+                        BlockArgs {
+                            q: qdata,
+                            k: kdata,
+                            v: vdata,
+                            qh,
+                            kvh,
+                            dim,
+                            q_len: qtb.len as usize,
+                            kv_len: ktb.len as usize,
+                            q_start: qtb.start,
+                            kv_start: ktb.start,
+                            mask: &layout.masks[qtb.seq as usize],
+                            scale,
+                        },
+                    ));
+                }
+                let parts: Vec<(TokenBlockId, BlockAcc)> = work
+                    .into_par_iter()
+                    .map(|(qb, args)| {
+                        let mut acc = BlockAcc::new(args.q_len, args.qh, args.dim);
+                        attn_block_fwd(&mut acc, args);
+                        (qb, acc)
+                    })
+                    .collect();
+                for (qb, part) in parts {
+                    match accs[dev as usize].entry(qb) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut().merge(&part),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(part);
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            Instr::Reduce { items, .. } => {
+                for item in items {
+                    if item.kind != PayloadKind::PartialO {
+                        return Err(DcpError::invalid_plan(
+                            "forward reduce with non-O payload kind",
+                        ));
+                    }
+                    let tb = item.target;
+                    let mut merged: Option<(Vec<f32>, Vec<f32>)> =
+                        accs[dev as usize].get(&tb).map(BlockAcc::finalize);
+                    for &src in &item.sources {
+                        let p = Payload::PartialO(tb, src);
+                        let (po, plse) = match it.avail[dev as usize].get(&p) {
+                            Some(Data::PartialO { o, lse }) => (o.clone(), lse.clone()),
+                            _ => {
+                                return Err(DcpError::invalid_plan(format!(
+                                    "device {dev} reduces {tb:?} without partial from {src}"
+                                )))
+                            }
+                        };
+                        merged = Some(match merged {
+                            None => (po, plse),
+                            Some((o, lse)) => merge_outputs(&o, &lse, &po, &plse, dim),
+                        });
+                    }
+                    let (o, lse) = merged.expect("at least one source");
+                    finals.insert(tb, BlockOut { o, lse });
+                }
+                Ok(true)
+            }
+            Instr::AttnBwd { .. } => Err(DcpError::invalid_plan("backward instr in forward phase")),
+            Instr::Copy { .. } => Ok(true),
+        }
+    })?;
+    interp.emit_buffer_gauges();
+
+    for (i, _) in layout.token_blocks.iter().enumerate() {
+        let tb = TokenBlockId(i as u32);
+        if finals.contains_key(&tb) {
+            continue;
+        }
+        let owner = placement.token_dev(tb) as usize;
+        let out = match accs[owner].get(&tb) {
+            Some(acc) => {
+                let (o, lse) = acc.finalize();
+                BlockOut { o, lse }
+            }
+            None => {
                 let len = layout.token_blocks[i].len as usize;
                 BlockOut {
                     o: vec![0.0; len * qh * dim],

@@ -27,6 +27,6 @@ pub mod reference;
 pub mod train;
 
 pub use executor::{
-    execute_backward, execute_backward_obs, execute_forward, execute_forward_obs, BatchData,
-    BlockGrads, BlockOut, ExecObs,
+    execute_backward, execute_backward_obs, execute_forward, execute_forward_obs,
+    execute_forward_recovery, BatchData, BlockGrads, BlockOut, ExecObs, SalvageCtx,
 };

@@ -55,6 +55,7 @@ pub mod partitioner;
 pub mod refine;
 
 pub use graph::{Hypergraph, HypergraphBuilder, VertexWeight};
+pub use initial::Caps;
 pub use partitioner::{
-    partition, partition_with_stats, Partition, PartitionConfig, PartitionStats,
+    balance_caps_full, partition, partition_with_stats, Partition, PartitionConfig, PartitionStats,
 };

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::coarsen::{coarsen_to, coarsen_to_respecting};
 use crate::graph::{Hypergraph, VertexWeight};
-use crate::initial::{initial_partition, is_balanced};
+use crate::initial::{initial_partition, is_balanced, Caps};
 use crate::refine::{rebalance, refine};
 
 /// Configuration of one partitioning run.
@@ -37,6 +37,14 @@ pub struct PartitionConfig {
     /// refines on the way back up, escaping local minima the single pass
     /// left behind.
     pub vcycles: u32,
+    /// Optional per-part target weights (length `k`). When set, part `p`'s
+    /// balance cap is derived from `part_targets[p]` instead of the uniform
+    /// `total / k` average — heterogeneous capacity for fault-aware
+    /// placement (straggler down-weighting) and residual re-partitioning
+    /// onto survivors with unequal headroom. `None` keeps the classic
+    /// uniform caps.
+    #[serde(default)]
+    pub part_targets: Option<Vec<VertexWeight>>,
 }
 
 impl PartitionConfig {
@@ -52,6 +60,7 @@ impl PartitionConfig {
             initial_tries: 4,
             refine_enabled: true,
             vcycles: 1,
+            part_targets: None,
         }
     }
 
@@ -64,6 +73,12 @@ impl PartitionConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets per-part target weights (must have length `k`).
+    pub fn with_part_targets(mut self, targets: Vec<VertexWeight>) -> Self {
+        self.part_targets = Some(targets);
         self
     }
 }
@@ -128,6 +143,34 @@ pub fn balance_caps(hg: &Hypergraph, cfg: &PartitionConfig) -> VertexWeight {
     caps
 }
 
+/// The full (possibly per-part) caps for `hg` under `cfg`.
+///
+/// With [`PartitionConfig::part_targets`] set, the uniform average in the
+/// [`balance_caps`] formula is replaced by each part's own target:
+/// `cap[p][d] = max(ceil((1 + eps[d]) * t[p][d]), t[p][d] + max_vertex[d])`,
+/// keeping the same one-vertex granularity slack per part. Without targets
+/// this is exactly the uniform cap.
+pub fn balance_caps_full(hg: &Hypergraph, cfg: &PartitionConfig) -> Caps {
+    match &cfg.part_targets {
+        None => Caps::uniform(balance_caps(hg, cfg)),
+        Some(targets) => {
+            let maxv = hg.max_vertex_weight();
+            let per_part = targets
+                .iter()
+                .map(|t| {
+                    let mut cap = [0u64; 2];
+                    for d in 0..2 {
+                        cap[d] =
+                            (((1.0 + cfg.eps[d]) * t[d] as f64).ceil() as u64).max(t[d] + maxv[d]);
+                    }
+                    cap
+                })
+                .collect();
+            Caps::per_part(per_part)
+        }
+    }
+}
+
 /// Partitions `hg` into `cfg.k` balanced parts minimizing the
 /// connectivity−1 metric, using the multilevel scheme.
 ///
@@ -157,14 +200,23 @@ pub fn partition_with_stats(
             "cannot partition an empty hypergraph",
         ));
     }
+    if let Some(t) = &cfg.part_targets {
+        if t.len() != cfg.k as usize {
+            return Err(DcpError::invalid_argument(format!(
+                "part_targets has {} entries for k = {}",
+                t.len(),
+                cfg.k
+            )));
+        }
+    }
     let k = cfg.k;
-    let caps = balance_caps(hg, cfg);
+    let caps = balance_caps_full(hg, cfg);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut stats = PartitionStats::default();
 
     if k == 1 {
         let assignment = vec![0u32; hg.num_vertices()];
-        return Ok((finish(hg, assignment, k, caps), stats));
+        return Ok((finish(hg, assignment, k, &caps), stats));
     }
 
     // Coarsen.
@@ -186,7 +238,7 @@ pub fn partition_with_stats(
 
     // Initial partition on the coarsest level.
     let t = Instant::now();
-    let mut assignment = initial_partition(coarsest, k, caps, cfg.initial_tries, &mut rng);
+    let mut assignment = initial_partition(coarsest, k, &caps, cfg.initial_tries, &mut rng);
     stats.initial_s += t.elapsed().as_secs_f64();
     let t = Instant::now();
     if cfg.refine_enabled {
@@ -194,7 +246,7 @@ pub fn partition_with_stats(
             coarsest,
             &mut assignment,
             k,
-            caps,
+            &caps,
             cfg.refine_passes,
             &mut rng,
         );
@@ -210,16 +262,16 @@ pub fn partition_with_stats(
         }
         assignment = fine_assignment;
         if cfg.refine_enabled {
-            refine(fine, &mut assignment, k, caps, cfg.refine_passes, &mut rng);
+            refine(fine, &mut assignment, k, &caps, cfg.refine_passes, &mut rng);
         }
     }
 
     // Final balance repair and polish at the finest level.
-    if !is_balanced(hg, &assignment, k, caps) {
-        rebalance(hg, &mut assignment, k, caps);
+    if !is_balanced(hg, &assignment, k, &caps) {
+        rebalance(hg, &mut assignment, k, &caps);
     }
     if cfg.refine_enabled {
-        refine(hg, &mut assignment, k, caps, cfg.refine_passes, &mut rng);
+        refine(hg, &mut assignment, k, &caps, cfg.refine_passes, &mut rng);
     }
     stats.refine_s += t.elapsed().as_secs_f64();
 
@@ -249,7 +301,7 @@ pub fn partition_with_stats(
         let mut a = coarse;
         let coarsest = &levels.last().expect("nonempty").coarse;
         let t = Instant::now();
-        refine(coarsest, &mut a, k, caps, cfg.refine_passes, &mut rng);
+        refine(coarsest, &mut a, k, &caps, cfg.refine_passes, &mut rng);
         for i in (0..levels.len()).rev() {
             let fine: &Hypergraph = if i == 0 { hg } else { &levels[i - 1].coarse };
             let map = &levels[i].fine_to_coarse;
@@ -258,31 +310,33 @@ pub fn partition_with_stats(
                 fine_assignment[v] = a[map[v] as usize];
             }
             a = fine_assignment;
-            refine(fine, &mut a, k, caps, cfg.refine_passes, &mut rng);
+            refine(fine, &mut a, k, &caps, cfg.refine_passes, &mut rng);
         }
         stats.refine_s += t.elapsed().as_secs_f64();
         let after = hg.connectivity_cost(&a, k);
-        if after < before && is_balanced(hg, &a, k, caps) == is_balanced(hg, &assignment, k, caps) {
+        if after < before && is_balanced(hg, &a, k, &caps) == is_balanced(hg, &assignment, k, &caps)
+        {
             assignment = a;
         } else if after >= before {
             break;
         }
     }
-    Ok((finish(hg, assignment, k, caps), stats))
+    Ok((finish(hg, assignment, k, &caps), stats))
 }
 
-fn finish(hg: &Hypergraph, assignment: Vec<u32>, k: u32, caps: VertexWeight) -> Partition {
+fn finish(hg: &Hypergraph, assignment: Vec<u32>, k: u32, caps: &Caps) -> Partition {
     let cost = hg.connectivity_cost(&assignment, k);
     let part_weights = hg.part_weights(&assignment, k);
-    let balanced = part_weights
-        .iter()
-        .all(|w| w[0] <= caps[0] && w[1] <= caps[1]);
+    let balanced = part_weights.iter().enumerate().all(|(p, w)| {
+        let cap = caps.at(p as u32);
+        w[0] <= cap[0] && w[1] <= cap[1]
+    });
     Partition {
         assignment,
         cost,
         part_weights,
         balanced,
-        caps,
+        caps: caps.uniform,
     }
 }
 
@@ -385,6 +439,59 @@ mod tests {
         assert!(partition(&hg, &PartitionConfig::new(0)).is_err());
         let empty = HypergraphBuilder::new(0).build().unwrap();
         assert!(partition(&empty, &PartitionConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn part_targets_skew_the_partition() {
+        // 4 equal groups, but part 0 is targeted at half a group's weight:
+        // its final load must stay under the skewed cap while the other
+        // parts absorb the slack.
+        let (hg, _) = planted(4, 16, 21);
+        let total = hg.total_weight();
+        let quarter = [total[0] / 4, total[1] / 4];
+        let targets = vec![
+            [quarter[0] / 2, quarter[1] / 2],
+            [quarter[0] + quarter[0] / 6, quarter[1] + quarter[1] / 6],
+            [quarter[0] + quarter[0] / 6, quarter[1] + quarter[1] / 6],
+            [quarter[0] + quarter[0] / 6, quarter[1] + quarter[1] / 6],
+        ];
+        let cfg = PartitionConfig::new(4)
+            .with_epsilon(0.1)
+            .with_part_targets(targets.clone());
+        let part = partition(&hg, &cfg).unwrap();
+        assert!(part.balanced, "part weights: {:?}", part.part_weights);
+        let caps = balance_caps_full(&hg, &cfg);
+        for (p, w) in part.part_weights.iter().enumerate() {
+            let cap = caps.at(p as u32);
+            assert!(
+                w[0] <= cap[0] && w[1] <= cap[1],
+                "part {p} load {w:?} over cap {cap:?}"
+            );
+        }
+        // The skewed part really is lighter than an even split.
+        assert!(
+            part.part_weights[0][0] < quarter[0],
+            "part 0 should be under the uniform average: {:?}",
+            part.part_weights
+        );
+    }
+
+    #[test]
+    fn part_targets_length_mismatch_is_rejected() {
+        let (hg, _) = planted(2, 8, 1);
+        let cfg = PartitionConfig::new(2).with_part_targets(vec![[1, 1]; 3]);
+        assert!(partition(&hg, &cfg).is_err());
+    }
+
+    #[test]
+    fn no_part_targets_matches_uniform_caps() {
+        // `part_targets: None` must be byte-identical to the pre-existing
+        // uniform-caps path (the default config hits it everywhere).
+        let (hg, _) = planted(4, 20, 5);
+        let cfg = PartitionConfig::new(4).with_seed(42);
+        let caps = balance_caps_full(&hg, &cfg);
+        assert_eq!(caps.uniform, balance_caps(&hg, &cfg));
+        assert!(caps.per_part.is_none());
     }
 
     #[test]

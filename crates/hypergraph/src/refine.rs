@@ -115,7 +115,7 @@ impl RefineState {
         hg: &Hypergraph,
         v: u32,
         from: u32,
-        caps: Caps,
+        caps: &Caps,
         total: VertexWeight,
     ) -> Option<(u32, i64)> {
         let w = hg.vertex_weight(v);
@@ -125,7 +125,7 @@ impl RefineState {
                 continue;
             }
             let l = self.loads[to as usize];
-            if !admissible(l, w, caps) {
+            if !admissible(l, w, caps.at(to)) {
                 continue;
             }
             let g = self.gain(hg, v, from, to);
@@ -143,13 +143,14 @@ impl RefineState {
 }
 
 /// Whether moving a vertex of weight `w` into a part with load `l` is
-/// admissible under `caps`: each dimension the move actually increases must
-/// stay under its cap. Dimensions the move leaves unchanged may already be
-/// over cap (otherwise a part over its *data* cap could never accept the
-/// *compute*-only vertices needed to repair a compute imbalance elsewhere).
+/// admissible under the destination's cap: each dimension the move actually
+/// increases must stay under its cap. Dimensions the move leaves unchanged
+/// may already be over cap (otherwise a part over its *data* cap could never
+/// accept the *compute*-only vertices needed to repair a compute imbalance
+/// elsewhere).
 #[inline]
-fn admissible(l: VertexWeight, w: VertexWeight, caps: Caps) -> bool {
-    (0..2).all(|d| w[d] == 0 || l[d] + w[d] <= caps[d])
+fn admissible(l: VertexWeight, w: VertexWeight, cap: VertexWeight) -> bool {
+    (0..2).all(|d| w[d] == 0 || l[d] + w[d] <= cap[d])
 }
 
 fn norm_load(total: VertexWeight, w: VertexWeight) -> f64 {
@@ -309,7 +310,7 @@ impl GainCache {
         state: &RefineState,
         v: u32,
         from: u32,
-        caps: Caps,
+        caps: &Caps,
         total: VertexWeight,
     ) -> Option<(u32, i64)> {
         let w = hg.vertex_weight(v);
@@ -319,7 +320,7 @@ impl GainCache {
                 continue;
             }
             let l = state.loads[to as usize];
-            if !admissible(l, w, caps) {
+            if !admissible(l, w, caps.at(to)) {
                 continue;
             }
             let g = self.gain(v, to);
@@ -455,7 +456,7 @@ fn fm_pass(
     assignment: &mut [u32],
     state: &mut RefineState,
     cache: &mut GainCache,
-    caps: Caps,
+    caps: &Caps,
     rng: &mut SmallRng,
 ) -> bool {
     let n = hg.num_vertices();
@@ -572,7 +573,7 @@ pub fn refine(
     hg: &Hypergraph,
     assignment: &mut [u32],
     k: u32,
-    caps: Caps,
+    caps: &Caps,
     passes: u32,
     rng: &mut SmallRng,
 ) -> u64 {
@@ -590,7 +591,7 @@ pub fn refine(
 /// balanced or no improving move exists. Chooses, at each step, the move that
 /// minimizes the connectivity cost increase per unit of overload relieved.
 /// Returns whether the final assignment satisfies the caps.
-pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) -> bool {
+pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: &Caps) -> bool {
     let mut state = RefineState::new(hg, assignment, k);
     // Bounded number of moves to guarantee termination.
     let max_moves = hg.num_vertices() * 2;
@@ -600,7 +601,7 @@ pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) ->
         // commensurable in absolute terms).
         let mut worst: Option<(u32, usize, f64)> = None;
         for p in 0..k {
-            for (d, &cap) in caps.iter().enumerate() {
+            for (d, &cap) in caps.at(p).iter().enumerate() {
                 let over = state.loads[p as usize][d].saturating_sub(cap);
                 if over == 0 {
                     continue;
@@ -630,7 +631,7 @@ pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) ->
                     continue;
                 }
                 let l = state.loads[to as usize];
-                if !admissible(l, w, caps) {
+                if !admissible(l, w, caps.at(to)) {
                     continue;
                 }
                 let g = state.gain(hg, v, from, to);
@@ -646,10 +647,10 @@ pub fn rebalance(hg: &Hypergraph, assignment: &mut [u32], k: u32, caps: Caps) ->
         state.apply(hg, v, from, to);
         assignment[v as usize] = to;
     }
-    state
-        .loads
-        .iter()
-        .all(|l| l[0] <= caps[0] && l[1] <= caps[1])
+    state.loads.iter().enumerate().all(|(p, l)| {
+        let cap = caps.at(p as u32);
+        l[0] <= cap[0] && l[1] <= cap[1]
+    })
 }
 
 /// The original lazily-revalidated `BinaryHeap` FM implementation, kept
@@ -698,7 +699,7 @@ pub mod reference {
         hg: &Hypergraph,
         assignment: &mut [u32],
         state: &mut RefineState,
-        caps: Caps,
+        caps: &Caps,
         rng: &mut SmallRng,
     ) -> bool {
         let n = hg.num_vertices();
@@ -797,7 +798,7 @@ pub mod reference {
         hg: &Hypergraph,
         assignment: &mut [u32],
         k: u32,
-        caps: Caps,
+        caps: &Caps,
         passes: u32,
         rng: &mut SmallRng,
     ) -> u64 {
@@ -931,7 +932,14 @@ mod tests {
         let mut assignment: Vec<u32> = (0..16).map(|v| (v % 2) as u32).collect();
         let before = hg.connectivity_cost(&assignment, 2);
         let mut rng = SmallRng::seed_from_u64(4);
-        let after = refine(&hg, &mut assignment, 2, [10, 10], 16, &mut rng);
+        let after = refine(
+            &hg,
+            &mut assignment,
+            2,
+            &Caps::uniform([10, 10]),
+            16,
+            &mut rng,
+        );
         // FM with negative-gain moves should reach the optimum: two arcs,
         // two cut edges.
         assert_eq!(after, hg.connectivity_cost(&assignment, 2));
@@ -946,7 +954,7 @@ mod tests {
         let hg = ring(8, 1);
         let mut assignment = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let mut rng = SmallRng::seed_from_u64(8);
-        refine(&hg, &mut assignment, 2, [4, 4], 8, &mut rng);
+        refine(&hg, &mut assignment, 2, &Caps::uniform([4, 4]), 8, &mut rng);
         let pw = hg.part_weights(&assignment, 2);
         assert!(pw.iter().all(|w| w[0] <= 4 && w[1] <= 4));
     }
@@ -958,7 +966,8 @@ mod tests {
             let hg = ring(n, 2);
             let mut assignment: Vec<u32> = (0..n).map(|v| (v as u32 * 3) % 3).collect();
             let before = hg.connectivity_cost(&assignment, 3);
-            let after = refine(&hg, &mut assignment, 3, [n as u64, n as u64], 8, &mut rng);
+            let caps = Caps::uniform([n as u64, n as u64]);
+            let after = refine(&hg, &mut assignment, 3, &caps, 8, &mut rng);
             assert!(after <= before);
         }
     }
@@ -1001,8 +1010,9 @@ mod tests {
             let mut b = base.clone();
             let mut rng_a = SmallRng::seed_from_u64(seed);
             let mut rng_b = SmallRng::seed_from_u64(seed);
-            let cost_new = refine(&hg, &mut a, 2, [14, 14], 16, &mut rng_a);
-            let cost_ref = reference::refine(&hg, &mut b, 2, [14, 14], 16, &mut rng_b);
+            let caps = Caps::uniform([14, 14]);
+            let cost_new = refine(&hg, &mut a, 2, &caps, 16, &mut rng_a);
+            let cost_ref = reference::refine(&hg, &mut b, 2, &caps, 16, &mut rng_b);
             assert_eq!(cost_new, 2, "seed {seed}");
             assert_eq!(cost_ref, 2, "seed {seed}");
         }
@@ -1013,7 +1023,7 @@ mod tests {
         let hg = ring(8, 1);
         // Everything on part 0.
         let mut assignment = vec![0u32; 8];
-        let ok = rebalance(&hg, &mut assignment, 2, [5, 5]);
+        let ok = rebalance(&hg, &mut assignment, 2, &Caps::uniform([5, 5]));
         assert!(ok);
         let pw = hg.part_weights(&assignment, 2);
         assert!(pw.iter().all(|w| w[0] <= 5 && w[1] <= 5));
@@ -1028,6 +1038,11 @@ mod tests {
         b.add_edge(1, &[0, 1]);
         let hg = b.build().unwrap();
         let mut assignment = vec![0, 0];
-        assert!(!rebalance(&hg, &mut assignment, 2, [50, 50]));
+        assert!(!rebalance(
+            &hg,
+            &mut assignment,
+            2,
+            &Caps::uniform([50, 50])
+        ));
     }
 }

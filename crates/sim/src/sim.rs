@@ -131,6 +131,9 @@ pub fn simulate_phase_faulted(
     for (src, dst, factor) in spec.link_factors() {
         net.set_link_factor(src, dst, factor);
     }
+    for (src, dst, period_s, duty, factor) in spec.flapping_links() {
+        net.set_link_flapping(src, dst, period_s, duty, factor);
+    }
     let slow = spec.slowdowns(n);
     let delays = spec.delays(n);
     let eff = cluster.effective_flops();
@@ -710,6 +713,80 @@ mod tests {
             "degraded ingress should cost makespan: {} vs {}",
             sim.makespan,
             base.makespan
+        );
+    }
+
+    #[test]
+    fn flapping_with_full_duty_matches_constant_degradation() {
+        use crate::fault::Fault;
+        let l = layout(32768, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let constant = FaultSpec {
+            seed: 0,
+            faults: vec![Fault::DegradedLink {
+                src: 1,
+                dst: 0,
+                factor: 0.05,
+            }],
+        };
+        let flapping = FaultSpec {
+            seed: 0,
+            faults: vec![Fault::FlappingLink {
+                src: 1,
+                dst: 0,
+                period_s: 0.001,
+                duty: 1.0,
+                factor: 0.05,
+            }],
+        };
+        let (a, _) = simulate_phase_faulted(&c, &plan.fwd, &constant).unwrap();
+        let (b, _) = simulate_phase_faulted(&c, &plan.fwd, &flapping).unwrap();
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.devices, b.devices);
+    }
+
+    #[test]
+    fn flapping_link_costs_makespan_less_than_constant() {
+        use crate::fault::Fault;
+        let l = layout(32768, 1024);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let c = ClusterSpec::p4de(1);
+        let base = simulate_phase(&c, &plan.fwd).unwrap();
+        let mk = |fault: fn(u32) -> Fault| FaultSpec {
+            seed: 0,
+            faults: (1..4).map(fault).collect(),
+        };
+        // Degraded 99% of each cycle at 1000x slowdown: ~90x mean slowdown,
+        // harsh enough to dominate compute overlap, yet the 1% healthy
+        // windows still beat an always-degraded link.
+        let flap = mk(|s| Fault::FlappingLink {
+            src: s,
+            dst: 0,
+            period_s: 1e-4,
+            duty: 0.99,
+            factor: 0.001,
+        });
+        let constant = mk(|s| Fault::DegradedLink {
+            src: s,
+            dst: 0,
+            factor: 0.001,
+        });
+        let (flapped, _) = simulate_phase_faulted(&c, &plan.fwd, &flap).unwrap();
+        let (degraded, _) = simulate_phase_faulted(&c, &plan.fwd, &constant).unwrap();
+        assert!(
+            flapped.makespan > base.makespan,
+            "flapping ingress should cost makespan: {} vs {}",
+            flapped.makespan,
+            base.makespan
+        );
+        assert!(
+            flapped.makespan < degraded.makespan,
+            "99% duty should hurt less than constant degradation: {} vs {}",
+            flapped.makespan,
+            degraded.makespan
         );
     }
 

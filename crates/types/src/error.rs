@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::robust::PlanTier;
+
 /// Result alias using [`DcpError`].
 pub type DcpResult<T> = Result<T, DcpError>;
 
@@ -11,7 +13,7 @@ pub type DcpResult<T> = Result<T, DcpError>;
 /// message describing the precise failure, and the variant selects the
 /// subsystem so callers can match on the class of failure without parsing
 /// strings.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DcpError {
     /// An argument violated a documented precondition.
     InvalidArgument(String),
@@ -40,6 +42,19 @@ pub enum DcpError {
         /// Human-readable description of the last failure.
         last_error: String,
     },
+    /// A fallback tier produced a plan, but its simulated makespan regressed
+    /// past the configured limit relative to the partitioned tier's
+    /// estimate — shipping it would silently burn cluster time, so the
+    /// planner surfaces the regression instead.
+    FallbackRejected {
+        /// The fallback tier whose plan was rejected.
+        tier: PlanTier,
+        /// Measured regression: fallback makespan / partitioned estimate.
+        factor: f64,
+        /// The configured limit the factor exceeded
+        /// (`max_fallback_regression`).
+        limit: f64,
+    },
 }
 
 impl DcpError {
@@ -65,6 +80,15 @@ impl DcpError {
             last_error: last_error.into(),
         }
     }
+
+    /// Convenience constructor for [`DcpError::FallbackRejected`].
+    pub fn fallback_rejected(tier: PlanTier, factor: f64, limit: f64) -> Self {
+        DcpError::FallbackRejected {
+            tier,
+            factor,
+            limit,
+        }
+    }
 }
 
 impl fmt::Display for DcpError {
@@ -84,6 +108,15 @@ impl fmt::Display for DcpError {
                 f,
                 "planning failed for batch {batch_index} after {attempts} attempt(s): \
                  {last_error}"
+            ),
+            DcpError::FallbackRejected {
+                tier,
+                factor,
+                limit,
+            } => write!(
+                f,
+                "fallback rejected: {tier} plan regresses simulated makespan {factor:.2}x \
+                 vs the partitioned estimate (limit {limit:.2}x)"
             ),
         }
     }
@@ -127,5 +160,26 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("batch 7"), "{s}");
         assert!(s.contains("3 attempt"), "{s}");
+    }
+
+    #[test]
+    fn fallback_rejected_carries_structure() {
+        let e = DcpError::fallback_rejected(PlanTier::Greedy, 3.5, 2.0);
+        match &e {
+            DcpError::FallbackRejected {
+                tier,
+                factor,
+                limit,
+            } => {
+                assert_eq!(*tier, PlanTier::Greedy);
+                assert_eq!(*factor, 3.5);
+                assert_eq!(*limit, 2.0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let s = e.to_string();
+        assert!(s.contains("greedy"), "{s}");
+        assert!(s.contains("3.50x"), "{s}");
+        assert!(s.contains("2.00x"), "{s}");
     }
 }

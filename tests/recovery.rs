@@ -1,0 +1,270 @@
+//! Elastic mid-iteration recovery, end to end: kill one device after k of
+//! its attention divisions, patch the plan onto the survivors plus
+//! replacement shards, and finish the iteration with output *bitwise
+//! identical* to the unfaulted run — redoing only the un-executed
+//! computation blocks and salvaging the partials the dead device already
+//! reduced.
+//!
+//! Everything lives in a single `#[test]` because the determinism leg
+//! mutates `RAYON_NUM_THREADS`, which is process-global state (mirroring
+//! `tests/determinism.rs` and `tests/fault_determinism.rs`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dcp::blocks::TokenBlockId;
+use dcp::core::recovery::{FailureEvent, RecoveryConfig, RecoveryPlanner};
+use dcp::core::{
+    simulate_iteration, simulate_iteration_with_recovery, E2eConfig, PlanOutput, Planner,
+    PlannerConfig,
+};
+use dcp::exec::executor::{
+    execute_backward, execute_forward, execute_forward_recovery, BatchData, BlockOut, ExecObs,
+    SalvageCtx,
+};
+use dcp::mask::MaskSpec;
+use dcp::obs::{ObsHandle, RecordingSink};
+use dcp::sched::Instr;
+use dcp::sim::{simulate_phase, simulate_plan};
+use dcp::types::{AttnSpec, ClusterSpec, ModelSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small 8-device batch with skewed sequence lengths and mixed masks, so
+/// the placement is non-trivial and every device carries several divisions.
+fn plan_small() -> (ClusterSpec, PlanOutput) {
+    let cluster = ClusterSpec::single_node(8);
+    let planner = Planner::new(
+        cluster.clone(),
+        AttnSpec::new(4, 2, 8, 2),
+        PlannerConfig {
+            block_size: 16,
+            ..Default::default()
+        },
+    );
+    let seqs = vec![
+        (200, MaskSpec::Causal),
+        (
+            160,
+            MaskSpec::Lambda {
+                sink: 4,
+                window: 24,
+            },
+        ),
+        (120, MaskSpec::Causal),
+        (96, MaskSpec::Causal),
+        (64, MaskSpec::Causal),
+    ];
+    let out = planner.plan(&seqs).unwrap();
+    (cluster, out)
+}
+
+/// The device with the most attention divisions in the forward plan (ties
+/// broken toward the lowest id), and its division count.
+fn busiest_device(out: &PlanOutput) -> (u32, u32) {
+    out.plan
+        .fwd
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let n = s
+                .instrs
+                .iter()
+                .filter(|ins| matches!(ins, Instr::Attn { .. }))
+                .count() as u32;
+            (i as u32, n)
+        })
+        .max_by_key(|&(i, n)| (n, std::cmp::Reverse(i)))
+        .unwrap()
+}
+
+fn salvage_ctx(patch: &dcp::core::RecoveryPatch) -> SalvageCtx {
+    SalvageCtx {
+        failed: patch.failed,
+        salvage_comms: patch.salvage_comms.clone(),
+        producer_of: patch.producer_of.clone(),
+        reowned: patch.reowned.clone(),
+    }
+}
+
+/// Bitwise fingerprint of a forward result, in token-block order.
+fn out_bits(outs: &HashMap<TokenBlockId, BlockOut>) -> Vec<u32> {
+    let mut keys: Vec<TokenBlockId> = outs.keys().copied().collect();
+    keys.sort_by_key(|t| t.0);
+    let mut bits = Vec::new();
+    for id in keys {
+        let b = &outs[&id];
+        bits.extend(b.o.iter().map(|v| v.to_bits()));
+        bits.extend(b.lse.iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+#[test]
+fn mid_iteration_recovery_end_to_end() {
+    let (cluster, out) = plan_small();
+    let (dev, nd) = busiest_device(&out);
+    assert!(nd >= 3, "victim needs >= 3 attention divisions, got {nd}");
+    let k = 2u32;
+
+    // Unfaulted reference run.
+    let data = BatchData::random(&out.layout, 2024);
+    let clean = execute_forward(&out.layout, &out.placement, &out.plan, &data).unwrap();
+
+    // Patch-plan the failure with a recording sink: the incident and the
+    // recovery plan must land in the observability stream.
+    let sink = Arc::new(RecordingSink::new());
+    let rp = RecoveryPlanner::new(RecoveryConfig::default()).with_obs(ObsHandle::new(
+        sink.clone() as Arc<dyn dcp::obs::ObsSink + Send + Sync>
+    ));
+    let ev = FailureEvent {
+        device: dev,
+        divisions_done: k,
+    };
+    let patch = rp.plan_recovery(&out, &ev).unwrap();
+
+    let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+    for required in ["device_lost", "recovery_plan", "recovery_redone_flops"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "obs stream missing {required:?}: {names:?}"
+        );
+    }
+
+    // Only un-executed computation is redone: strictly less than half of
+    // the failed device's flops, and something was salvaged rather than
+    // recomputed.
+    let st = patch.stats;
+    assert!(st.failed_flops > 0 && st.redone_flops > 0);
+    assert!(
+        (st.redone_flops as f64) < 0.5 * st.failed_flops as f64,
+        "redid {} of {} flops",
+        st.redone_flops,
+        st.failed_flops
+    );
+    assert!(st.salvage_bytes > 0, "no partial outputs were salvaged");
+    assert!(st.residual_units > 0);
+
+    // Execute the patched forward: survivors + replacement shards, with the
+    // failed device replaying only its pre-failure prefix.
+    let ctx = salvage_ctx(&patch);
+    let rec = execute_forward_recovery(
+        &out.layout,
+        &patch.placement,
+        &patch.fwd,
+        &data,
+        &ctx,
+        &ExecObs::disabled(),
+    )
+    .unwrap();
+
+    // The merged output bitwise-equals the unfaulted run, every block.
+    assert_eq!(clean.len(), rec.len());
+    for (id, c) in &clean {
+        let r = &rec[id];
+        assert_eq!(
+            c.o.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r.o.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "O differs on block {id:?}"
+        );
+        assert_eq!(
+            c.lse.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r.lse.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "LSE differs on block {id:?}"
+        );
+    }
+
+    // Backward completes on the shrunk placement: the dead device gets no
+    // backward attention work, and every block still receives gradients.
+    let (qh, _) = BatchData::head_counts(&out.layout);
+    let dim = out.layout.attn.head_dim as usize;
+    let mut d_o = HashMap::new();
+    let mut rng = SmallRng::seed_from_u64(99);
+    for (i, tb) in out.layout.token_blocks.iter().enumerate() {
+        let v: Vec<f32> = (0..tb.len as usize * qh * dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        d_o.insert(TokenBlockId(i as u32), v);
+    }
+    assert!(patch.bwd.bwd.devices[dev as usize]
+        .instrs
+        .iter()
+        .all(|ins| !matches!(ins, Instr::AttnBwd { .. })));
+    let grads = execute_backward(
+        &out.layout,
+        &patch.bwd_placement,
+        &patch.bwd,
+        &data,
+        &rec,
+        &d_o,
+    )
+    .unwrap();
+    assert_eq!(grads.len(), out.layout.token_blocks.len());
+
+    // Recovery wall time is charged into the iteration breakdown: the
+    // patched timing plan (shard work spliced onto the survivor hosts) is
+    // simulated on the *physical* cluster, and its overhead over the clean
+    // forward plus the patch-planning wall time lands in `recovery`.
+    let clean_fwd = simulate_phase(&cluster, &out.plan.fwd).unwrap();
+    let rec_fwd = simulate_phase(&cluster, &patch.timing).unwrap();
+    assert_eq!(rec_fwd.devices.len(), cluster.num_devices() as usize);
+    assert!(rec_fwd.makespan > 0.0);
+    let overhead = (rec_fwd.makespan - clean_fwd.makespan).max(0.0) + st.plan_wall_s;
+    assert!(overhead > 0.0);
+
+    let plan_sim = simulate_plan(&cluster, &out.plan).unwrap();
+    let e2e = E2eConfig {
+        model: ModelSpec::gpt_8b(),
+        tp: 1,
+        cluster: cluster.clone(),
+    };
+    let mut device_tokens = vec![0u64; cluster.num_devices() as usize];
+    for (i, tb) in out.layout.token_blocks.iter().enumerate() {
+        device_tokens[out.placement.token_dev(TokenBlockId(i as u32)) as usize] += tb.len as u64;
+    }
+    let max_tokens = *device_tokens.iter().max().unwrap();
+    let total_tokens: u64 = out.layout.seq_lens.iter().map(|&l| l as u64).sum();
+    let base = simulate_iteration(&e2e, &plan_sim, max_tokens, total_tokens);
+    let with_rec =
+        simulate_iteration_with_recovery(&e2e, &plan_sim, max_tokens, total_tokens, overhead);
+    assert_eq!(with_rec.recovery, overhead);
+    assert!((with_rec.total - base.total - overhead).abs() < 1e-12);
+
+    // Determinism: the whole patch pipeline — plan, patch, execute the
+    // recovery — is bitwise identical across thread counts.
+    let run = || {
+        let (_, out) = plan_small();
+        let patch = RecoveryPlanner::new(RecoveryConfig::default())
+            .plan_recovery(&out, &ev)
+            .unwrap();
+        let data = BatchData::random(&out.layout, 2024);
+        let ctx = salvage_ctx(&patch);
+        let rec = execute_forward_recovery(
+            &out.layout,
+            &patch.placement,
+            &patch.fwd,
+            &data,
+            &ctx,
+            &ExecObs::disabled(),
+        )
+        .unwrap();
+        (
+            patch.placement.token_to_dev.clone(),
+            patch.placement.comp_to_dev.clone(),
+            patch.stats.redone_flops,
+            out_bits(&rec),
+        )
+    };
+    let parallel = run();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let other = run();
+        assert_eq!(parallel.0, other.0, "token placement differs at {threads}");
+        assert_eq!(parallel.1, other.1, "comp placement differs at {threads}");
+        assert_eq!(parallel.2, other.2, "redone flops differ at {threads}");
+        assert_eq!(parallel.3, other.3, "recovery bits differ at {threads}");
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(parallel.3, out_bits(&rec), "recovery run is not repeatable");
+}
