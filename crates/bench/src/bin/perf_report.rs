@@ -38,9 +38,12 @@ use dcp_core::{
     PlanOutput, Planner, PlannerConfig, RecoveryConfig, RecoveryPlanner, RetryConfig,
 };
 use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
-use dcp_exec::executor::{execute_backward, execute_forward, BatchData, BlockGrads, BlockOut};
+use dcp_exec::executor::{
+    execute_backward, execute_forward, execute_forward_recovery, BatchData, BlockGrads, BlockOut,
+    ExecObs, SalvageCtx,
+};
 use dcp_mask::MaskSpec;
-use dcp_sched::Instr;
+use dcp_sched::{verify_phase, verify_structure, Instr, PassConfig, PassManager, VerifyCtx};
 use dcp_sim::{simulate_phase, simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
 use dcp_types::{AttnSpec, ClusterSpec, ModelSpec, PlanTier};
 use rand::rngs::SmallRng;
@@ -447,6 +450,19 @@ fn main() {
     let mut warm_walls: Vec<f64> = Vec::new();
     let mut serial_parallel_identical = true;
 
+    // Pass-pipeline accounting: every batch's plan is re-run through the
+    // optimizer, re-simulated and re-executed; the optimized outputs must be
+    // bitwise identical to the unoptimized run already measured above.
+    let pass_pm = PassManager::new(PassConfig::optimize());
+    let mut pass_rows = Vec::new();
+    let mut per_pass: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut pass_bytes_before = 0u64;
+    let mut pass_bytes_after = 0u64;
+    let mut pass_makespan_before = 0.0f64;
+    let mut pass_makespan_after = 0.0f64;
+    let mut pass_bitwise = true;
+
     for mask in masks {
         let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
         let batches: Vec<_> = pack_batches(&lengths, BUDGET, |l| mask.mask_for(l))
@@ -513,6 +529,46 @@ fn main() {
             }
             assert_eq!(par.fwd, ser.fwd, "forward outputs must be bitwise equal");
             assert_eq!(par.bwd, ser.bwd, "gradients must be bitwise equal");
+
+            // Pass pipeline: optimize a clone of the plan, re-simulate and
+            // re-execute it, and compare outputs bitwise against the
+            // unoptimized run above.
+            let mut optimized = out.plan.clone();
+            let outcomes = pass_pm.run_plan(&out.layout, &out.placement, &mut optimized);
+            let sim_opt = simulate_plan(&cluster, &optimized).expect("simulate optimized");
+            let opt_run = run_exec(
+                &PlanOutput {
+                    plan: optimized.clone(),
+                    ..out.clone()
+                },
+                &data,
+                &d_o,
+            );
+            let bitwise = opt_run.fwd == par.fwd && opt_run.bwd == par.bwd;
+            assert!(bitwise, "passes must preserve merged outputs bitwise");
+            pass_bitwise &= bitwise;
+            let bytes_before = out.plan.total_comm_bytes();
+            let bytes_after = optimized.total_comm_bytes();
+            pass_bytes_before += bytes_before;
+            pass_bytes_after += bytes_after;
+            pass_makespan_before += sim.total();
+            pass_makespan_after += sim_opt.total();
+            for o in &outcomes {
+                let e = per_pass.entry(o.pass.clone()).or_insert((0, 0, 0));
+                e.0 += o.comm_bytes_saved();
+                e.1 += o.instrs_removed + o.transfers_removed;
+                e.2 += o.ops_fused + o.reduces_coalesced + o.copies_coalesced + o.waits_sunk;
+            }
+            pass_rows.push(json!({
+                "mask": mask.name(),
+                "batch": bi,
+                "comm_bytes_before": bytes_before,
+                "comm_bytes_after": bytes_after,
+                "simulated_total_before_s": sim.total(),
+                "simulated_total_after_s": sim_opt.total(),
+                "bitwise_identical": bitwise,
+                "outcomes": outcomes,
+            }));
 
             // Forward + backward each execute every computation block once.
             let blocks = 2 * out.layout.comp_blocks.len() as u64;
@@ -590,6 +646,151 @@ fn main() {
         "total_wall_s_default": total_tn,
         "runs": exec_rows,
     });
+    // Pass pipeline over recovery patches: the truncated failed stream
+    // retains prefetches whose waits were cut — genuine dead communication
+    // only the optimizer can remove. The optimized functional stream must
+    // still execute to a bitwise-identical merged output, and the optimized
+    // timing stream must stay structurally legal.
+    let rp = RecoveryPlanner::new(RecoveryConfig::default());
+    let mut rec_pass_rows = Vec::new();
+    let mut rec_fwd_saved = 0u64;
+    let mut rec_timing_before = 0.0f64;
+    let mut rec_timing_after = 0.0f64;
+    {
+        let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
+        let batches: Vec<_> = pack_batches(&lengths, BUDGET, |l| MaskSetting::Causal.mask_for(l))
+            .into_iter()
+            .take(n)
+            .map(|b| b.seqs)
+            .collect();
+        for (bi, batch) in batches.iter().enumerate() {
+            let out = plan_planner.plan(batch).expect("plan");
+            let (dev, nd) = out
+                .plan
+                .fwd
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let divs = s
+                        .instrs
+                        .iter()
+                        .filter(|ins| matches!(ins, Instr::Attn { .. }))
+                        .count() as u32;
+                    (i as u32, divs)
+                })
+                .max_by_key(|&(i, divs)| (divs, std::cmp::Reverse(i)))
+                .expect("nonempty plan");
+            if nd < 2 {
+                continue;
+            }
+            let patch = rp
+                .plan_recovery(
+                    &out,
+                    &FailureEvent {
+                        device: dev,
+                        divisions_done: (nd / 2).max(1),
+                    },
+                )
+                .expect("patch plan");
+            let ctx = VerifyCtx {
+                failed: Some(patch.failed),
+                salvage_comms: patch.salvage_comms.clone(),
+                producer_of: patch.producer_of.clone(),
+                reowned: patch.reowned.clone(),
+            };
+            let mut fwd = patch.fwd.clone();
+            let fwd_outs =
+                pass_pm.run_phase(&out.layout, &mut fwd, "recovery_fwd", &patch.salvage_comms);
+            verify_phase(&out.layout, &patch.placement, &fwd, false, &ctx)
+                .expect("optimized recovery stream must stay legal");
+            let salvage = SalvageCtx {
+                failed: patch.failed,
+                salvage_comms: patch.salvage_comms.clone(),
+                producer_of: patch.producer_of.clone(),
+                reowned: patch.reowned.clone(),
+            };
+            let data = BatchData::random(&out.layout, 2024);
+            let obs = ExecObs::disabled();
+            let base_out = execute_forward_recovery(
+                &out.layout,
+                &patch.placement,
+                &patch.fwd,
+                &data,
+                &salvage,
+                &obs,
+            )
+            .expect("recovery execute");
+            let opt_out = execute_forward_recovery(
+                &out.layout,
+                &patch.placement,
+                &fwd,
+                &data,
+                &salvage,
+                &obs,
+            )
+            .expect("optimized recovery execute");
+            assert_eq!(
+                base_out, opt_out,
+                "passes must preserve recovered outputs bitwise"
+            );
+            let fwd_saved: u64 = fwd_outs.iter().map(|o| o.comm_bytes_saved()).sum();
+            rec_fwd_saved += fwd_saved;
+            // Recovery phases count toward the headline totals: fresh plans
+            // are comm-tight, so the dead prefetches of a truncated failed
+            // stream are where the byte savings actually live.
+            pass_bytes_before += patch.fwd.total_comm_bytes();
+            pass_bytes_after += fwd.total_comm_bytes();
+
+            let mut timing = patch.timing.clone();
+            let t_before = simulate_phase(&cluster, &patch.timing)
+                .expect("simulate timing")
+                .makespan;
+            let timing_outs = pass_pm.run_phase(
+                &out.layout,
+                &mut timing,
+                "recovery_timing",
+                &patch.salvage_comms,
+            );
+            verify_structure(&timing).expect("optimized timing stream must stay legal");
+            let t_after = simulate_phase(&cluster, &timing)
+                .expect("simulate optimized timing")
+                .makespan;
+            rec_timing_before += t_before;
+            rec_timing_after += t_after;
+            pass_bytes_before += patch.timing.total_comm_bytes();
+            pass_bytes_after += timing.total_comm_bytes();
+            for o in fwd_outs.iter().chain(timing_outs.iter()) {
+                let e = per_pass.entry(o.pass.clone()).or_insert((0, 0, 0));
+                e.0 += o.comm_bytes_saved();
+                e.1 += o.instrs_removed + o.transfers_removed;
+                e.2 += o.ops_fused + o.reduces_coalesced + o.copies_coalesced + o.waits_sunk;
+            }
+            rec_pass_rows.push(json!({
+                "batch": bi,
+                "failed_device": dev,
+                "fwd_comm_bytes_saved": fwd_saved,
+                "fwd_outcomes": fwd_outs,
+                "timing_makespan_before_s": t_before,
+                "timing_makespan_after_s": t_after,
+                "timing_outcomes": timing_outs,
+                "bitwise_identical": true,
+            }));
+        }
+    }
+    println!(
+        "passes: comm bytes {pass_bytes_before} -> {pass_bytes_after} \
+         ({:.2}% saved), simulated {:.3}s -> {:.3}s, recovery fwd saved {rec_fwd_saved} bytes, \
+         bitwise: {pass_bitwise}",
+        if pass_bytes_before > 0 {
+            100.0 * (pass_bytes_before - pass_bytes_after) as f64 / pass_bytes_before as f64
+        } else {
+            0.0
+        },
+        pass_makespan_before,
+        pass_makespan_after,
+    );
+
     let (cache_hits, cache_misses) = plan_planner.cache_stats();
     let cold_median = median(&cold_walls);
     let warm_median = median(&warm_walls);
@@ -628,6 +829,32 @@ fn main() {
                 "schedule": plan_rows.iter().map(|r| r["stages_s"]["schedule"].as_f64().unwrap()).sum::<f64>(),
             },
             "serial_parallel_identical": serial_parallel_identical,
+        },
+        "passes": {
+            "enabled": true,
+            "comm_bytes_before_total": pass_bytes_before,
+            "comm_bytes_after_total": pass_bytes_after,
+            "comm_bytes_saved_total": pass_bytes_before - pass_bytes_after,
+            "simulated_makespan_before_s": pass_makespan_before,
+            "simulated_makespan_after_s": pass_makespan_after,
+            "output_bitwise_identical": pass_bitwise,
+            "per_pass": per_pass
+                .iter()
+                .map(|(name, (saved, removed, rewritten))| json!({
+                    "pass": name,
+                    "comm_bytes_saved": saved,
+                    "instrs_or_transfers_removed": removed,
+                    "instrs_rewritten": rewritten,
+                }))
+                .collect::<Vec<_>>(),
+            "runs": pass_rows,
+            "recovery": {
+                "patches": rec_pass_rows.len() as u64,
+                "fwd_comm_bytes_saved": rec_fwd_saved,
+                "timing_makespan_before_s": rec_timing_before,
+                "timing_makespan_after_s": rec_timing_after,
+                "runs": rec_pass_rows,
+            },
         },
         "runs": plan_rows,
     });

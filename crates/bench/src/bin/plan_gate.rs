@@ -14,6 +14,14 @@
 //! 4. the warm (cache-hit) median is not well below the cold median
 //!    (< 5% — a cache hit must cost a lookup, not a re-plan).
 //!
+//! It also gates the pass pipeline (the `passes` section `perf_report` now
+//! emits): the gate fails when optimized total comm bytes or the optimized
+//! simulated makespan regress by more than 10% (`DCP_PASS_GATE_FACTOR`,
+//! default 1.10) against the baseline's `passes` section, or when any pass
+//! broke bitwise output equivalence (`output_bitwise_identical` false,
+//! report-level or in any run). The passes leg is skipped (with a notice)
+//! only when the committed baseline predates the section.
+//!
 //! It also gates elastic recovery: `BENCH_robustness.json` (written by the
 //! same `perf_report` run) is compared against the committed
 //! `results/BENCH_robustness_baseline.json` with the same schema check, and
@@ -141,6 +149,76 @@ fn main() {
                 ratio * 100.0
             ));
         }
+    }
+
+    // Pass pipeline: optimized comm bytes, optimized simulated makespan and
+    // bitwise equivalence. Bitwise equivalence is unconditional on the fresh
+    // report; the byte/makespan comparisons need a baseline with a passes
+    // section (skipped with a notice until one is committed).
+    let passes = &report["passes"];
+    if passes.as_object().is_some() {
+        let pass_factor: f64 = std::env::var("DCP_PASS_GATE_FACTOR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.10);
+        match passes["output_bitwise_identical"].as_bool() {
+            Some(true) => println!("plan_gate: pass pipeline preserved outputs bitwise"),
+            _ => failures.push("pass pipeline broke bitwise output equivalence".into()),
+        }
+        if let Some(runs) = passes["runs"].as_array() {
+            for run in runs {
+                if run["bitwise_identical"].as_bool() != Some(true) {
+                    failures.push(format!(
+                        "pass run {}/batch{} broke bitwise output equivalence",
+                        run["mask"].as_str().unwrap_or("?"),
+                        run["batch"].as_u64().unwrap_or(0)
+                    ));
+                }
+            }
+        }
+        let base_passes = &baseline["passes"];
+        if base_passes.as_object().is_some() {
+            for (what, key, scale, unit) in [
+                ("optimized comm bytes", "comm_bytes_after_total", 1e-6, "MB"),
+                (
+                    "optimized simulated makespan",
+                    "simulated_makespan_after_s",
+                    1e3,
+                    "ms",
+                ),
+            ] {
+                match (passes[key].as_f64(), base_passes[key].as_f64()) {
+                    (Some(cur), Some(base)) => {
+                        let limit = base * pass_factor;
+                        println!(
+                            "plan_gate: {what} {:.3}{unit} vs baseline {:.3}{unit} \
+                             (limit {:.3}{unit} = {pass_factor:.2}x)",
+                            cur * scale,
+                            base * scale,
+                            limit * scale
+                        );
+                        if cur > limit {
+                            failures.push(format!(
+                                "{what} regressed: {:.3}{unit} > {:.3}{unit} \
+                                 ({pass_factor:.2}x baseline)",
+                                cur * scale,
+                                limit * scale
+                            ));
+                        }
+                    }
+                    (None, Some(_)) => {
+                        failures.push(format!("{report_path} passes section lacks {key}"));
+                    }
+                    (_, None) => {
+                        println!("plan_gate: baseline passes section lacks {key} (skipped)");
+                    }
+                }
+            }
+        } else {
+            println!("plan_gate: no passes section in baseline (byte/makespan legs skipped)");
+        }
+    } else {
+        println!("plan_gate: no passes section in report (skipped)");
     }
 
     // Elastic recovery: patch-plan latency vs the committed baseline. Only

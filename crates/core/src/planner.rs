@@ -12,7 +12,10 @@ use dcp_hypergraph::{
 };
 use dcp_mask::MaskSpec;
 use dcp_obs::{Event, ObsHandle, Source as ObsSource};
-use dcp_sched::{build_plan, ExecutionPlan, Placement, ScheduleConfig};
+use dcp_sched::{
+    build_plan, verify_plan, ExecutionPlan, PassConfig, PassManager, PassOutcome, Placement,
+    ScheduleConfig,
+};
 use dcp_sim::{simulate_plan, FaultSpec};
 use dcp_types::{AttnSpec, ClusterSpec, DcpError, DcpResult, PlanTier};
 use serde::{Deserialize, Serialize};
@@ -75,6 +78,13 @@ pub struct PlannerConfig {
     /// `None` (the default) places for a healthy cluster.
     #[serde(default)]
     pub fault_spec: Option<FaultSpec>,
+    /// Post-scheduling pass pipeline over the rendered instruction streams
+    /// (`dcp_sched::passes`). Disabled by default: downstream consumers
+    /// that splice streams (the recovery patcher) assume the scheduler's
+    /// canonical emission shape. Enable with [`PassConfig::optimize`] when
+    /// the plan goes straight to the executor or simulator.
+    #[serde(default)]
+    pub passes: PassConfig,
 }
 
 fn default_plan_cache() -> usize {
@@ -102,6 +112,7 @@ impl Default for PlannerConfig {
             plan_cache: default_plan_cache(),
             max_fallback_regression: default_max_fallback_regression(),
             fault_spec: None,
+            passes: PassConfig::default(),
         }
     }
 }
@@ -164,6 +175,11 @@ pub struct PlanOutput {
     pub fallback_reason: Option<String>,
     /// Cache outcome and per-stage timing for this call.
     pub stats: PlanStats,
+    /// What each optimizer pass changed, in pipeline order (empty when the
+    /// pipeline is disabled). Deserializes as empty from plans serialized
+    /// before the pipeline existed.
+    #[serde(default)]
+    pub passes: Vec<PassOutcome>,
 }
 
 impl PlanOutput {
@@ -485,10 +501,47 @@ impl Planner {
             }
         }
 
-        let Some((placement, plan, tier)) = chosen else {
+        let Some((placement, mut plan, tier)) = chosen else {
             return Err(last_err
                 .unwrap_or_else(|| DcpError::invalid_plan("no fallback tier produced a plan")));
         };
+        // Optimizer pass pipeline (when enabled), then the stream verifier on
+        // every freshly produced plan — optimized or not. Cache hits skip
+        // both: the cached plan already passed.
+        let mut pass_outcomes: Vec<PassOutcome> = Vec::new();
+        if self.cfg.passes.enabled {
+            let tp = Instant::now();
+            let pm = PassManager::new(self.cfg.passes.clone());
+            pass_outcomes = pm.run_plan(&layout, &placement, &mut plan);
+            schedule_s += tp.elapsed().as_secs_f64();
+            if obs_on {
+                let mut at = (tp - t_total).as_secs_f64();
+                let per_pass = tp.elapsed().as_secs_f64() / pass_outcomes.len().max(1) as f64;
+                for o in &pass_outcomes {
+                    self.obs.record(stamp(
+                        Event::span(ObsSource::Planner, "pass")
+                            .with_label(format!("{}:{}", o.pass, o.phase))
+                            .with_time(at, per_pass),
+                    ));
+                    at += per_pass;
+                }
+                let saved: u64 = pass_outcomes
+                    .iter()
+                    .map(PassOutcome::comm_bytes_saved)
+                    .sum();
+                self.obs.record(stamp(Event::counter(
+                    ObsSource::Planner,
+                    "pass_comm_bytes_saved",
+                    saved as f64,
+                )));
+            }
+        }
+        if let Err(diag) = verify_plan(&layout, &placement, &plan) {
+            return Err(DcpError::invalid_plan(format!(
+                "planner produced an illegal stream ({} tier): {diag}",
+                tier.label()
+            )));
+        }
         if obs_on {
             // Partitioner stage breakdown (CPU seconds summed over the
             // hierarchy, rendered as consecutive segments of one row).
@@ -529,6 +582,7 @@ impl Planner {
                 schedule_s,
                 total_s: t_total.elapsed().as_secs_f64(),
             },
+            passes: pass_outcomes,
         };
         if let Some(key) = key {
             self.cache

@@ -42,8 +42,9 @@ use dcp_blocks::{BatchLayout, CompBlockId, TokenBlockId};
 use dcp_hypergraph::{partition, HypergraphBuilder, PartitionConfig, VertexWeight};
 use dcp_obs::{Event, ObsHandle, Source as ObsSource};
 use dcp_sched::{
-    build_plan, BufferStats, CommId, CommOp, DeviceStream, ExecutionPlan, Instr, Payload,
-    PayloadKind, PhasePlan, Placement, ReduceItem, ScheduleConfig, Transfer,
+    build_plan, verify_phase, verify_plan, verify_structure, BufferStats, CommId, CommOp,
+    DeviceStream, ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan, Placement, ReduceItem,
+    ScheduleConfig, Transfer, VerifyCtx,
 };
 use dcp_types::{DcpError, DcpResult};
 use serde::{Deserialize, Serialize};
@@ -663,6 +664,25 @@ impl RecoveryPlanner {
                 ..Default::default()
             },
         )?;
+
+        // Every rendered patch stream must satisfy the legal-stream contract
+        // before it ships: the functional forward phase under the salvage
+        // rules, the re-planned backward phase as an ordinary plan, and the
+        // host-folded timing phase structurally (host folding legitimately
+        // leaves some waits with no incoming transfers, so the full symbolic
+        // check does not apply).
+        let verify_ctx = VerifyCtx {
+            failed: Some(failed),
+            salvage_comms: salvage_comms.clone(),
+            producer_of: producer_of.clone(),
+            reowned: reowned.clone(),
+        };
+        verify_phase(layout, &placement, &patch_fwd, false, &verify_ctx)
+            .map_err(|d| DcpError::invalid_plan(format!("recovery fwd patch: {d}")))?;
+        verify_plan(layout, &bwd_placement, &bwd)
+            .map_err(|d| DcpError::invalid_plan(format!("recovery bwd plan: {d}")))?;
+        verify_structure(&timing)
+            .map_err(|d| DcpError::invalid_plan(format!("recovery timing plan: {d}")))?;
 
         let stats = RecoveryStats {
             failed_flops,

@@ -23,12 +23,15 @@
 //! distributed KV store.
 
 pub mod buffer;
+pub mod passes;
 pub mod placement;
 pub mod plan;
 pub mod report;
 pub mod schedule;
+pub mod verify;
 
 pub use buffer::BufferStats;
+pub use passes::{Pass, PassConfig, PassCx, PassManager, PassOutcome};
 pub use placement::Placement;
 pub use plan::{
     CommId, CommOp, DeviceStream, ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan,
@@ -36,3 +39,6 @@ pub use plan::{
 };
 pub use report::{DeviceReport, DivisionReport, PlanReport};
 pub use schedule::{build_plan, ScheduleConfig};
+pub use verify::{
+    verify_phase, verify_plan, verify_structure, Diagnostic, VerifyCtx, ViolationKind,
+};

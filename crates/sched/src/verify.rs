@@ -1,0 +1,1148 @@
+//! Stream verifier: a symbolic interpreter over rendered instruction
+//! streams.
+//!
+//! The verifier mirrors the numerical executor's legality rules — deposit
+//! rules at `CommLaunch`, arrival rules at `CommWait`, input availability at
+//! `Attn`/`AttnBwd`, partial availability at `Reduce`, round-robin progress
+//! — without touching any data, so it runs in microseconds per plan and can
+//! gate every planner output and every recovery-patch rendering. Where the
+//! executor would return an opaque [`dcp_types::DcpError::InvalidPlan`] or
+//! deadlock, the verifier returns a typed [`Diagnostic`] naming the
+//! violated rule, the offending device and the instruction index.
+//!
+//! Three entry points:
+//!
+//! - [`verify_plan`]: both phases of an [`ExecutionPlan`] against its layout
+//!   and placement (normal planner outputs).
+//! - [`verify_phase`]: one phase with an explicit [`VerifyCtx`], encoding
+//!   the relaxed ownership rules of a recovery patch plan (salvage ops,
+//!   re-owned blocks, shard-deposited partials) exactly as
+//!   `dcp_exec::executor::execute_forward_recovery` interprets them.
+//! - [`verify_structure`]: launch/wait/deposit structure only, for streams
+//!   with no logical placement (a recovery patch's host-folded `timing`
+//!   plan, whose self-transfers are filtered and whose waits may legally
+//!   receive nothing after folding).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use dcp_blocks::{BatchLayout, TokenBlockId};
+use serde::{Deserialize, Serialize};
+
+use crate::placement::Placement;
+use crate::plan::{ExecutionPlan, Instr, Payload, PayloadKind, PhasePlan};
+
+/// Which legality rule a stream violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// A `CommLaunch`/`CommWait` references a comm id outside the op table.
+    CommIdOutOfRange,
+    /// An input-only op is waited by a device that never launched it
+    /// (input fetches are receiver-launched).
+    WaitWithoutLaunch,
+    /// A device waits on an op that sends it nothing.
+    WaitReceivesNothing,
+    /// An attention instruction reads a Q/KV/dO block that is neither local
+    /// nor arrived.
+    MissingInput,
+    /// A reduction reads a partial that never arrived (or arrived as a raw
+    /// salvage accumulator rather than a finalized partial).
+    MissingPartial,
+    /// A device launches a partial it has not computed yet.
+    MissingProducerState,
+    /// An instruction's direction or payload kind contradicts the phase.
+    WrongPhase,
+    /// A computation block executes on a device other than its placement.
+    WrongDevice,
+    /// A computation block is scheduled more than once.
+    DuplicateCompute,
+    /// A computation block is never scheduled.
+    MissingCompute,
+    /// A transfer's endpoints contradict ownership/producer records.
+    BadRoute,
+    /// A transfer sends a device data it already holds.
+    SelfTransfer,
+    /// A salvage op installs an accumulator the device already has.
+    DuplicateSalvage,
+    /// No device can make progress (circular or absent dependencies).
+    Deadlock,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::CommIdOutOfRange => "comm-id-out-of-range",
+            ViolationKind::WaitWithoutLaunch => "wait-without-launch",
+            ViolationKind::WaitReceivesNothing => "wait-receives-nothing",
+            ViolationKind::MissingInput => "missing-input",
+            ViolationKind::MissingPartial => "missing-partial",
+            ViolationKind::MissingProducerState => "missing-producer-state",
+            ViolationKind::WrongPhase => "wrong-phase",
+            ViolationKind::WrongDevice => "wrong-device",
+            ViolationKind::DuplicateCompute => "duplicate-compute",
+            ViolationKind::MissingCompute => "missing-compute",
+            ViolationKind::BadRoute => "bad-route",
+            ViolationKind::SelfTransfer => "self-transfer",
+            ViolationKind::DuplicateSalvage => "duplicate-salvage",
+            ViolationKind::Deadlock => "deadlock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed verifier rejection: the violated rule, where it anchors in the
+/// streams (device rank and instruction index, when the violation has a
+/// stream position), and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub kind: ViolationKind,
+    /// Device whose stream violates the rule, if anchored.
+    pub device: Option<u32>,
+    /// Index of the offending instruction in that device's stream, if
+    /// anchored.
+    pub instr: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn at(kind: ViolationKind, device: u32, instr: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind,
+            device: Some(device),
+            instr: Some(instr),
+            message: message.into(),
+        }
+    }
+
+    fn phase_level(kind: ViolationKind, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind,
+            device: None,
+            instr: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.kind)?;
+        if let (Some(d), Some(i)) = (self.device, self.instr) {
+            write!(f, "device {d} instr {i}: ")?;
+        } else if let Some(d) = self.device {
+            write!(f, "device {d}: ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+/// Result alias for verifier entry points.
+pub type VerifyResult = Result<(), Diagnostic>;
+
+/// Recovery semantics for [`verify_phase`], mirroring the executor's
+/// `SalvageCtx`. The default context encodes a normal (non-recovery) plan.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyCtx {
+    /// The failed logical device of a recovery patch, if any.
+    pub failed: Option<u32>,
+    /// Comm ids carrying raw accumulators from the failed device to its
+    /// replacement shards.
+    pub salvage_comms: HashSet<u32>,
+    /// Shard that deposits each token block's outstanding partial under the
+    /// original comm id (the payload's producer field still names `failed`).
+    pub producer_of: HashMap<TokenBlockId, u32>,
+    /// Token blocks re-owned from the failed device; its truncated prefix
+    /// may still read them locally.
+    pub reowned: HashSet<TokenBlockId>,
+}
+
+impl VerifyCtx {
+    fn is_failed(&self, dev: u32) -> bool {
+        self.failed == Some(dev)
+    }
+}
+
+/// What each instruction of one device's stream reads from arrived data.
+/// Shared by the verifier and the passes (dead-comm, wait sinking).
+pub(crate) fn instr_reads(layout: &BatchLayout, ins: &Instr, out: &mut HashSet<Payload>) {
+    match ins {
+        Instr::Attn { items, .. } => {
+            for &c in items {
+                let cb = &layout.comp_blocks[c.0 as usize];
+                out.insert(Payload::Q(cb.q_block));
+                out.insert(Payload::Kv(cb.kv_block));
+            }
+        }
+        Instr::AttnBwd { items, .. } => {
+            for &c in items {
+                let cb = &layout.comp_blocks[c.0 as usize];
+                out.insert(Payload::Q(cb.q_block));
+                out.insert(Payload::Kv(cb.kv_block));
+                out.insert(Payload::DO(cb.q_block));
+            }
+        }
+        Instr::Reduce { items, .. } => {
+            for item in items {
+                for &src in &item.sources {
+                    let p = match item.kind {
+                        PayloadKind::PartialO => Payload::PartialO(item.target, src),
+                        PayloadKind::PartialDq => Payload::PartialDq(item.target, src),
+                        PayloadKind::PartialDkv => Payload::PartialDkv(item.target, src),
+                        _ => continue,
+                    };
+                    out.insert(p);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Verifies both phases of a plan against its layout and placement with
+/// normal (non-recovery) semantics.
+///
+/// # Errors
+///
+/// Returns the first [`Diagnostic`] encountered.
+pub fn verify_plan(
+    layout: &BatchLayout,
+    placement: &Placement,
+    plan: &ExecutionPlan,
+) -> VerifyResult {
+    let ctx = VerifyCtx::default();
+    verify_phase(layout, placement, &plan.fwd, false, &ctx)?;
+    verify_phase(layout, placement, &plan.bwd, true, &ctx)
+}
+
+/// Symbolic state of one phase verification.
+struct SymState {
+    /// Per device: payloads that have arrived, flagged raw-accumulator.
+    avail: Vec<HashMap<Payload, bool>>,
+    /// In-flight deposits keyed `(comm id, payload)`, flagged
+    /// raw-accumulator.
+    mailbox: HashMap<(u32, Payload), bool>,
+    /// Per device: forward accumulators / backward dQ / backward dKV state.
+    acc: Vec<HashSet<TokenBlockId>>,
+    dq: Vec<HashSet<TokenBlockId>>,
+    dkv: Vec<HashSet<TokenBlockId>>,
+    /// Per device: comm ids launched so far.
+    launched: Vec<HashSet<u32>>,
+    /// Computation blocks executed so far.
+    seen: Vec<bool>,
+}
+
+/// Verifies one phase with explicit recovery semantics, mirroring the
+/// executor instruction by instruction (round-robin progress, deposit and
+/// arrival rules, accumulator state).
+///
+/// # Errors
+///
+/// Returns the first [`Diagnostic`] encountered; blocked progress surfaces
+/// as [`ViolationKind::Deadlock`] anchored at the first stalled device.
+// The round-robin executor indexes `ip` and `phase.devices` in lockstep.
+#[allow(clippy::needless_range_loop)]
+pub fn verify_phase(
+    layout: &BatchLayout,
+    placement: &Placement,
+    phase: &PhasePlan,
+    backward: bool,
+    ctx: &VerifyCtx,
+) -> VerifyResult {
+    let n = phase.devices.len();
+    let mut st = SymState {
+        avail: vec![HashMap::new(); n],
+        mailbox: HashMap::new(),
+        acc: vec![HashSet::new(); n],
+        dq: vec![HashSet::new(); n],
+        dkv: vec![HashSet::new(); n],
+        launched: vec![HashSet::new(); n],
+        seen: vec![false; layout.comp_blocks.len()],
+    };
+    let mut ip = vec![0usize; n];
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for d in 0..n {
+            loop {
+                let idx = ip[d];
+                let Some(ins) = phase.devices[d].instrs.get(idx) else {
+                    break;
+                };
+                all_done = false;
+                if step(
+                    layout, placement, phase, backward, ctx, &mut st, d as u32, idx, ins,
+                )? {
+                    ip[d] += 1;
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let d = (0..n)
+                .find(|&d| ip[d] < phase.devices[d].instrs.len())
+                .expect("some device is blocked");
+            return Err(Diagnostic::at(
+                ViolationKind::Deadlock,
+                phase.devices[d].device,
+                ip[d],
+                "no device can make progress (missing launch or circular wait)",
+            ));
+        }
+    }
+    // Coverage: every computation block executed exactly once, on its
+    // assigned device (duplicates and wrong devices are caught in-stream).
+    if let Some(missing) = st.seen.iter().position(|&s| !s) {
+        return Err(Diagnostic::phase_level(
+            ViolationKind::MissingCompute,
+            format!("comp block {missing} never scheduled in this phase"),
+        ));
+    }
+    Ok(())
+}
+
+/// Kinds of payload legal in each phase direction.
+fn kind_in_phase(kind: PayloadKind, backward: bool) -> bool {
+    match kind {
+        PayloadKind::Q | PayloadKind::Kv => true,
+        PayloadKind::PartialO => !backward,
+        PayloadKind::DO | PayloadKind::PartialDq | PayloadKind::PartialDkv => backward,
+    }
+}
+
+/// Executes one symbolic instruction; `Ok(false)` means blocked on a wait.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    layout: &BatchLayout,
+    placement: &Placement,
+    phase: &PhasePlan,
+    backward: bool,
+    ctx: &VerifyCtx,
+    st: &mut SymState,
+    dev: u32,
+    idx: usize,
+    ins: &Instr,
+) -> Result<bool, Diagnostic> {
+    let d = dev as usize;
+    match ins {
+        Instr::CommLaunch(cid) => {
+            if cid.0 as usize >= phase.comms.len() {
+                return Err(Diagnostic::at(
+                    ViolationKind::CommIdOutOfRange,
+                    dev,
+                    idx,
+                    format!("launch of comm id {} outside op table", cid.0),
+                ));
+            }
+            let op = &phase.comms[cid.0 as usize];
+            // Route checks for every transfer of the op (anchored at the
+            // launch, the first stream position that references the op).
+            for tr in &op.transfers {
+                if tr.from == tr.to {
+                    return Err(Diagnostic::at(
+                        ViolationKind::SelfTransfer,
+                        dev,
+                        idx,
+                        format!(
+                            "op {} transfer {:?} sends a device its own data",
+                            cid.0, tr.payload
+                        ),
+                    ));
+                }
+                if !kind_in_phase(tr.payload.kind(), backward) {
+                    return Err(Diagnostic::at(
+                        ViolationKind::WrongPhase,
+                        dev,
+                        idx,
+                        format!(
+                            "op {} carries {:?} in the {} phase",
+                            cid.0,
+                            tr.payload.kind(),
+                            if backward { "backward" } else { "forward" }
+                        ),
+                    ));
+                }
+                let tb = tr.payload.token_block();
+                let owner = placement.token_dev(tb);
+                let ok = match tr.payload {
+                    Payload::Q(_) | Payload::Kv(_) | Payload::DO(_) => {
+                        tr.from == owner
+                            || (ctx.failed == Some(tr.from) && ctx.reowned.contains(&tb))
+                    }
+                    Payload::PartialO(_, p)
+                    | Payload::PartialDq(_, p)
+                    | Payload::PartialDkv(_, p) => {
+                        tr.from == p && (tr.to == owner || ctx.salvage_comms.contains(&cid.0))
+                    }
+                };
+                if !ok {
+                    return Err(Diagnostic::at(
+                        ViolationKind::BadRoute,
+                        dev,
+                        idx,
+                        format!("op {} transfer {tr:?} inconsistent with ownership", cid.0),
+                    ));
+                }
+            }
+            // Deposits, exactly as the executor performs them.
+            for tr in &op.transfers {
+                let tb = tr.payload.token_block();
+                let deposit = match tr.payload {
+                    Payload::Q(_) | Payload::Kv(_) | Payload::DO(_) => tr.to == dev,
+                    Payload::PartialO(..) if !backward => {
+                        tr.from == dev
+                            || (ctx.failed == Some(tr.from)
+                                && ctx.producer_of.get(&tb) == Some(&dev))
+                    }
+                    Payload::PartialDq(..) | Payload::PartialDkv(..) if backward => tr.from == dev,
+                    _ => false,
+                };
+                if !deposit {
+                    continue;
+                }
+                match tr.payload {
+                    Payload::Q(_) | Payload::Kv(_) | Payload::DO(_) => {
+                        st.mailbox.insert((cid.0, tr.payload), false);
+                    }
+                    Payload::PartialO(..) => {
+                        if !st.acc[d].contains(&tb) {
+                            return Err(Diagnostic::at(
+                                ViolationKind::MissingProducerState,
+                                dev,
+                                idx,
+                                format!("sends partial O for {tb:?} it never computed"),
+                            ));
+                        }
+                        let is_acc = ctx.salvage_comms.contains(&cid.0);
+                        st.mailbox.insert((cid.0, tr.payload), is_acc);
+                    }
+                    Payload::PartialDq(..) => {
+                        if !st.dq[d].contains(&tb) {
+                            return Err(Diagnostic::at(
+                                ViolationKind::MissingProducerState,
+                                dev,
+                                idx,
+                                format!("sends dQ partial for {tb:?} it never computed"),
+                            ));
+                        }
+                        st.mailbox.insert((cid.0, tr.payload), false);
+                    }
+                    Payload::PartialDkv(..) => {
+                        if !st.dkv[d].contains(&tb) {
+                            return Err(Diagnostic::at(
+                                ViolationKind::MissingProducerState,
+                                dev,
+                                idx,
+                                format!("sends dKV partial for {tb:?} it never computed"),
+                            ));
+                        }
+                        st.mailbox.insert((cid.0, tr.payload), false);
+                    }
+                }
+            }
+            st.launched[d].insert(cid.0);
+            Ok(true)
+        }
+        Instr::CommWait(cid) => {
+            if cid.0 as usize >= phase.comms.len() {
+                return Err(Diagnostic::at(
+                    ViolationKind::CommIdOutOfRange,
+                    dev,
+                    idx,
+                    format!("wait on comm id {} outside op table", cid.0),
+                ));
+            }
+            let op = &phase.comms[cid.0 as usize];
+            let incoming: Vec<Payload> = op
+                .transfers
+                .iter()
+                .filter(|t| t.to == dev)
+                .map(|t| t.payload)
+                .collect();
+            if incoming.is_empty() {
+                return Err(Diagnostic::at(
+                    ViolationKind::WaitReceivesNothing,
+                    dev,
+                    idx,
+                    format!("waits on op {} that sends it nothing", cid.0),
+                ));
+            }
+            // Input fetches are receiver-launched; a wait on an input-only
+            // op without a prior launch in the same stream can never be
+            // satisfied by another device.
+            let input_only = op.transfers.iter().all(|t| {
+                matches!(
+                    t.payload.kind(),
+                    PayloadKind::Q | PayloadKind::Kv | PayloadKind::DO
+                )
+            });
+            if input_only && !st.launched[d].contains(&cid.0) {
+                return Err(Diagnostic::at(
+                    ViolationKind::WaitWithoutLaunch,
+                    dev,
+                    idx,
+                    format!("waits on input op {} before launching it", cid.0),
+                ));
+            }
+            if incoming
+                .iter()
+                .any(|p| !st.mailbox.contains_key(&(cid.0, *p)))
+            {
+                return Ok(false);
+            }
+            for p in incoming {
+                let is_acc = st.mailbox.remove(&(cid.0, p)).expect("checked present");
+                st.avail[d].insert(p, is_acc);
+            }
+            if ctx.salvage_comms.contains(&cid.0) {
+                for tr in op.transfers.iter().filter(|t| t.to == dev) {
+                    let tb = tr.payload.token_block();
+                    if st.avail[d].get(&tr.payload) == Some(&true) {
+                        st.avail[d].remove(&tr.payload);
+                        if !st.acc[d].insert(tb) {
+                            return Err(Diagnostic::at(
+                                ViolationKind::DuplicateSalvage,
+                                dev,
+                                idx,
+                                format!("salvaged {tb:?} it already accumulates"),
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        }
+        Instr::Attn { items, .. } => {
+            if backward {
+                return Err(Diagnostic::at(
+                    ViolationKind::WrongPhase,
+                    dev,
+                    idx,
+                    "forward attention in backward phase",
+                ));
+            }
+            for &c in items {
+                if placement.comp_dev(c) != dev {
+                    return Err(Diagnostic::at(
+                        ViolationKind::WrongDevice,
+                        dev,
+                        idx,
+                        format!(
+                            "comp block {c:?} belongs to device {}",
+                            placement.comp_dev(c)
+                        ),
+                    ));
+                }
+                if st.seen[c.0 as usize] {
+                    return Err(Diagnostic::at(
+                        ViolationKind::DuplicateCompute,
+                        dev,
+                        idx,
+                        format!("comp block {c:?} scheduled twice"),
+                    ));
+                }
+                st.seen[c.0 as usize] = true;
+                let cb = &layout.comp_blocks[c.0 as usize];
+                let local = |tb: TokenBlockId| {
+                    placement.token_dev(tb) == dev
+                        || (ctx.is_failed(dev) && ctx.reowned.contains(&tb))
+                };
+                if !local(cb.q_block) && st.avail[d].get(&Payload::Q(cb.q_block)) != Some(&false) {
+                    return Err(Diagnostic::at(
+                        ViolationKind::MissingInput,
+                        dev,
+                        idx,
+                        format!("computes {c:?} without Q({:?})", cb.q_block),
+                    ));
+                }
+                if !local(cb.kv_block) && st.avail[d].get(&Payload::Kv(cb.kv_block)) != Some(&false)
+                {
+                    return Err(Diagnostic::at(
+                        ViolationKind::MissingInput,
+                        dev,
+                        idx,
+                        format!("computes {c:?} without KV({:?})", cb.kv_block),
+                    ));
+                }
+                st.acc[d].insert(cb.q_block);
+            }
+            Ok(true)
+        }
+        Instr::AttnBwd { items, .. } => {
+            if !backward {
+                return Err(Diagnostic::at(
+                    ViolationKind::WrongPhase,
+                    dev,
+                    idx,
+                    "backward attention in forward phase",
+                ));
+            }
+            for &c in items {
+                if placement.comp_dev(c) != dev {
+                    return Err(Diagnostic::at(
+                        ViolationKind::WrongDevice,
+                        dev,
+                        idx,
+                        format!(
+                            "comp block {c:?} belongs to device {}",
+                            placement.comp_dev(c)
+                        ),
+                    ));
+                }
+                if st.seen[c.0 as usize] {
+                    return Err(Diagnostic::at(
+                        ViolationKind::DuplicateCompute,
+                        dev,
+                        idx,
+                        format!("comp block {c:?} scheduled twice"),
+                    ));
+                }
+                st.seen[c.0 as usize] = true;
+                let cb = &layout.comp_blocks[c.0 as usize];
+                let q_owned = placement.token_dev(cb.q_block) == dev;
+                let kv_owned = placement.token_dev(cb.kv_block) == dev;
+                if !q_owned && st.avail[d].get(&Payload::Q(cb.q_block)) != Some(&false) {
+                    return Err(Diagnostic::at(
+                        ViolationKind::MissingInput,
+                        dev,
+                        idx,
+                        format!("bwd {c:?} without Q({:?})", cb.q_block),
+                    ));
+                }
+                if !kv_owned && st.avail[d].get(&Payload::Kv(cb.kv_block)) != Some(&false) {
+                    return Err(Diagnostic::at(
+                        ViolationKind::MissingInput,
+                        dev,
+                        idx,
+                        format!("bwd {c:?} without KV({:?})", cb.kv_block),
+                    ));
+                }
+                if !q_owned && st.avail[d].get(&Payload::DO(cb.q_block)) != Some(&false) {
+                    return Err(Diagnostic::at(
+                        ViolationKind::MissingInput,
+                        dev,
+                        idx,
+                        format!("bwd {c:?} without dO({:?})", cb.q_block),
+                    ));
+                }
+                st.dq[d].insert(cb.q_block);
+                st.dkv[d].insert(cb.kv_block);
+            }
+            Ok(true)
+        }
+        Instr::Reduce { items, .. } => {
+            for item in items {
+                let tb = item.target;
+                let expect_kind = if backward {
+                    matches!(item.kind, PayloadKind::PartialDq | PayloadKind::PartialDkv)
+                } else {
+                    item.kind == PayloadKind::PartialO
+                };
+                if !expect_kind {
+                    return Err(Diagnostic::at(
+                        ViolationKind::WrongPhase,
+                        dev,
+                        idx,
+                        format!("reduce of {:?} in the wrong phase", item.kind),
+                    ));
+                }
+                for &src in &item.sources {
+                    let p = match item.kind {
+                        PayloadKind::PartialO => Payload::PartialO(tb, src),
+                        PayloadKind::PartialDq => Payload::PartialDq(tb, src),
+                        PayloadKind::PartialDkv => Payload::PartialDkv(tb, src),
+                        _ => unreachable!("checked above"),
+                    };
+                    if st.avail[d].get(&p) != Some(&false) {
+                        return Err(Diagnostic::at(
+                            ViolationKind::MissingPartial,
+                            dev,
+                            idx,
+                            format!("reduces {tb:?} without partial from {src}"),
+                        ));
+                    }
+                }
+            }
+            Ok(true)
+        }
+        Instr::Copy { .. } => Ok(true),
+    }
+}
+
+/// Structural verification for streams with no logical placement (e.g. a
+/// recovery patch's host-folded `timing` plan): comm ids in range, every
+/// wait's incoming transfers deposited by some launch (receiver-launched
+/// for inputs, sender-launched for partials), and round-robin progress
+/// without deadlock. Waits that receive nothing are legal here — host
+/// folding filters same-host transfers out of ops whose waits remain.
+///
+/// # Errors
+///
+/// Returns the first [`Diagnostic`] encountered.
+// The round-robin walk indexes `ip` and `phase.devices` in lockstep.
+#[allow(clippy::needless_range_loop)]
+pub fn verify_structure(phase: &PhasePlan) -> VerifyResult {
+    let n = phase.devices.len();
+    // Which devices launch each op (any position, any stream).
+    let mut launchers: Vec<HashSet<u32>> = vec![HashSet::new(); phase.comms.len()];
+    for stream in &phase.devices {
+        for (idx, ins) in stream.instrs.iter().enumerate() {
+            match ins {
+                Instr::CommLaunch(cid) | Instr::CommWait(cid) => {
+                    if cid.0 as usize >= phase.comms.len() {
+                        return Err(Diagnostic::at(
+                            ViolationKind::CommIdOutOfRange,
+                            stream.device,
+                            idx,
+                            format!("comm id {} outside op table", cid.0),
+                        ));
+                    }
+                    if matches!(ins, Instr::CommLaunch(_)) {
+                        launchers[cid.0 as usize].insert(stream.device);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // A wait can only be satisfied if each of its incoming transfers has a
+    // depositor: the receiver (inputs) or the sender (partials) launches
+    // the op somewhere.
+    for stream in &phase.devices {
+        for (idx, ins) in stream.instrs.iter().enumerate() {
+            let Instr::CommWait(cid) = ins else { continue };
+            let op = &phase.comms[cid.0 as usize];
+            for tr in op.transfers.iter().filter(|t| t.to == stream.device) {
+                let depositor = match tr.payload.kind() {
+                    PayloadKind::Q | PayloadKind::Kv | PayloadKind::DO => tr.to,
+                    _ => tr.from,
+                };
+                if !launchers[cid.0 as usize].contains(&depositor) {
+                    return Err(Diagnostic::at(
+                        ViolationKind::WaitWithoutLaunch,
+                        stream.device,
+                        idx,
+                        format!(
+                            "waits on op {} whose {:?} is never launched by device {depositor}",
+                            cid.0, tr.payload
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Round-robin progress with structural deposits.
+    let mut mailbox: HashSet<(u32, Payload)> = HashSet::new();
+    let mut ip = vec![0usize; n];
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for d in 0..n {
+            let dev = phase.devices[d].device;
+            loop {
+                let idx = ip[d];
+                let Some(ins) = phase.devices[d].instrs.get(idx) else {
+                    break;
+                };
+                all_done = false;
+                let ok = match ins {
+                    Instr::CommLaunch(cid) => {
+                        let op = &phase.comms[cid.0 as usize];
+                        for tr in &op.transfers {
+                            let depositor = match tr.payload.kind() {
+                                PayloadKind::Q | PayloadKind::Kv | PayloadKind::DO => tr.to,
+                                _ => tr.from,
+                            };
+                            if depositor == dev {
+                                mailbox.insert((cid.0, tr.payload));
+                            }
+                        }
+                        true
+                    }
+                    Instr::CommWait(cid) => phase.comms[cid.0 as usize]
+                        .transfers
+                        .iter()
+                        .filter(|t| t.to == dev)
+                        .all(|t| mailbox.contains(&(cid.0, t.payload))),
+                    _ => true,
+                };
+                if ok {
+                    ip[d] += 1;
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if all_done {
+            return Ok(());
+        }
+        if !progressed {
+            let d = (0..n)
+                .find(|&d| ip[d] < phase.devices[d].instrs.len())
+                .expect("some device is blocked");
+            return Err(Diagnostic::at(
+                ViolationKind::Deadlock,
+                phase.devices[d].device,
+                ip[d],
+                "no device can make progress (missing launch or circular wait)",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CommId, CommOp, Transfer};
+    use crate::schedule::{build_plan, ScheduleConfig};
+    use dcp_blocks::BlockConfig;
+    use dcp_mask::MaskSpec;
+    use dcp_types::AttnSpec;
+
+    fn layout(seqs: &[(u32, MaskSpec)], bs: u32) -> BatchLayout {
+        BatchLayout::build(
+            AttnSpec::paper_micro(),
+            BlockConfig {
+                block_size: bs,
+                head_blocks: 1,
+            },
+            seqs,
+        )
+        .unwrap()
+    }
+
+    fn ring_placement(l: &BatchLayout, n: u32) -> Placement {
+        let token_to_dev: Vec<u32> = (0..l.token_blocks.len() as u32).map(|i| i % n).collect();
+        let comp_to_dev: Vec<u32> = l
+            .comp_blocks
+            .iter()
+            .map(|c| token_to_dev[c.q_block.0 as usize])
+            .collect();
+        Placement {
+            num_devices: n,
+            token_to_dev,
+            comp_to_dev,
+        }
+    }
+
+    fn small_case() -> (BatchLayout, Placement, ExecutionPlan) {
+        let l = layout(&[(4096, MaskSpec::Causal)], 512);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        (l, p, plan)
+    }
+
+    /// Like [`small_case`] but with comp blocks on their *kv* owner, so
+    /// forward partials (and reduces at the q owners) exist.
+    fn scatter_case() -> (BatchLayout, Placement, ExecutionPlan) {
+        let l = layout(&[(4096, MaskSpec::Causal)], 512);
+        let n = 4;
+        let token_to_dev: Vec<u32> = (0..l.token_blocks.len() as u32).map(|i| i % n).collect();
+        let comp_to_dev: Vec<u32> = l
+            .comp_blocks
+            .iter()
+            .map(|c| token_to_dev[c.kv_block.0 as usize])
+            .collect();
+        let p = Placement {
+            num_devices: n,
+            token_to_dev,
+            comp_to_dev,
+        };
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        (l, p, plan)
+    }
+
+    #[test]
+    fn accepts_scatter_plan_with_partials() {
+        let (l, p, plan) = scatter_case();
+        assert!(
+            plan.fwd
+                .comms
+                .iter()
+                .flat_map(|op| &op.transfers)
+                .any(|t| matches!(t.payload, Payload::PartialO(..))),
+            "fixture must exercise the partial/reduce path"
+        );
+        verify_plan(&l, &p, &plan).unwrap();
+        verify_structure(&plan.fwd).unwrap();
+        verify_structure(&plan.bwd).unwrap();
+    }
+
+    #[test]
+    fn accepts_schedule_output() {
+        let (l, p, plan) = small_case();
+        verify_plan(&l, &p, &plan).unwrap();
+        verify_structure(&plan.fwd).unwrap();
+        verify_structure(&plan.bwd).unwrap();
+    }
+
+    #[test]
+    fn accepts_all_local_plan() {
+        let l = layout(&[(2048, MaskSpec::Causal)], 512);
+        let p = Placement::all_on_zero(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        verify_plan(&l, &p, &plan).unwrap();
+    }
+
+    #[test]
+    fn rejects_wait_before_launch_with_instr_index() {
+        let (l, p, mut plan) = small_case();
+        // Find a stream with a launch followed later by its wait, and swap
+        // the wait to the front.
+        let mut mutated = false;
+        'outer: for stream in &mut plan.fwd.devices {
+            for i in 0..stream.instrs.len() {
+                if let Instr::CommLaunch(cid) = stream.instrs[i] {
+                    let input_only = plan.fwd.comms[cid.0 as usize]
+                        .transfers
+                        .iter()
+                        .all(|t| matches!(t.payload.kind(), PayloadKind::Q | PayloadKind::Kv));
+                    if !input_only {
+                        continue;
+                    }
+                    if let Some(j) = stream.instrs[i + 1..]
+                        .iter()
+                        .position(|x| *x == Instr::CommWait(cid))
+                    {
+                        let wait = stream.instrs.remove(i + 1 + j);
+                        stream.instrs.insert(i, wait);
+                        mutated = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(mutated, "expected an input launch/wait pair to mutate");
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::WaitWithoutLaunch);
+        assert!(err.instr.is_some(), "diagnostic must name the instruction");
+    }
+
+    #[test]
+    fn rejects_duplicate_and_misplaced_compute() {
+        let (l, p, mut plan) = small_case();
+        let (d, i) = plan
+            .fwd
+            .devices
+            .iter()
+            .enumerate()
+            .find_map(|(d, s)| {
+                s.instrs
+                    .iter()
+                    .position(|ins| matches!(ins, Instr::Attn { .. }))
+                    .map(|i| (d, i))
+            })
+            .unwrap();
+        if let Instr::Attn { items, .. } = &mut plan.fwd.devices[d].instrs[i] {
+            let c = items[0];
+            items.push(c);
+        }
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::DuplicateCompute);
+        assert_eq!(err.device, Some(d as u32));
+        assert_eq!(err.instr, Some(i));
+    }
+
+    #[test]
+    fn rejects_missing_transfer_as_missing_input() {
+        let (l, p, mut plan) = small_case();
+        // Remove one input transfer: the consuming Attn must be flagged.
+        let mut removed = false;
+        for op in &mut plan.fwd.comms {
+            if let Some(pos) = op
+                .transfers
+                .iter()
+                .position(|t| matches!(t.payload, Payload::Q(_) | Payload::Kv(_)))
+            {
+                op.transfers.remove(pos);
+                removed = true;
+                break;
+            }
+        }
+        assert!(removed);
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ViolationKind::MissingInput | ViolationKind::WaitReceivesNothing
+            ),
+            "{err}"
+        );
+        assert!(err.instr.is_some());
+    }
+
+    #[test]
+    fn rejects_out_of_range_comm_id() {
+        let (l, p, mut plan) = small_case();
+        let bogus = CommId(plan.fwd.comms.len() as u32 + 7);
+        plan.fwd.devices[0].instrs.insert(0, Instr::CommWait(bogus));
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::CommIdOutOfRange);
+        assert_eq!(err.instr, Some(0));
+    }
+
+    #[test]
+    fn rejects_bad_route_and_self_transfer() {
+        let (l, p, mut plan) = small_case();
+        let mut flipped = false;
+        'outer: for op in &mut plan.fwd.comms {
+            for tr in &mut op.transfers {
+                if matches!(tr.payload, Payload::Q(_) | Payload::Kv(_)) {
+                    tr.from = tr.to; // now a self transfer
+                    flipped = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(flipped);
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::SelfTransfer);
+    }
+
+    #[test]
+    fn rejects_dropped_attn_as_missing_state() {
+        let (l, p, mut plan) = small_case();
+        let (d, i) = plan
+            .fwd
+            .devices
+            .iter()
+            .enumerate()
+            .find_map(|(d, s)| {
+                s.instrs
+                    .iter()
+                    .position(|ins| matches!(ins, Instr::Attn { .. }))
+                    .map(|i| (d, i))
+            })
+            .unwrap();
+        plan.fwd.devices[d].instrs.remove(i);
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ViolationKind::MissingProducerState
+                    | ViolationKind::MissingCompute
+                    | ViolationKind::MissingPartial
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn structural_catches_unlaunched_wait() {
+        let phase = PhasePlan {
+            comms: vec![CommOp {
+                transfers: vec![Transfer {
+                    from: 1,
+                    to: 0,
+                    payload: Payload::Q(TokenBlockId(0)),
+                    bytes: 8,
+                }],
+            }],
+            devices: vec![
+                DeviceStreamBuilder::new(0).wait(0).build(),
+                DeviceStreamBuilder::new(1).build(),
+            ],
+        };
+        let err = verify_structure(&phase).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::WaitWithoutLaunch);
+        assert_eq!(err.device, Some(0));
+        assert_eq!(err.instr, Some(0));
+    }
+
+    #[test]
+    fn diagnostic_serializes_and_displays() {
+        let d = Diagnostic::at(ViolationKind::MissingInput, 3, 7, "no Q");
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, back);
+        let shown = d.to_string();
+        assert!(shown.contains("missing-input"), "{shown}");
+        assert!(shown.contains("device 3"), "{shown}");
+        assert!(shown.contains("instr 7"), "{shown}");
+    }
+
+    /// Minimal stream builder for structural tests.
+    struct DeviceStreamBuilder {
+        device: u32,
+        instrs: Vec<Instr>,
+    }
+
+    impl DeviceStreamBuilder {
+        fn new(device: u32) -> Self {
+            DeviceStreamBuilder {
+                device,
+                instrs: Vec::new(),
+            }
+        }
+        fn wait(mut self, cid: u32) -> Self {
+            self.instrs.push(Instr::CommWait(CommId(cid)));
+            self
+        }
+        fn build(self) -> crate::plan::DeviceStream {
+            crate::plan::DeviceStream {
+                device: self.device,
+                instrs: self.instrs,
+                buffer: crate::buffer::BufferStats::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_missing_partial_is_typed() {
+        let (l, p, mut plan) = scatter_case();
+        // Drop a source's partial transfer from an out op while keeping the
+        // reduce item: the owner's reduce must be flagged.
+        let mut dropped = false;
+        'outer: for op in &mut plan.fwd.comms {
+            for pos in 0..op.transfers.len() {
+                if matches!(op.transfers[pos].payload, Payload::PartialO(..)) {
+                    op.transfers.remove(pos);
+                    dropped = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(dropped, "expected a partial transfer in the forward phase");
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ViolationKind::MissingPartial | ViolationKind::WaitReceivesNothing
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reduce_items_are_checked_against_arrivals() {
+        let (l, p, mut plan) = scatter_case();
+        // Add a phantom source to a reduce: no transfer carries it.
+        let mut added = false;
+        'outer: for stream in &mut plan.fwd.devices {
+            let dev = stream.device;
+            for ins in &mut stream.instrs {
+                if let Instr::Reduce { items, .. } = ins {
+                    for item in items.iter_mut() {
+                        if let Some(phantom) =
+                            (0..p.num_devices).find(|d| !item.sources.contains(d) && *d != dev)
+                        {
+                            item.sources.push(phantom);
+                            added = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(added, "expected a reduce item with a free phantom source");
+        let err = verify_plan(&l, &p, &plan).unwrap_err();
+        assert_eq!(err.kind, ViolationKind::MissingPartial);
+    }
+}

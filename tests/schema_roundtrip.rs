@@ -143,6 +143,42 @@ fn sim_structs_roundtrip() {
 }
 
 #[test]
+fn pass_pipeline_structs_roundtrip() {
+    use dcp::sched::{PassConfig, PassManager, PassOutcome};
+
+    roundtrip(&PassConfig::default());
+    roundtrip(&PassConfig::optimize());
+    roundtrip(&PassOutcome::default());
+
+    // Real outcomes from a planner run with passes enabled, and the
+    // `PlanOutput.passes` field they land in.
+    let planner = Planner::new(
+        ClusterSpec::p4de(1),
+        AttnSpec::new(4, 2, 16, 1),
+        PlannerConfig {
+            block_size: 128,
+            passes: PassConfig::optimize(),
+            ..Default::default()
+        },
+    );
+    let out = planner
+        .plan(&[(768, MaskSpec::Causal), (256, MaskSpec::Causal)])
+        .expect("plan");
+    for outcome in &out.passes {
+        roundtrip(outcome);
+    }
+
+    // Outcomes from a direct PassManager run round-trip too.
+    let mut opt = out.plan.clone();
+    let outcomes =
+        PassManager::new(PassConfig::optimize()).run_plan(&out.layout, &out.placement, &mut opt);
+    assert_eq!(outcomes.len(), 4 * 2, "four passes over two phases");
+    for outcome in &outcomes {
+        roundtrip(outcome);
+    }
+}
+
+#[test]
 fn obs_events_roundtrip() {
     let span = Event::span(Source::Executor, "attn")
         .with_iter(4)
