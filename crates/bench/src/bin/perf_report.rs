@@ -23,6 +23,13 @@
 //! re-planned by two fresh planners at `RAYON_NUM_THREADS=1` and the
 //! default width, asserting the partitioner's serial/parallel determinism.
 //!
+//! A separate `planner_incremental` section measures the near-hit
+//! warm-start tier: identical re-plans must reproduce the cold plan bit
+//! for bit (asserted structurally and through the `dcp-exec` execution
+//! oracle) inside the gate's sub-millisecond budget, and drifted re-plans
+//! (same block shape, shifted lengths) time the delta-refinement path and
+//! its near-hit rate.
+//!
 //! Environment knobs: `DCP_BENCH_BATCHES` (default 2) batches per mask.
 
 use std::collections::HashMap;
@@ -35,13 +42,15 @@ use dcp_blocks::TokenBlockId;
 use dcp_core::dataloader::PlanFn;
 use dcp_core::{
     simulate_iteration, simulate_iteration_with_recovery, DcpDataloader, E2eConfig, FailureEvent,
-    PlanOutput, Planner, PlannerConfig, RecoveryConfig, RecoveryPlanner, RetryConfig,
+    IncrementalConfig, PlanOutput, Planner, PlannerConfig, RecoveryConfig, RecoveryPlanner,
+    RetryConfig,
 };
 use dcp_data::{pack_batches, sample_lengths, Batch, DatasetKind, MaskSetting};
 use dcp_exec::executor::{
     execute_backward, execute_forward, execute_forward_recovery, BatchData, BlockGrads, BlockOut,
     ExecObs, SalvageCtx,
 };
+use dcp_exec::plans_equivalent;
 use dcp_mask::MaskSpec;
 use dcp_sched::{verify_phase, verify_structure, Instr, PassConfig, PassManager, VerifyCtx};
 use dcp_sim::{simulate_phase, simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
@@ -791,6 +800,131 @@ fn main() {
         pass_makespan_after,
     );
 
+    // Incremental re-planning: a dedicated planner with the exact output
+    // cache disabled and the near-hit warm-start tier enabled. Every batch
+    // is planned cold, then re-planned twice:
+    //
+    // - *identical* re-plan: must take the near-hit path, reproduce the
+    //   cold plan bit for bit (checked structurally and through the
+    //   `dcp-exec` execution oracle) and pass the stream verifier — this
+    //   is the latency the incremental gate's sub-millisecond budget
+    //   watches;
+    // - *drifted* re-plan (every length nudged down one token without
+    //   changing its block count): same near-hit key, different exact
+    //   lengths, so the warm path cannot shortcut to the exact fixed
+    //   point and must run delta refinement end to end.
+    let inc_planner = Planner::new(
+        cluster.clone(),
+        attn,
+        PlannerConfig {
+            block_size: BLOCK_SIZE,
+            plan_cache: 0,
+            incremental: IncrementalConfig {
+                enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut inc_rows = Vec::new();
+    let mut inc_walls: Vec<f64> = Vec::new();
+    let mut drift_walls: Vec<f64> = Vec::new();
+    let mut inc_bitwise = true;
+    let mut inc_oracle = true;
+    let mut drift_near_hits = 0u64;
+    let mut drift_attempts = 0u64;
+    for mask in masks {
+        let lengths = sample_lengths(DatasetKind::LongDataCollections, n * 64, 1.0, MAX_LEN, SEED);
+        let batches: Vec<_> = pack_batches(&lengths, BUDGET, |l| mask.mask_for(l))
+            .into_iter()
+            .take(n)
+            .map(|b| b.seqs)
+            .collect();
+        for (bi, batch) in batches.iter().enumerate() {
+            let t0 = Instant::now();
+            let cold = inc_planner.plan(batch).expect("incremental cold plan");
+            let cold_s = t0.elapsed().as_secs_f64();
+            assert!(!cold.stats.near_hit, "first plan of a batch must be cold");
+
+            let t0 = Instant::now();
+            let warm = inc_planner.plan(batch).expect("incremental warm plan");
+            let inc_s = t0.elapsed().as_secs_f64();
+            assert!(
+                warm.stats.near_hit,
+                "re-plan of an identical batch must take the near-hit path"
+            );
+            let bitwise = warm.placement == cold.placement && warm.plan == cold.plan;
+            assert!(bitwise, "identical re-plan must reproduce the cold plan");
+            inc_bitwise &= bitwise;
+            dcp_sched::schedule::validate_plan(&warm.layout, &warm.placement, &warm.plan)
+                .expect("warm plan must pass the stream verifier");
+            let oracle = plans_equivalent(
+                &cold.layout,
+                &cold.placement,
+                &cold.plan,
+                &warm.placement,
+                &warm.plan,
+                SEED,
+            )
+            .expect("oracle execution");
+            assert!(oracle, "oracle found a cold/warm bitwise divergence");
+            inc_oracle &= oracle;
+            inc_walls.push(inc_s);
+
+            // Nudge each length down one token without changing its block
+            // count, regenerating the mask for the new length (some mask
+            // settings, e.g. shared-question, encode structure tied to the
+            // exact length — those drift to a different near-hit key and
+            // land in the cold-fallback part of the rate).
+            let drifted: Vec<(u32, MaskSpec)> = batch
+                .iter()
+                .map(|(l, _)| {
+                    let l = if *l > 1 && l % BLOCK_SIZE != 1 {
+                        l - 1
+                    } else {
+                        *l
+                    };
+                    (l, mask.mask_for(l))
+                })
+                .collect();
+            drift_attempts += 1;
+            let t0 = Instant::now();
+            let drift = inc_planner
+                .plan(&drifted)
+                .expect("incremental drifted plan");
+            let drift_s = t0.elapsed().as_secs_f64();
+            drift_near_hits += u64::from(drift.stats.near_hit);
+            dcp_sched::schedule::validate_plan(&drift.layout, &drift.placement, &drift.plan)
+                .expect("drifted plan must pass the stream verifier");
+            drift_walls.push(drift_s);
+
+            inc_rows.push(json!({
+                "mask": mask.name(),
+                "batch": bi,
+                "plan_wall_s_cold": cold_s,
+                "plan_wall_s_incremental": inc_s,
+                "plan_wall_s_drift": drift_s,
+                "bitwise_identical": bitwise,
+                "oracle_equivalent": oracle,
+                "drift_near_hit": drift.stats.near_hit,
+            }));
+        }
+    }
+    let inc_median = median(&inc_walls);
+    let drift_median = median(&drift_walls);
+    let near_hit_rate = if drift_attempts > 0 {
+        drift_near_hits as f64 / drift_attempts as f64
+    } else {
+        0.0
+    };
+    println!(
+        "planner incremental: identical re-plan median {:.3}ms, drifted re-plan median \
+         {:.3}ms, drift near-hit rate {near_hit_rate:.2} ({drift_near_hits}/{drift_attempts}), \
+         bitwise: {inc_bitwise}, oracle: {inc_oracle}",
+        inc_median * 1e3,
+        drift_median * 1e3,
+    );
+
     let (cache_hits, cache_misses) = plan_planner.cache_stats();
     let cold_median = median(&cold_walls);
     let warm_median = median(&warm_walls);
@@ -829,6 +963,17 @@ fn main() {
                 "schedule": plan_rows.iter().map(|r| r["stages_s"]["schedule"].as_f64().unwrap()).sum::<f64>(),
             },
             "serial_parallel_identical": serial_parallel_identical,
+        },
+        "planner_incremental": {
+            "enabled": true,
+            "plan_wall_s_incremental_median": inc_median,
+            "plan_wall_s_drift_median": drift_median,
+            "near_hit_rate": near_hit_rate,
+            "bitwise_identical": inc_bitwise,
+            "oracle_equivalent": inc_oracle,
+            "verified": true,
+            "batches": inc_rows.len() as u64,
+            "runs": inc_rows,
         },
         "passes": {
             "enabled": true,

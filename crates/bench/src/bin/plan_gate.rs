@@ -14,6 +14,14 @@
 //! 4. the warm (cache-hit) median is not well below the cold median
 //!    (< 5% — a cache hit must cost a lookup, not a re-plan).
 //!
+//! It also gates incremental re-planning (the `planner_incremental`
+//! section): the identical-batch warm re-plan median must stay at or under
+//! an absolute budget (default 1ms, `DCP_INC_GATE_MS`), every warm re-plan
+//! must have reproduced the cold plan bitwise (structurally and under the
+//! `dcp-exec` oracle) and passed the stream verifier, and the drift-path
+//! median / near-hit rate must not regress against the baseline's section
+//! when present.
+//!
 //! It also gates the pass pipeline (the `passes` section `perf_report` now
 //! emits): the gate fails when optimized total comm bytes or the optimized
 //! simulated makespan regress by more than 10% (`DCP_PASS_GATE_FACTOR`,
@@ -149,6 +157,114 @@ fn main() {
                 ratio * 100.0
             ));
         }
+    }
+
+    // Incremental re-planning: the near-hit warm path carries an *absolute*
+    // latency budget (default 1ms; override with `DCP_INC_GATE_MS`) — the
+    // whole point of warm-starting is a sub-millisecond re-plan, so a
+    // relative bound against the baseline would let it rot. Bitwise/oracle
+    // equivalence and verifier passage are unconditional booleans on the
+    // fresh report; the drift-path median and near-hit rate compare against
+    // the baseline's section when it has one (skipped with a notice until a
+    // baseline with the section is committed).
+    let inc = &report["planner_incremental"];
+    if inc.as_object().is_some() {
+        let budget_ms: f64 = std::env::var("DCP_INC_GATE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        match inc["plan_wall_s_incremental_median"].as_f64() {
+            Some(cur) => {
+                println!(
+                    "plan_gate: incremental re-plan median {:.3}ms (budget {budget_ms:.2}ms)",
+                    cur * 1e3
+                );
+                if cur * 1e3 > budget_ms {
+                    failures.push(format!(
+                        "incremental re-plan median {:.3}ms exceeds the {budget_ms:.2}ms budget",
+                        cur * 1e3
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "{report_path} planner_incremental lacks plan_wall_s_incremental_median"
+            )),
+        }
+        for (key, what) in [
+            ("bitwise_identical", "reproduce the cold plan bitwise"),
+            (
+                "oracle_equivalent",
+                "match the cold plan under the exec oracle",
+            ),
+            ("verified", "pass the stream verifier"),
+        ] {
+            match inc[key].as_bool() {
+                Some(true) => {}
+                _ => failures.push(format!("incremental re-plans failed to {what}")),
+            }
+        }
+        let base_inc = &baseline["planner_incremental"];
+        if base_inc.as_object().is_some() {
+            match (
+                inc["plan_wall_s_drift_median"].as_f64(),
+                base_inc["plan_wall_s_drift_median"].as_f64(),
+            ) {
+                (Some(cur), Some(base)) => {
+                    let limit = base * factor;
+                    println!(
+                        "plan_gate: drift re-plan median {:.3}ms vs baseline {:.3}ms \
+                         (limit {:.3}ms = {factor:.2}x)",
+                        cur * 1e3,
+                        base * 1e3,
+                        limit * 1e3
+                    );
+                    if cur > limit {
+                        failures.push(format!(
+                            "drift re-plan median regressed: {:.3}ms > {:.3}ms \
+                             ({factor:.2}x baseline)",
+                            cur * 1e3,
+                            limit * 1e3
+                        ));
+                    }
+                }
+                (None, Some(_)) => failures.push(format!(
+                    "{report_path} planner_incremental lacks plan_wall_s_drift_median"
+                )),
+                (_, None) => {
+                    println!("plan_gate: baseline lacks plan_wall_s_drift_median (skipped)")
+                }
+            }
+            match (
+                inc["near_hit_rate"].as_f64(),
+                base_inc["near_hit_rate"].as_f64(),
+            ) {
+                (Some(cur), Some(base)) => {
+                    println!("plan_gate: near-hit rate {cur:.2} vs baseline {base:.2}");
+                    // The workload and planner are deterministic, so the
+                    // rate must not drop below the committed baseline.
+                    if cur + 1e-9 < base {
+                        failures.push(format!(
+                            "near-hit rate dropped: {cur:.2} < baseline {base:.2}"
+                        ));
+                    }
+                }
+                (None, Some(_)) => failures.push(format!(
+                    "{report_path} planner_incremental lacks near_hit_rate"
+                )),
+                (_, None) => println!("plan_gate: baseline lacks near_hit_rate (skipped)"),
+            }
+        } else {
+            println!(
+                "plan_gate: no planner_incremental section in baseline \
+                 (drift/near-hit legs skipped)"
+            );
+        }
+    } else if baseline["planner_incremental"].as_object().is_some() {
+        failures.push(format!(
+            "{report_path} has no planner_incremental section but the baseline does"
+        ));
+    } else {
+        println!("plan_gate: no planner_incremental section in report (skipped)");
     }
 
     // Pass pipeline: optimized comm bytes, optimized simulated makespan and

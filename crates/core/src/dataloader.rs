@@ -44,12 +44,15 @@ use crate::planner::{PlanOutput, Planner};
 pub struct RetryConfig {
     /// Per-batch deadline on the look-ahead worker's result. `None` waits
     /// indefinitely (a dead worker is still detected via channel
-    /// disconnect).
+    /// disconnect). The deadline also budgets the retry path: backoff
+    /// sleeps are clamped to whatever of it the worker wait left unspent,
+    /// so one batch's waiting never exceeds roughly two deadlines.
     pub batch_deadline: Option<Duration>,
     /// Synchronous re-plan attempts after the look-ahead result failed.
     pub max_retries: u32,
     /// Sleep between consecutive re-plan attempts (linear backoff:
-    /// attempt `k` sleeps `k * backoff`).
+    /// attempt `k` sleeps `k * backoff`, clamped to the remaining
+    /// [`RetryConfig::batch_deadline`] budget when one is set).
     pub backoff: Duration,
 }
 
@@ -588,12 +591,29 @@ impl Iterator for DcpDataloader {
         // The look-ahead result is unusable: re-plan synchronously with
         // bounded retries and linear backoff. The failure stays confined to
         // this batch — later batches keep their own workers and channels.
+        //
+        // Backoff sleeps are charged against the same per-batch deadline the
+        // worker wait already consumed: each sleep is clamped to the budget
+        // remaining, so a slow worker followed by linear backoff cannot
+        // stretch one batch to deadline + sum-of-backoffs. Only the waiting
+        // is bounded — every re-plan attempt still runs, even at zero budget
+        // (a deadline is a latency contract, not a license to skip work).
         let t_recover = Instant::now();
+        let sleep_budget = self
+            .retry
+            .batch_deadline
+            .map(|d| d.saturating_sub(t_wait.elapsed()));
         let mut attempts = 0u32;
         let mut recovered = None;
         for attempt in 1..=self.retry.max_retries {
             if !self.retry.backoff.is_zero() {
-                std::thread::sleep(self.retry.backoff * attempt);
+                let mut sleep = self.retry.backoff * attempt;
+                if let Some(budget) = sleep_budget {
+                    sleep = sleep.min(budget.saturating_sub(t_recover.elapsed()));
+                }
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
             }
             attempts += 1;
             let t_attempt = Instant::now();

@@ -30,5 +30,7 @@ pub use e2e::{
     cp_cluster, simulate_iteration, simulate_iteration_with_recovery, E2eConfig, IterationBreakdown,
 };
 pub use groups::{plan_grouped, GroupedPlan};
-pub use planner::{PlanOutput, PlanStats, Planner, PlannerConfig, PlanningTimes};
+pub use planner::{
+    IncrementalConfig, PlanOutput, PlanStats, Planner, PlannerConfig, PlanningTimes,
+};
 pub use recovery::{FailureEvent, RecoveryConfig, RecoveryPatch, RecoveryPlanner, RecoveryStats};

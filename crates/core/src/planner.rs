@@ -2,13 +2,13 @@
 //! placement, and division scheduling (paper Sec. 4).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use dcp_blocks::{BatchLayout, BlockConfig};
 use dcp_hypergraph::{
-    partition_with_stats, Hypergraph, HypergraphBuilder, PartitionConfig, PartitionStats,
-    VertexWeight,
+    partition_warm_with_stats, partition_with_stats, HgArena, Hypergraph, HypergraphBuilder,
+    PartitionConfig, PartitionStats, VertexWeight,
 };
 use dcp_mask::MaskSpec;
 use dcp_obs::{Event, ObsHandle, Source as ObsSource};
@@ -85,6 +85,11 @@ pub struct PlannerConfig {
     /// the plan goes straight to the executor or simulator.
     #[serde(default)]
     pub passes: PassConfig,
+    /// Incremental re-planning: warm-start the partitioner from a similar
+    /// previous batch's placement instead of re-coarsening from scratch.
+    /// Disabled by default (cold planning everywhere).
+    #[serde(default)]
+    pub incremental: IncrementalConfig,
 }
 
 fn default_plan_cache() -> usize {
@@ -93,6 +98,51 @@ fn default_plan_cache() -> usize {
 
 fn default_max_fallback_regression() -> f64 {
     2.0
+}
+
+/// Configuration of the incremental (warm-start) planning path.
+///
+/// On an exact-cache miss, a similarity-keyed *near hit* (same bucketed
+/// length histogram, mask multiset, cluster and semantic config) supplies
+/// the previous batch's placement as a warm-start seed: blocks are mapped to
+/// their old parts by identity, the FM refiner polishes only the delta, and
+/// coarsening plus initial partitioning are skipped entirely. The result is
+/// accepted only when balanced and within [`Self::max_regression`] of the
+/// seeding plan's volume-scaled communication cost — otherwise the planner
+/// falls back to cold planning, so the warm path can never ship a bad plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Master switch; `false` (the default) plans every batch cold.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Accept a warm-started placement only while its communication bytes
+    /// stay within this factor of the seeding plan's cost, scaled by the
+    /// ratio of total hyperedge weight between the two batches (a bigger
+    /// batch is allowed proportionally more volume).
+    #[serde(default = "default_incremental_regression")]
+    pub max_regression: f64,
+    /// Capacity of the near-hit seed cache (LRU entries). `0` disables the
+    /// near-hit tier even when `enabled` is set.
+    #[serde(default = "default_near_cache")]
+    pub near_cache: usize,
+}
+
+fn default_incremental_regression() -> f64 {
+    1.25
+}
+
+fn default_near_cache() -> usize {
+    8
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            enabled: false,
+            max_regression: default_incremental_regression(),
+            near_cache: default_near_cache(),
+        }
+    }
 }
 
 impl Default for PlannerConfig {
@@ -113,6 +163,58 @@ impl Default for PlannerConfig {
             max_fallback_regression: default_max_fallback_regression(),
             fault_spec: None,
             passes: PassConfig::default(),
+            incremental: IncrementalConfig::default(),
+        }
+    }
+}
+
+/// The subset of [`PlannerConfig`] that determines plan *content*, borrowed
+/// for serialization into cache signatures. Keying on this instead of the
+/// full config keeps plan-irrelevant knobs — the cache capacities themselves
+/// — from forcing artificial cold misses when toggled.
+#[derive(Serialize)]
+struct SignatureConfig<'a> {
+    block_size: u32,
+    head_blocks: Option<u32>,
+    divisions: u32,
+    eps_inter: f64,
+    eps_intra: f64,
+    seed: u64,
+    hierarchical: bool,
+    refine: bool,
+    fallback: bool,
+    strict_epsilon: bool,
+    force_tier: Option<PlanTier>,
+    max_fallback_regression: f64,
+    fault_spec: &'a Option<FaultSpec>,
+    passes: &'a PassConfig,
+    /// Warm-started plans may legitimately differ from cold plans (within
+    /// the quality bound), so whether the incremental path is live — and how
+    /// tight its bound is — is part of the semantic key. Its cache capacity
+    /// is not.
+    incremental_enabled: bool,
+    incremental_max_regression: f64,
+}
+
+impl PlannerConfig {
+    fn signature_cfg(&self) -> SignatureConfig<'_> {
+        SignatureConfig {
+            block_size: self.block_size,
+            head_blocks: self.head_blocks,
+            divisions: self.divisions,
+            eps_inter: self.eps_inter,
+            eps_intra: self.eps_intra,
+            seed: self.seed,
+            hierarchical: self.hierarchical,
+            refine: self.refine,
+            fallback: self.fallback,
+            strict_epsilon: self.strict_epsilon,
+            force_tier: self.force_tier,
+            max_fallback_regression: self.max_fallback_regression,
+            fault_spec: &self.fault_spec,
+            passes: &self.passes,
+            incremental_enabled: self.incremental.enabled,
+            incremental_max_regression: self.incremental.max_regression,
         }
     }
 }
@@ -144,6 +246,11 @@ pub struct PlanStats {
     /// Whether this output was served from the plan cache. On a hit the
     /// stage times below are zero and `total_s` is the lookup time.
     pub cache_hit: bool,
+    /// Whether this plan was produced by the incremental path: a near-hit
+    /// seed warm-started the partitioner and the result passed the quality
+    /// bound. Exact cache hits and cold plans leave this `false`.
+    #[serde(default)]
+    pub near_hit: bool,
     /// Partitioner coarsening seconds (including V-cycle re-coarsening).
     pub coarsen_s: f64,
     /// Initial-partitioning seconds at the coarsest levels.
@@ -189,7 +296,34 @@ impl PlanOutput {
     }
 }
 
-/// LRU cache of finished plans keyed by the canonical batch signature.
+/// A warm-start seed retained from a previously planned batch: the part of
+/// every block, keyed by block identity so surviving blocks of a similar
+/// batch map back to their old parts, plus the cost context the quality
+/// bound scales against.
+#[derive(Debug, Clone)]
+struct NearEntry {
+    /// Device count the seeding placement targeted.
+    num_devices: u32,
+    /// Token-block part by `(seq, head_block, start)`.
+    token_parts: HashMap<(u32, u32, u32, u32), u32>,
+    /// Comp-block part by `(seq, head_block, q_start, kv_start)`.
+    comp_parts: HashMap<(u32, u32, u32, u32), u32>,
+    /// Forward communication bytes of the seeding plan (pre-pass), i.e. its
+    /// connectivity−1 cost.
+    cost: u64,
+    /// Total multi-pin hyperedge weight of the seeding batch, used to scale
+    /// `cost` to the new batch's volume.
+    edge_total: u64,
+    /// The seeding plan itself (post-pass, verified). When a layout is
+    /// block-identical to the seeding batch the schedule is a deterministic
+    /// replay, so the stored plan is returned directly instead of being
+    /// rebuilt — this is what makes the identical-re-plan path
+    /// sub-millisecond.
+    plan: ExecutionPlan,
+}
+
+/// LRU cache of finished plans keyed by the canonical batch signature,
+/// plus the similarity-keyed near-hit tier of warm-start seeds.
 /// Shared (behind `Arc<Mutex<_>>`) across clones of a [`Planner`], so
 /// dataloader workers planning on separate threads reuse each other's work.
 #[derive(Debug, Default)]
@@ -199,6 +333,9 @@ struct PlanCache {
     hits: u64,
     misses: u64,
     entries: HashMap<String, (u64, PlanOutput)>,
+    near_hits: u64,
+    near_misses: u64,
+    near: HashMap<String, (u64, NearEntry)>,
 }
 
 impl PlanCache {
@@ -234,6 +371,39 @@ impl PlanCache {
         }
         self.entries.insert(key, (self.stamp, out));
     }
+
+    fn near_get(&mut self, key: &str) -> Option<NearEntry> {
+        self.stamp += 1;
+        match self.near.get_mut(key) {
+            Some((t, e)) => {
+                *t = self.stamp;
+                self.near_hits += 1;
+                Some(e.clone())
+            }
+            None => {
+                self.near_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn near_insert(&mut self, cap: usize, key: String, entry: NearEntry) {
+        if cap == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.near.contains_key(&key) && self.near.len() >= cap {
+            let victim = self
+                .near
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                self.near.remove(&k);
+            }
+        }
+        self.near.insert(key, (self.stamp, entry));
+    }
 }
 
 /// The DCP planner, bound to a cluster and an attention operator shape.
@@ -243,6 +413,9 @@ pub struct Planner {
     attn: AttnSpec,
     cfg: PlannerConfig,
     cache: Arc<Mutex<PlanCache>>,
+    /// Reusable hypergraph build buffers (shared across clones; a worker
+    /// that cannot take the lock immediately builds with fresh buffers).
+    arena: Arc<Mutex<HgArena>>,
     obs: ObsHandle,
 }
 
@@ -254,8 +427,25 @@ impl Planner {
             attn,
             cfg,
             cache: Arc::new(Mutex::new(PlanCache::default())),
+            arena: Arc::new(Mutex::new(HgArena::default())),
             obs: ObsHandle::noop(),
         }
+    }
+
+    /// Locks the shared plan cache, recovering from a poisoned mutex: a plan
+    /// that panicked while holding the lock (the dataloader catches such
+    /// panics and retries) must not brick every subsequent `plan()` on all
+    /// clones. The cache contents may be mid-mutation at poison time, so
+    /// recovery clears them — losing cached plans, never correctness. The
+    /// poison flag is cleared too, so recovery happens once, not on every
+    /// subsequent lock.
+    fn lock_cache(&self) -> MutexGuard<'_, PlanCache> {
+        self.cache.lock().unwrap_or_else(|poison| {
+            self.cache.clear_poison();
+            let mut g = poison.into_inner();
+            *g = PlanCache::default();
+            g
+        })
     }
 
     /// Attaches an observability sink: every subsequent `plan()` call emits
@@ -271,17 +461,45 @@ impl Planner {
     /// Lifetime cache hit / miss counts of this planner (shared across
     /// clones). A degenerate batch rejected before lookup counts as neither.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let c = self.cache.lock().unwrap();
+        let c = self.lock_cache();
         (c.hits, c.misses)
     }
 
+    /// Lifetime near-hit-tier hit / miss counts (shared across clones).
+    /// Counts lookups only — a near hit whose warm plan fails the quality
+    /// bound still counts as a hit here (the seed was found and tried).
+    pub fn near_cache_stats(&self) -> (u64, u64) {
+        let c = self.lock_cache();
+        (c.near_hits, c.near_misses)
+    }
+
     /// The canonical batch signature: the *ordered* `(length, mask)` list
-    /// plus the cluster shape and full planner config, serialized to JSON.
-    /// Order matters — block and vertex numbering follow batch order, so
-    /// permuted batches legitimately produce different plans.
+    /// plus the cluster shape and the semantic config subset
+    /// ([`SignatureConfig`]), serialized to JSON. Order matters — block and
+    /// vertex numbering follow batch order, so permuted batches legitimately
+    /// produce different plans.
     fn signature(&self, seqs: &[(u32, MaskSpec)]) -> String {
-        serde_json::to_string(&(seqs, &self.cluster, &self.cfg))
+        serde_json::to_string(&(seqs, &self.cluster, &self.cfg.signature_cfg()))
             .expect("planner signature serialization cannot fail")
+    }
+
+    /// The similarity key of the near-hit tier: the *bucketed* batch shape —
+    /// per-sequence block counts as a sorted histogram plus the multiset of
+    /// masks — with the cluster and semantic config. Batches with the same
+    /// block-count histogram and mask mix share a key even when raw lengths
+    /// differ within a block, which is exactly when the previous placement
+    /// transfers well as a warm-start seed.
+    fn near_signature(&self, seqs: &[(u32, MaskSpec)]) -> String {
+        let bs = self.cfg.block_size.max(1);
+        let mut lens: Vec<u32> = seqs.iter().map(|(len, _)| len.div_ceil(bs)).collect();
+        lens.sort_unstable();
+        let mut masks: Vec<String> = seqs
+            .iter()
+            .map(|(_, m)| serde_json::to_string(m).expect("mask serialization cannot fail"))
+            .collect();
+        masks.sort_unstable();
+        serde_json::to_string(&(lens, masks, &self.cluster, &self.cfg.signature_cfg()))
+            .expect("planner near-signature serialization cannot fail")
     }
 
     /// The planner's configuration.
@@ -343,7 +561,7 @@ impl Planner {
         };
         let key = if self.cfg.plan_cache > 0 {
             let key = self.signature(seqs);
-            if let Some(mut out) = self.cache.lock().unwrap().get(&key) {
+            if let Some(mut out) = self.lock_cache().get(&key) {
                 out.stats = PlanStats {
                     cache_hit: true,
                     total_s: t_total.elapsed().as_secs_f64(),
@@ -368,6 +586,15 @@ impl Planner {
         } else {
             None
         };
+        // Near-hit tier: on an exact miss, a batch with the same bucketed
+        // shape may have left a placement to warm-start from. The lookup is
+        // independent of the exact cache so incremental planning works even
+        // with exact caching disabled.
+        let incremental_on = self.cfg.incremental.enabled && self.cfg.incremental.near_cache > 0;
+        let near_key = incremental_on.then(|| self.near_signature(seqs));
+        let near_entry = near_key
+            .as_ref()
+            .and_then(|k| self.lock_cache().near_get(k));
         let t0 = Instant::now();
         let head_blocks = self.cfg.head_blocks.unwrap_or(self.attn.kv_heads);
         let layout = BatchLayout::build(
@@ -396,7 +623,139 @@ impl Planner {
         // The partitioned placement that failed the balance check, kept as
         // the makespan reference the fallback quality gate compares against.
         let mut reference: Option<Placement> = None;
+        // Incremental path: warm-start from a near-hit seed. Pinned tiers
+        // and fault-aware placements always plan cold (a forced tier is an
+        // explicit user decision; fault targets change the caps the seed was
+        // balanced under).
+        let mut near_hit = false;
+        if let Some(entry) = near_entry.filter(|e| {
+            self.cfg.force_tier.is_none() && e.num_devices == n && self.fault_weights(n).is_none()
+        }) {
+            let t_seed = Instant::now();
+            let (seed, exact) = Self::warm_seed(&layout, &entry);
+            let exact = exact && entry.edge_total == Self::total_edge_weight(&layout);
+            let seed_dt = t_seed.elapsed().as_secs_f64();
+            if obs_on {
+                self.obs.record(stamp(
+                    Event::span(ObsSource::Planner, "warm_seed")
+                        .with_time((t_seed - t_total).as_secs_f64(), seed_dt),
+                ));
+            }
+            // Block-identical layout: the seed IS the seeding placement,
+            // and the retained plan is exactly what the pipeline would
+            // rebuild for it (layout, placement and config all identical) —
+            // so partitioning, scheduling and the pass pipeline are all
+            // skipped and the stored plan is replayed through the verifier.
+            // Re-planning an unchanged batch reproduces the prior plan bit
+            // for bit at near-lookup cost. Anything else goes through
+            // warm-started delta refinement.
+            if exact {
+                let nt = layout.token_blocks.len();
+                let placement = Placement {
+                    num_devices: n,
+                    token_to_dev: seed[..nt].to_vec(),
+                    comp_to_dev: seed[nt..].to_vec(),
+                };
+                let plan = entry.plan.clone();
+                if verify_plan(&layout, &placement, &plan).is_ok() {
+                    if obs_on {
+                        self.obs
+                            .record(stamp(Event::counter(ObsSource::Planner, "near_hit", 1.0)));
+                    }
+                    let out = PlanOutput {
+                        layout,
+                        placement,
+                        plan,
+                        times: PlanningTimes {
+                            block_gen,
+                            partition: seed_dt,
+                            schedule: 0.0,
+                        },
+                        tier: PlanTier::Partitioned,
+                        fallback_reason: None,
+                        stats: PlanStats {
+                            cache_hit: false,
+                            near_hit: true,
+                            total_s: t_total.elapsed().as_secs_f64(),
+                            ..PlanStats::default()
+                        },
+                        passes: Vec::new(),
+                    };
+                    if let Some(key) = key {
+                        self.lock_cache()
+                            .insert(self.cfg.plan_cache, key, out.clone());
+                    }
+                    return Ok(out);
+                }
+                // A stored plan that no longer verifies (e.g. a poisoned
+                // entry) falls through to warm delta refinement.
+            }
+            let t_warm = Instant::now();
+            let warm = self.place_warm(&layout, &seed);
+            let warm_dt = t_warm.elapsed().as_secs_f64();
+            partition_s += seed_dt + warm_dt;
+            if obs_on {
+                self.obs.record(stamp(
+                    Event::span(ObsSource::Planner, "delta_refine")
+                        .with_time((t_warm - t_total).as_secs_f64(), warm_dt),
+                ));
+            }
+            if let Ok((placement, balanced, wstats, cost)) = warm {
+                // Quality bound: comm bytes within the configured factor of
+                // the seeding plan's cost, scaled to this batch's hyperedge
+                // volume. A zero-cost seed must stay zero-cost.
+                let edge_total = Self::total_edge_weight(&layout);
+                let scaled =
+                    entry.cost as f64 * (edge_total as f64 / entry.edge_total.max(1) as f64);
+                let within = if entry.cost == 0 {
+                    cost == 0
+                } else {
+                    cost as f64 <= self.cfg.incremental.max_regression * scaled
+                };
+                if balanced && within {
+                    let ts = Instant::now();
+                    let built = build_plan(
+                        &layout,
+                        &placement,
+                        &ScheduleConfig {
+                            divisions: self.cfg.divisions,
+                            ..Default::default()
+                        },
+                    );
+                    let sched_dt = ts.elapsed().as_secs_f64();
+                    schedule_s += sched_dt;
+                    if obs_on {
+                        self.obs.record(stamp(
+                            Event::span(ObsSource::Planner, "schedule")
+                                .with_label("warm")
+                                .with_time((ts - t_total).as_secs_f64(), sched_dt),
+                        ));
+                    }
+                    if let Ok(plan) = built {
+                        pstats.merge(&wstats);
+                        chosen = Some((placement, plan, PlanTier::Partitioned));
+                        near_hit = true;
+                        if obs_on {
+                            self.obs.record(stamp(Event::counter(
+                                ObsSource::Planner,
+                                "near_hit",
+                                1.0,
+                            )));
+                        }
+                    }
+                }
+            }
+            if !near_hit && obs_on {
+                self.obs.record(stamp(
+                    Event::instant(ObsSource::Planner, "warm_fallback")
+                        .with_time(t_total.elapsed().as_secs_f64(), 0.0),
+                ));
+            }
+        }
         for tier in PlanTier::all() {
+            if chosen.is_some() {
+                break;
+            }
             if tier < start {
                 continue;
             }
@@ -505,6 +864,10 @@ impl Planner {
             return Err(last_err
                 .unwrap_or_else(|| DcpError::invalid_plan("no fallback tier produced a plan")));
         };
+        // Forward comm bytes before any pass rewrites them: this equals the
+        // hypergraph connectivity cost and is what future warm starts scale
+        // their quality bound against.
+        let pre_pass_fwd_comm = plan.fwd.total_comm_bytes();
         // Optimizer pass pipeline (when enabled), then the stream verifier on
         // every freshly produced plan — optimized or not. Cache hits skip
         // both: the cached plan already passed.
@@ -576,6 +939,7 @@ impl Planner {
             },
             stats: PlanStats {
                 cache_hit: false,
+                near_hit,
                 coarsen_s: pstats.coarsen_s,
                 initial_s: pstats.initial_s,
                 refine_s: pstats.refine_s,
@@ -584,10 +948,20 @@ impl Planner {
             },
             passes: pass_outcomes,
         };
+        // Retain this placement as a warm-start seed for similar future
+        // batches (warm-accepted plans included, so the seed chain follows
+        // distribution drift). Only the partitioned tier seeds: greedy and
+        // static placements are not worth warm-starting from.
+        if let Some(near_key) = near_key {
+            if out.tier == PlanTier::Partitioned {
+                let entry =
+                    Self::near_entry_of(&out.layout, &out.placement, &out.plan, pre_pass_fwd_comm);
+                self.lock_cache()
+                    .near_insert(self.cfg.incremental.near_cache, near_key, entry);
+            }
+        }
         if let Some(key) = key {
-            self.cache
-                .lock()
-                .unwrap()
+            self.lock_cache()
                 .insert(self.cfg.plan_cache, key, out.clone());
         }
         Ok(out)
@@ -666,7 +1040,30 @@ impl Planner {
     pub fn build_hypergraph(layout: &BatchLayout) -> Hypergraph {
         let nt = layout.token_blocks.len();
         let nc = layout.comp_blocks.len();
-        let mut b = HypergraphBuilder::new(nt + nc);
+        Self::fill_builder(HypergraphBuilder::new(nt + nc), layout)
+    }
+
+    /// [`Planner::build_hypergraph`] routed through the planner's reusable
+    /// arena buffers, avoiding the per-batch allocation churn of a fresh
+    /// build. Pair with [`Planner::recycle_hg`] when done with the graph.
+    fn build_hypergraph_in(&self, layout: &BatchLayout) -> Hypergraph {
+        let b = {
+            let mut arena = self.arena.lock().unwrap_or_else(|p| p.into_inner());
+            arena.builder(layout.token_blocks.len() + layout.comp_blocks.len())
+        };
+        Self::fill_builder(b, layout)
+    }
+
+    /// Returns a hypergraph's buffers to the shared arena for the next build.
+    fn recycle_hg(&self, hg: Hypergraph) {
+        self.arena
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .recycle(hg);
+    }
+
+    fn fill_builder(mut b: HypergraphBuilder, layout: &BatchLayout) -> Hypergraph {
+        let nt = layout.token_blocks.len();
         for (i, tb) in layout.token_blocks.iter().enumerate() {
             b.set_vertex_weight(i, [0, tb.total_bytes()]);
         }
@@ -691,6 +1088,98 @@ impl Planner {
             }
         }
         b.build().expect("pins are in range by construction")
+    }
+
+    /// Total multi-pin hyperedge weight of `layout`'s placement hypergraph
+    /// (single-pin edges never cost and are skipped, mirroring
+    /// [`Planner::build_hypergraph`]). Used to scale a warm-start seed's
+    /// cost bound to the new batch's volume without building the graph.
+    fn total_edge_weight(layout: &BatchLayout) -> u64 {
+        let mut t = 0u64;
+        for (i, tb) in layout.token_blocks.iter().enumerate() {
+            if !layout.q_consumers[i].is_empty() {
+                t += tb.q_bytes + tb.o_bytes;
+            }
+            if !layout.kv_consumers[i].is_empty() {
+                t += tb.kv_bytes;
+            }
+        }
+        t
+    }
+
+    /// Maps `layout`'s blocks onto the seeding placement's parts by block
+    /// identity — token blocks by `(seq, head_block, start, len)`, comp
+    /// blocks by `(seq, head_block, q_start, kv_start)`. Unmatched token
+    /// blocks inherit the last matched part in block order (deterministic
+    /// carry-forward keeps new blocks near their sequence neighbors);
+    /// unmatched comp blocks colocate with their Q block. The returned flag
+    /// is `true` when the mapping is a perfect bijection — every block
+    /// matched and the entry has no leftover blocks — i.e. the blocked
+    /// layouts are identical.
+    fn warm_seed(layout: &BatchLayout, entry: &NearEntry) -> (Vec<u32>, bool) {
+        let nt = layout.token_blocks.len();
+        let mut seed = vec![0u32; nt + layout.comp_blocks.len()];
+        let mut exact =
+            nt == entry.token_parts.len() && layout.comp_blocks.len() == entry.comp_parts.len();
+        let mut last = 0u32;
+        for (i, tb) in layout.token_blocks.iter().enumerate() {
+            match entry
+                .token_parts
+                .get(&(tb.seq, tb.head_block, tb.start, tb.len))
+            {
+                Some(&p) => last = p,
+                None => exact = false,
+            }
+            seed[i] = last;
+        }
+        for (i, cb) in layout.comp_blocks.iter().enumerate() {
+            let q = &layout.token_blocks[cb.q_block.0 as usize];
+            let kv = &layout.token_blocks[cb.kv_block.0 as usize];
+            match entry
+                .comp_parts
+                .get(&(cb.seq, cb.head_block, q.start, kv.start))
+            {
+                Some(&p) => seed[nt + i] = p,
+                None => {
+                    exact = false;
+                    seed[nt + i] = seed[cb.q_block.0 as usize];
+                }
+            }
+        }
+        (seed, exact)
+    }
+
+    /// The warm-start seed entry describing a finished plan.
+    fn near_entry_of(
+        layout: &BatchLayout,
+        placement: &Placement,
+        plan: &ExecutionPlan,
+        cost: u64,
+    ) -> NearEntry {
+        let token_parts = layout
+            .token_blocks
+            .iter()
+            .zip(&placement.token_to_dev)
+            .map(|(tb, &d)| ((tb.seq, tb.head_block, tb.start, tb.len), d))
+            .collect();
+        let comp_parts = layout
+            .comp_blocks
+            .iter()
+            .zip(&placement.comp_to_dev)
+            .map(|(cb, &d)| {
+                let q = &layout.token_blocks[cb.q_block.0 as usize];
+                let kv = &layout.token_blocks[cb.kv_block.0 as usize];
+                ((cb.seq, cb.head_block, q.start, kv.start), d)
+            })
+            .collect();
+        NearEntry {
+            num_devices: placement.num_devices,
+            token_parts,
+            comp_parts,
+            cost,
+            edge_total: Self::total_edge_weight(layout),
+            plan: plan.clone(),
+        }
     }
 
     /// Per-device capacity weights derived from `cfg.fault_spec`:
@@ -738,11 +1227,110 @@ impl Planner {
         t
     }
 
+    /// Warm-started placement: refines `seed` (a full vertex → device
+    /// assignment) through the same hierarchy as [`Planner::place`] —
+    /// machine level first, then the per-machine device level on induced
+    /// subgraphs — but skipping coarsening and initial partitioning at every
+    /// level. Returns the placement, whether every level met its balance
+    /// caps, the merged stage stats, and the connectivity cost (== forward
+    /// comm bytes, pinned by `hypergraph_cost_matches_plan_forward_comm`).
+    fn place_warm(
+        &self,
+        layout: &BatchLayout,
+        seed: &[u32],
+    ) -> DcpResult<(Placement, bool, PartitionStats, u64)> {
+        type LocalPartition = (Vec<u32>, Vec<u32>, bool, PartitionStats);
+        let hg = self.build_hypergraph_in(layout);
+        let nt = layout.token_blocks.len();
+        let x = self.cluster.nodes;
+        let y = self.cluster.devices_per_node;
+        let n = x * y;
+        let mut stats = PartitionStats::default();
+        let result: DcpResult<(Vec<u32>, bool)> = if !self.cfg.hierarchical || x == 1 {
+            let mut pc = PartitionConfig::new(n)
+                .with_epsilon(self.cfg.eps_intra)
+                .with_seed(self.cfg.seed);
+            pc.refine_enabled = self.cfg.refine;
+            partition_warm_with_stats(&hg, &pc, seed).map(|(part, s)| {
+                stats.merge(&s);
+                (part.assignment, part.balanced)
+            })
+        } else {
+            // Level 1: warm-refine the machine assignment implied by the
+            // seeded devices (machine = device / y).
+            let mseed: Vec<u32> = seed.iter().map(|&d| d / y).collect();
+            let mut pc = PartitionConfig::new(x)
+                .with_epsilon(self.cfg.eps_inter)
+                .with_seed(self.cfg.seed);
+            pc.refine_enabled = self.cfg.refine;
+            partition_warm_with_stats(&hg, &pc, &mseed).and_then(|(machine, s1)| {
+                stats.merge(&s1);
+                let mut balanced = machine.balanced;
+                // Level 2: per-machine device refinement, mirroring the cold
+                // hierarchy (same subgraphs, epsilons and per-machine seeds)
+                // so a converged seed reproduces the cold placement exactly.
+                use rayon::prelude::*;
+                let locals: Vec<DcpResult<LocalPartition>> = (0..x)
+                    .into_par_iter()
+                    .map(|m| {
+                        let verts: Vec<u32> = (0..hg.num_vertices() as u32)
+                            .filter(|&v| machine.assignment[v as usize] == m)
+                            .collect();
+                        if verts.is_empty() {
+                            return Ok((Vec::new(), Vec::new(), true, PartitionStats::default()));
+                        }
+                        let (sub, map) = hg.induced_subgraph(&verts);
+                        let mut pc2 = PartitionConfig::new(y)
+                            .with_epsilon(self.cfg.eps_intra)
+                            .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
+                        pc2.refine_enabled = self.cfg.refine;
+                        // Seeded device index within the machine; still a
+                        // valid local part when level-1 refinement moved the
+                        // vertex to another machine.
+                        let local_seed: Vec<u32> =
+                            map.iter().map(|&orig| seed[orig as usize] % y).collect();
+                        let (local, s2) = partition_warm_with_stats(&sub, &pc2, &local_seed)?;
+                        Ok((map, local.assignment, local.balanced, s2))
+                    })
+                    .collect();
+                let mut assignment = vec![0u32; hg.num_vertices()];
+                for (m, res) in locals.into_iter().enumerate() {
+                    let (map, local, local_balanced, s2) = res?;
+                    balanced &= local_balanced;
+                    stats.merge(&s2);
+                    for (i, &orig) in map.iter().enumerate() {
+                        assignment[orig as usize] = m as u32 * y + local[i];
+                    }
+                }
+                Ok((assignment, balanced))
+            })
+        };
+        let (assignment, balanced) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                self.recycle_hg(hg);
+                return Err(e);
+            }
+        };
+        let cost = hg.connectivity_cost(&assignment, n);
+        self.recycle_hg(hg);
+        Ok((
+            Placement {
+                num_devices: n,
+                token_to_dev: assignment[..nt].to_vec(),
+                comp_to_dev: assignment[nt..].to_vec(),
+            },
+            balanced,
+            stats,
+            cost,
+        ))
+    }
+
     fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool, PartitionStats)> {
         // Per-machine sub-partition: vertex map, local assignment, balanced,
         // stage timings.
         type LocalPartition = (Vec<u32>, Vec<u32>, bool, PartitionStats);
-        let hg = Self::build_hypergraph(layout);
+        let hg = self.build_hypergraph_in(layout);
         let nt = layout.token_blocks.len();
         let x = self.cluster.nodes;
         let y = self.cluster.devices_per_node;
@@ -1339,5 +1927,187 @@ mod tests {
         let cost = hg.connectivity_cost(&assignment, out.placement.num_devices);
         assert_eq!(cost, out.plan.fwd.total_comm_bytes());
         let _ = nt;
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_and_planner_still_works() {
+        let p = planner(1);
+        let seqs = vec![(16384, MaskSpec::Causal), (4096, MaskSpec::Causal)];
+        p.plan(&seqs).unwrap();
+        // Poison the shared cache mutex: a clone's thread panics while
+        // holding the guard (what a panicking plan under catch_unwind does).
+        let p2 = p.clone();
+        std::thread::spawn(move || {
+            let _guard = p2.cache.lock().unwrap();
+            panic!("poisoned on purpose");
+        })
+        .join()
+        .unwrap_err();
+        // The planner must recover — clearing the cache, not deadlocking or
+        // propagating the poison to every future plan() call.
+        let out = p.plan(&seqs).unwrap();
+        assert!(
+            !out.stats.cache_hit,
+            "recovery clears the cache, so this is a miss"
+        );
+        validate_plan(&out.layout, &out.placement, &out.plan).unwrap();
+        // And caching works again after recovery.
+        assert!(p.plan(&seqs).unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn cache_capacity_is_not_part_of_signature() {
+        // Changing only cache capacities must not change the signature: a
+        // restarted planner with a retuned cache still warm-hits on plans
+        // persisted under the old config.
+        let mk = |cap: usize, near: usize| {
+            Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    plan_cache: cap,
+                    incremental: IncrementalConfig {
+                        near_cache: near,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+        };
+        let seqs = [(8192, MaskSpec::Causal), (4096, MaskSpec::paper_lambda())];
+        assert_eq!(mk(16, 8).signature(&seqs), mk(64, 2).signature(&seqs));
+        assert_eq!(
+            mk(16, 8).near_signature(&seqs),
+            mk(64, 2).near_signature(&seqs)
+        );
+        // Semantic incremental knobs DO key: the regression bound changes
+        // which plans are acceptable, so it must split the cache space.
+        let mk_bound = |max_regression: f64| {
+            Planner::new(
+                ClusterSpec::p4de(1),
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    incremental: IncrementalConfig {
+                        enabled: true,
+                        max_regression,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+        };
+        assert_ne!(
+            mk_bound(1.25).signature(&seqs),
+            mk_bound(2.0).signature(&seqs)
+        );
+    }
+
+    fn incremental_planner(nodes: u32) -> Planner {
+        Planner::new(
+            ClusterSpec::p4de(nodes),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                // Exact cache off so the second plan() exercises the warm
+                // path instead of returning the memoized output.
+                plan_cache: 0,
+                incremental: IncrementalConfig {
+                    enabled: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn near_hit_on_identical_batch_is_bitwise_equal_to_cold() {
+        // Warm-starting FM from its own converged placement is a fixed
+        // point, so re-planning the identical batch through the near-hit
+        // path must reproduce the cold plan bit for bit.
+        for nodes in [1, 2] {
+            let p = incremental_planner(nodes);
+            let seqs = vec![
+                (16384, MaskSpec::Causal),
+                (4096, MaskSpec::paper_lambda()),
+                (2048, MaskSpec::Causal),
+            ];
+            let cold = p.plan(&seqs).unwrap();
+            assert!(!cold.stats.near_hit);
+            let warm = p.plan(&seqs).unwrap();
+            assert!(warm.stats.near_hit, "nodes={nodes}: expected a near hit");
+            assert!(!warm.stats.cache_hit);
+            assert_eq!(warm.placement, cold.placement, "nodes={nodes}");
+            assert_eq!(warm.plan, cold.plan, "nodes={nodes}");
+            assert_eq!(warm.tier, PlanTier::Partitioned);
+            assert_eq!(p.near_cache_stats(), (1, 1));
+        }
+    }
+
+    #[test]
+    fn near_hit_on_similar_batch_yields_valid_verified_plan() {
+        // Lengths off by a few tokens bucket to the same block counts, so
+        // the second batch near-hits the first one's seed. The warm plan
+        // must be a legal, verified plan regardless of whether the quality
+        // bound accepted the warm placement.
+        let p = incremental_planner(2);
+        let a = vec![(16384, MaskSpec::Causal), (4096, MaskSpec::Causal)];
+        let b = vec![(16380, MaskSpec::Causal), (4090, MaskSpec::Causal)];
+        assert_eq!(p.near_signature(&a), p.near_signature(&b));
+        p.plan(&a).unwrap();
+        let out = p.plan(&b).unwrap();
+        assert_eq!(p.near_cache_stats().0, 1, "seed lookup must hit");
+        validate_plan(&out.layout, &out.placement, &out.plan).unwrap();
+    }
+
+    #[test]
+    fn near_hit_respects_incremental_disabled() {
+        // Default config: incremental off — repeated batches with the exact
+        // cache disabled must plan cold every time.
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                plan_cache: 0,
+                ..Default::default()
+            },
+        );
+        let seqs = vec![(8192, MaskSpec::Causal)];
+        p.plan(&seqs).unwrap();
+        let out = p.plan(&seqs).unwrap();
+        assert!(!out.stats.near_hit);
+        assert_eq!(p.near_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn near_cache_is_lru_bounded() {
+        let p = Planner::new(
+            ClusterSpec::p4de(1),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                plan_cache: 0,
+                incremental: IncrementalConfig {
+                    enabled: true,
+                    near_cache: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let s1 = vec![(8192, MaskSpec::Causal)];
+        let s2 = vec![(12288, MaskSpec::Causal)];
+        p.plan(&s1).unwrap();
+        assert!(p.plan(&s1).unwrap().stats.near_hit, "s1's seed is live");
+        p.plan(&s2).unwrap(); // evicts s1's seed (capacity 1)
+                              // Cold again (the eviction check) — and this cold plan re-seeds s1.
+        assert!(
+            !p.plan(&s1).unwrap().stats.near_hit,
+            "s1's seed was evicted"
+        );
+        assert!(p.plan(&s1).unwrap().stats.near_hit, "s1 was re-seeded");
     }
 }

@@ -14,8 +14,6 @@
 //! (the shuffle) happens on the serial path, so the result is bitwise
 //! identical at every `RAYON_NUM_THREADS`.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
@@ -208,6 +206,13 @@ pub fn match_level(
 }
 
 /// Contracts `hg` according to `fine_to_coarse` (values in `0..nc`).
+///
+/// Edge merging works on flat pin spans (stage all mapped/deduped pin lists
+/// into one array, sort edge indices lexicographically by span, fold equal
+/// neighbors) instead of a `HashMap<Vec<u32>, u64>`, so a contraction does a
+/// constant number of allocations rather than one per surviving edge. The
+/// resulting edge order — pin lists ascending — is identical to the old
+/// sorted-map order, keeping coarsening bitwise deterministic.
 pub fn contract(hg: &Hypergraph, fine_to_coarse: &[u32], nc: u32) -> Hypergraph {
     let mut vwts = vec![[0u64; 2]; nc as usize];
     for (v, &c) in fine_to_coarse.iter().enumerate().take(hg.num_vertices()) {
@@ -215,29 +220,54 @@ pub fn contract(hg: &Hypergraph, fine_to_coarse: &[u32], nc: u32) -> Hypergraph 
         vwts[c as usize][0] += w[0];
         vwts[c as usize][1] += w[1];
     }
-    // Map pins, dedupe, drop degenerate edges, merge parallel edges.
-    let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
-    let mut scratch: Vec<u32> = Vec::new();
+    // Stage: map pins, dedupe in place, drop degenerate edges.
+    let mut pins_flat: Vec<u32> = Vec::with_capacity(hg.num_pins());
+    let mut off: Vec<u32> = Vec::with_capacity(hg.num_edges() + 1);
+    let mut wts: Vec<u64> = Vec::with_capacity(hg.num_edges());
+    off.push(0);
     for e in 0..hg.num_edges() as u32 {
-        scratch.clear();
-        scratch.extend(hg.pins(e).iter().map(|&p| fine_to_coarse[p as usize]));
-        scratch.sort_unstable();
-        scratch.dedup();
-        if scratch.len() < 2 {
+        let start = pins_flat.len();
+        pins_flat.extend(hg.pins(e).iter().map(|&p| fine_to_coarse[p as usize]));
+        pins_flat[start..].sort_unstable();
+        let mut keep = start;
+        for i in start..pins_flat.len() {
+            let v = pins_flat[i];
+            if keep == start || pins_flat[keep - 1] != v {
+                pins_flat[keep] = v;
+                keep += 1;
+            }
+        }
+        if keep - start < 2 {
+            pins_flat.truncate(start);
             continue;
         }
-        *merged.entry(scratch.clone()).or_insert(0) += hg.edge_weight(e);
+        pins_flat.truncate(keep);
+        wts.push(hg.edge_weight(e));
+        off.push(pins_flat.len() as u32);
     }
-    let mut ewts = Vec::with_capacity(merged.len());
-    let mut pin_lists = Vec::with_capacity(merged.len());
-    // Deterministic order for reproducibility.
-    let mut entries: Vec<(Vec<u32>, u64)> = merged.into_iter().collect();
-    entries.sort_unstable();
-    for (pins, w) in entries {
-        ewts.push(w);
-        pin_lists.push(pins);
+    // Merge parallel edges: sort by span content, fold equal neighbors.
+    let span = |i: usize| &pins_flat[off[i] as usize..off[i + 1] as usize];
+    let mut order: Vec<u32> = (0..wts.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| span(a as usize).cmp(span(b as usize)));
+    let mut ewts: Vec<u64> = Vec::with_capacity(wts.len());
+    let mut epin_off: Vec<u32> = Vec::with_capacity(wts.len() + 1);
+    let mut epins: Vec<u32> = Vec::with_capacity(pins_flat.len());
+    epin_off.push(0);
+    for &i in &order {
+        let s = span(i as usize);
+        let same_as_last = !ewts.is_empty() && {
+            let lo = epin_off[epin_off.len() - 2] as usize;
+            &epins[lo..] == s
+        };
+        if same_as_last {
+            *ewts.last_mut().expect("nonempty") += wts[i as usize];
+        } else {
+            epins.extend_from_slice(s);
+            epin_off.push(epins.len() as u32);
+            ewts.push(wts[i as usize]);
+        }
     }
-    Hypergraph::from_parts(vwts, ewts, pin_lists)
+    Hypergraph::from_csr(vwts, ewts, epin_off, epins, Vec::new(), Vec::new())
 }
 
 /// Coarsens until `target` vertices or convergence; returns the levels from

@@ -7,21 +7,81 @@ use serde::{Deserialize, Serialize};
 /// DCP use case). Either dimension may be zero.
 pub type VertexWeight = [u64; 2];
 
+/// Reusable scratch buffers for repeated hypergraph builds.
+///
+/// The planner rebuilds a similarly-sized hypergraph every batch; routing
+/// each build through one long-lived arena turns the per-batch allocation
+/// traffic (vertex weights, edge weights, both CSR directions) into plain
+/// buffer reuse. [`HgArena::builder`] hands the buffers to a
+/// [`HypergraphBuilder`]; [`HgArena::recycle`] takes them back from a
+/// finished [`Hypergraph`] once the caller is done with it.
+#[derive(Debug, Default)]
+pub struct HgArena {
+    vwts: Vec<VertexWeight>,
+    ewts: Vec<u64>,
+    epin_off: Vec<u32>,
+    epins: Vec<u32>,
+    vedge_off: Vec<u32>,
+    vedges: Vec<u32>,
+}
+
+impl HgArena {
+    /// A builder for a hypergraph with `n` vertices (weights default to
+    /// `[0, 0]`), reusing this arena's buffer capacity. The arena is left
+    /// empty until the resulting hypergraph is [`recycled`](Self::recycle).
+    pub fn builder(&mut self, n: usize) -> HypergraphBuilder {
+        let mut b = HypergraphBuilder {
+            vwts: std::mem::take(&mut self.vwts),
+            ewts: std::mem::take(&mut self.ewts),
+            epin_off: std::mem::take(&mut self.epin_off),
+            epins: std::mem::take(&mut self.epins),
+            vedge_off: std::mem::take(&mut self.vedge_off),
+            vedges: std::mem::take(&mut self.vedges),
+        };
+        b.vwts.clear();
+        b.vwts.resize(n, [0, 0]);
+        b.ewts.clear();
+        b.epins.clear();
+        b.epin_off.clear();
+        b.epin_off.push(0);
+        b.vedge_off.clear();
+        b.vedges.clear();
+        b
+    }
+
+    /// Reclaims the buffers of a hypergraph this arena built (or any other —
+    /// buffers are buffers) for the next [`builder`](Self::builder) call.
+    pub fn recycle(&mut self, hg: Hypergraph) {
+        self.vwts = hg.vwts;
+        self.ewts = hg.ewts;
+        self.epin_off = hg.epin_off;
+        self.epins = hg.epins;
+        self.vedge_off = hg.vedge_off;
+        self.vedges = hg.vedges;
+    }
+}
+
 /// Incrementally builds a [`Hypergraph`].
+///
+/// Storage is struct-of-arrays CSR from the start: `add_edge` appends pins
+/// to one flat array and sorts/dedups the tail slice in place, so a build
+/// performs no per-edge allocation. Pair with [`HgArena`] to also reuse the
+/// backing buffers across builds.
 #[derive(Debug, Clone, Default)]
 pub struct HypergraphBuilder {
     vwts: Vec<VertexWeight>,
-    edges: Vec<(u64, Vec<u32>)>,
+    ewts: Vec<u64>,
+    epin_off: Vec<u32>,
+    epins: Vec<u32>,
+    vedge_off: Vec<u32>,
+    vedges: Vec<u32>,
 }
 
 impl HypergraphBuilder {
     /// A builder for a hypergraph with `n` vertices (weights default to
     /// `[0, 0]`).
     pub fn new(n: usize) -> Self {
-        HypergraphBuilder {
-            vwts: vec![[0, 0]; n],
-            edges: Vec::new(),
-        }
+        HgArena::default().builder(n)
     }
 
     /// Sets the weight of vertex `v`.
@@ -38,10 +98,21 @@ impl HypergraphBuilder {
     /// never contribute to the objective but preserve indexing expectations
     /// of callers that track edges).
     pub fn add_edge(&mut self, w: u64, pins: &[u32]) {
-        let mut p: Vec<u32> = pins.to_vec();
-        p.sort_unstable();
-        p.dedup();
-        self.edges.push((w, p));
+        let start = self.epins.len();
+        self.epins.extend_from_slice(pins);
+        self.epins[start..].sort_unstable();
+        // In-place dedup of the tail slice.
+        let mut keep = start;
+        for i in start..self.epins.len() {
+            let v = self.epins[i];
+            if keep == start || self.epins[keep - 1] != v {
+                self.epins[keep] = v;
+                keep += 1;
+            }
+        }
+        self.epins.truncate(keep);
+        self.ewts.push(w);
+        self.epin_off.push(self.epins.len() as u32);
     }
 
     /// Finalizes the builder into a [`Hypergraph`].
@@ -51,17 +122,18 @@ impl HypergraphBuilder {
     /// Returns an error if any pin references a vertex out of range.
     pub fn build(self) -> DcpResult<Hypergraph> {
         let n = self.vwts.len();
-        for (_, pins) in &self.edges {
-            if let Some(&p) = pins.iter().find(|&&p| p as usize >= n) {
-                return Err(DcpError::invalid_argument(format!(
-                    "edge pin {p} out of range for {n} vertices"
-                )));
-            }
+        if let Some(&p) = self.epins.iter().find(|&&p| p as usize >= n) {
+            return Err(DcpError::invalid_argument(format!(
+                "edge pin {p} out of range for {n} vertices"
+            )));
         }
-        Ok(Hypergraph::from_parts(
+        Ok(Hypergraph::from_csr(
             self.vwts,
-            self.edges.iter().map(|(w, _)| *w).collect(),
-            self.edges.into_iter().map(|(_, p)| p).collect(),
+            self.ewts,
+            self.epin_off,
+            self.epins,
+            self.vedge_off,
+            self.vedges,
         ))
     }
 }
@@ -87,7 +159,6 @@ impl Hypergraph {
         ewts: Vec<u64>,
         pin_lists: Vec<Vec<u32>>,
     ) -> Self {
-        let n = vwts.len();
         let mut epin_off = Vec::with_capacity(pin_lists.len() + 1);
         let mut epins = Vec::new();
         epin_off.push(0u32);
@@ -95,25 +166,47 @@ impl Hypergraph {
             epins.extend_from_slice(pins);
             epin_off.push(epins.len() as u32);
         }
-        // Vertex -> incident edges CSR (counting sort).
-        let mut deg = vec![0u32; n];
-        for pins in &pin_lists {
-            for &p in pins {
-                deg[p as usize] += 1;
+        Self::from_csr(vwts, ewts, epin_off, epins, Vec::new(), Vec::new())
+    }
+
+    /// Builds from the forward (edge → pin) CSR arrays, deriving the reverse
+    /// (vertex → incident edge) CSR by counting sort into the supplied
+    /// scratch buffers (their capacity is reused, contents ignored). Pins
+    /// must be deduplicated per edge and in range.
+    pub(crate) fn from_csr(
+        vwts: Vec<VertexWeight>,
+        ewts: Vec<u64>,
+        epin_off: Vec<u32>,
+        epins: Vec<u32>,
+        mut vedge_off: Vec<u32>,
+        mut vedges: Vec<u32>,
+    ) -> Self {
+        let n = vwts.len();
+        vedge_off.clear();
+        vedge_off.resize(n + 1, 0);
+        for &p in &epins {
+            vedge_off[p as usize + 1] += 1;
+        }
+        for v in 0..n {
+            vedge_off[v + 1] += vedge_off[v];
+        }
+        vedges.clear();
+        vedges.resize(epins.len(), 0);
+        // Place edges, advancing each vertex's offset as its cursor, then
+        // shift the offsets back down one slot.
+        for e in 0..ewts.len() {
+            let lo = epin_off[e] as usize;
+            let hi = epin_off[e + 1] as usize;
+            for &p in &epins[lo..hi] {
+                vedges[vedge_off[p as usize] as usize] = e as u32;
+                vedge_off[p as usize] += 1;
             }
         }
-        let mut vedge_off = Vec::with_capacity(n + 1);
-        vedge_off.push(0u32);
-        for d in &deg {
-            vedge_off.push(vedge_off.last().unwrap() + d);
+        for v in (1..=n).rev() {
+            vedge_off[v] = vedge_off[v - 1];
         }
-        let mut cursor = vedge_off[..n].to_vec();
-        let mut vedges = vec![0u32; epins.len()];
-        for (e, pins) in pin_lists.iter().enumerate() {
-            for &p in pins {
-                vedges[cursor[p as usize] as usize] = e as u32;
-                cursor[p as usize] += 1;
-            }
+        if n > 0 {
+            vedge_off[0] = 0;
         }
         Hypergraph {
             vwts,
@@ -335,6 +428,42 @@ mod tests {
         // A subset killing all edges.
         let (sub, _) = hg.induced_subgraph(&[1]);
         assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    fn arena_reuse_builds_identical_graphs() {
+        let mut arena = HgArena::default();
+        let build = |arena: &mut HgArena| {
+            let mut b = arena.builder(4);
+            b.set_vertex_weight(0, [10, 0]);
+            b.set_vertex_weight(2, [3, 3]);
+            b.add_edge(7, &[2, 0, 1, 2]);
+            b.add_edge(2, &[3, 2]);
+            b.build().unwrap()
+        };
+        let first = build(&mut arena);
+        let reference = sample();
+        assert_eq!(first.pins(0), &[0, 1, 2]);
+        assert_eq!(first.pins(1), &[2, 3]);
+        assert_eq!(first.incident_edges(2), &[0, 1]);
+        let _ = reference;
+        arena.recycle(first);
+        // Second build through the recycled buffers must be identical.
+        let second = build(&mut arena);
+        assert_eq!(second.pins(0), &[0, 1, 2]);
+        assert_eq!(second.pins(1), &[2, 3]);
+        assert_eq!(second.vertex_weight(0), [10, 0]);
+        assert_eq!(second.num_pins(), 5);
+        // Edge {0,1,2} spans both parts (+7); edge {2,3} stays internal.
+        assert_eq!(second.connectivity_cost(&[0, 0, 1, 1], 2), 7);
+    }
+
+    #[test]
+    fn arena_builder_validates_pins_like_fresh_builder() {
+        let mut arena = HgArena::default();
+        let mut b = arena.builder(2);
+        b.add_edge(1, &[0, 5]);
+        assert!(b.build().is_err());
     }
 
     #[test]

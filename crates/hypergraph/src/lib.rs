@@ -54,8 +54,9 @@ pub mod initial;
 pub mod partitioner;
 pub mod refine;
 
-pub use graph::{Hypergraph, HypergraphBuilder, VertexWeight};
+pub use graph::{HgArena, Hypergraph, HypergraphBuilder, VertexWeight};
 pub use initial::Caps;
 pub use partitioner::{
-    balance_caps_full, partition, partition_with_stats, Partition, PartitionConfig, PartitionStats,
+    balance_caps_full, partition, partition_warm, partition_warm_with_stats, partition_with_stats,
+    Partition, PartitionConfig, PartitionStats,
 };

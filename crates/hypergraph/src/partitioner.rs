@@ -324,6 +324,95 @@ pub fn partition_with_stats(
     Ok((finish(hg, assignment, k, &caps), stats))
 }
 
+/// Refines a caller-supplied seed assignment ("warm start") instead of
+/// running the full multilevel pipeline: balance-repairs the seed against
+/// the caps when needed, then FM-refines at the finest level only. Skipping
+/// coarsening and initial partitioning is what makes incremental
+/// re-planning sub-millisecond; the trade-off is that quality depends
+/// entirely on the seed, so callers must bound the result against a cold
+/// reference and fall back when it regresses (the planner's incremental
+/// path does exactly that).
+///
+/// A seed that is already balanced and FM-converged under the same caps is
+/// returned unchanged: `refine` only keeps strictly-improving move
+/// prefixes, so the warm path is idempotent on its own output — and on the
+/// finest-level output of the cold pipeline.
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidArgument`] if `k == 0`, the hypergraph is
+/// empty, `seed` has the wrong length or contains parts `>= k`, or
+/// `part_targets` has the wrong length.
+pub fn partition_warm_with_stats(
+    hg: &Hypergraph,
+    cfg: &PartitionConfig,
+    seed: &[u32],
+) -> DcpResult<(Partition, PartitionStats)> {
+    if cfg.k == 0 {
+        return Err(DcpError::invalid_argument("k must be > 0"));
+    }
+    if hg.num_vertices() == 0 {
+        return Err(DcpError::invalid_argument(
+            "cannot partition an empty hypergraph",
+        ));
+    }
+    if seed.len() != hg.num_vertices() {
+        return Err(DcpError::invalid_argument(format!(
+            "warm seed has {} entries for {} vertices",
+            seed.len(),
+            hg.num_vertices()
+        )));
+    }
+    if let Some(&p) = seed.iter().find(|&&p| p >= cfg.k) {
+        return Err(DcpError::invalid_argument(format!(
+            "warm seed part {p} out of range for k = {}",
+            cfg.k
+        )));
+    }
+    if let Some(t) = &cfg.part_targets {
+        if t.len() != cfg.k as usize {
+            return Err(DcpError::invalid_argument(format!(
+                "part_targets has {} entries for k = {}",
+                t.len(),
+                cfg.k
+            )));
+        }
+    }
+    let caps = balance_caps_full(hg, cfg);
+    let mut stats = PartitionStats::default();
+    let mut assignment = seed.to_vec();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let t = Instant::now();
+    if !is_balanced(hg, &assignment, cfg.k, &caps) {
+        rebalance(hg, &mut assignment, cfg.k, &caps);
+    }
+    if cfg.refine_enabled {
+        refine(
+            hg,
+            &mut assignment,
+            cfg.k,
+            &caps,
+            cfg.refine_passes,
+            &mut rng,
+        );
+    }
+    stats.refine_s += t.elapsed().as_secs_f64();
+    Ok((finish(hg, assignment, cfg.k, &caps), stats))
+}
+
+/// [`partition_warm_with_stats`] without the stage breakdown.
+///
+/// # Errors
+///
+/// Same contract as [`partition_warm_with_stats`].
+pub fn partition_warm(
+    hg: &Hypergraph,
+    cfg: &PartitionConfig,
+    seed: &[u32],
+) -> DcpResult<Partition> {
+    partition_warm_with_stats(hg, cfg, seed).map(|(p, _)| p)
+}
+
 fn finish(hg: &Hypergraph, assignment: Vec<u32>, k: u32, caps: &Caps) -> Partition {
     let cost = hg.connectivity_cost(&assignment, k);
     let part_weights = hg.part_weights(&assignment, k);
@@ -519,6 +608,55 @@ mod tests {
             loose.cost,
             tight.cost
         );
+    }
+
+    #[test]
+    fn warm_start_from_converged_assignment_is_identity() {
+        // The linchpin of incremental planning: re-running the warm path on
+        // the cold pipeline's own (balanced, FM-converged) output must be a
+        // no-op, bitwise.
+        let (hg, _) = planted(4, 24, 11);
+        let cfg = PartitionConfig::new(4).with_seed(42);
+        let cold = partition(&hg, &cfg).unwrap();
+        assert!(cold.balanced);
+        let (warm, stats) = partition_warm_with_stats(&hg, &cfg, &cold.assignment).unwrap();
+        assert_eq!(warm.assignment, cold.assignment);
+        assert_eq!(warm.cost, cold.cost);
+        assert_eq!(stats.levels, 0, "warm path never coarsens");
+        assert_eq!(stats.coarsen_s, 0.0);
+        assert_eq!(stats.initial_s, 0.0);
+    }
+
+    #[test]
+    fn warm_start_from_perturbed_seed_recovers_balance_and_quality() {
+        let (hg, truth) = planted(4, 24, 17);
+        // Perturb the planted truth: move a handful of vertices to part 0.
+        let mut seed: Vec<u32> = truth.clone();
+        for v in (0..seed.len()).step_by(7) {
+            seed[v] = 0;
+        }
+        let cfg = PartitionConfig::new(4).with_epsilon(0.1);
+        let warm = partition_warm(&hg, &cfg, &seed).unwrap();
+        assert!(warm.balanced, "part weights: {:?}", warm.part_weights);
+        assert_eq!(warm.cost, hg.connectivity_cost(&warm.assignment, 4));
+        // Refinement from a near-truth seed must not be worse than the
+        // perturbed seed it started from.
+        assert!(warm.cost <= hg.connectivity_cost(&seed, 4));
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_seeds() {
+        let (hg, truth) = planted(2, 8, 1);
+        let cfg = PartitionConfig::new(2);
+        // Wrong length.
+        assert!(partition_warm(&hg, &cfg, &truth[1..]).is_err());
+        // Out-of-range part.
+        let mut bad = truth.clone();
+        bad[0] = 9;
+        assert!(partition_warm(&hg, &cfg, &bad).is_err());
+        // part_targets length mismatch.
+        let cfg_bad = PartitionConfig::new(2).with_part_targets(vec![[1, 1]; 3]);
+        assert!(partition_warm(&hg, &cfg_bad, &truth).is_err());
     }
 
     proptest! {

@@ -58,8 +58,9 @@ pub struct PassConfig {
     /// Run wait sinking.
     pub sink: bool,
     /// Launch fusion cap: two fetch ops fuse only while their combined
-    /// bytes stay under this threshold (fusing large fetches would serialize
-    /// the division pipeline they were split for).
+    /// bytes stay at or under this threshold — the bound is inclusive
+    /// (fusing large fetches would serialize the division pipeline they
+    /// were split for).
     pub fuse_threshold_bytes: u64,
 }
 
@@ -635,6 +636,102 @@ mod tests {
         };
         let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
         (l, p, plan)
+    }
+
+    /// Every comp block on device 0, every token block on device 1: all of
+    /// device 0's division fetches share the single-source route `{1}`, so
+    /// launch fusion always has adjacent same-route candidates.
+    fn fan_in_case() -> (BatchLayout, Placement, ExecutionPlan) {
+        let l = layout(&[(2048, MaskSpec::Causal)], 512);
+        let p = Placement {
+            num_devices: 2,
+            token_to_dev: vec![1; l.token_blocks.len()],
+            comp_to_dev: vec![0; l.comp_blocks.len()],
+        };
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        (l, p, plan)
+    }
+
+    #[test]
+    fn fuse_cap_is_inclusive_at_the_exact_boundary() {
+        // The fusion guard is `combined <= fuse_threshold_bytes`: a pair
+        // whose combined size equals the cap exactly must fuse, and one
+        // byte less must not. Pin the default cap while at it.
+        assert_eq!(PassConfig::default().fuse_threshold_bytes, 256 * 1024);
+        let fuse_only = |threshold: u64| -> (ExecutionPlan, Vec<PassOutcome>) {
+            let (l, p, mut plan) = fan_in_case();
+            let pm = PassManager::new(PassConfig {
+                enabled: true,
+                dead_comm: false,
+                coalesce: false,
+                sink: false,
+                fuse_threshold_bytes: threshold,
+                ..PassConfig::default()
+            });
+            let none = HashSet::new();
+            let outs = pm.run_phase(&l, &mut plan.fwd, "fwd", &none);
+            verify_plan(&l, &p, &plan).unwrap();
+            (plan, outs)
+        };
+        let (_, _, base) = fan_in_case();
+        let orig: Vec<u64> = base.fwd.comms.iter().map(|c| c.bytes()).collect();
+        // Unbounded dry run to locate the first fusion: `e` is the first op
+        // emptied in pass scan order (first fused device, launch order), and
+        // its head `h` is the op that now holds e's transfers. The first
+        // merge into h happened while h still had its original size, so the
+        // pair fused at exactly orig[h] + orig[e] combined bytes.
+        let (maxed, outs) = fuse_only(u64::MAX);
+        assert!(
+            outs.iter().any(|o| o.ops_fused > 0),
+            "fixture must fuse: {outs:?}"
+        );
+        let mut pair = None;
+        'devices: for d in 0..base.fwd.devices.len() {
+            for ins in &base.fwd.devices[d].instrs {
+                let Instr::CommLaunch(cid) = ins else {
+                    continue;
+                };
+                let e = cid.0 as usize;
+                if maxed.fwd.comms[e].transfers.is_empty()
+                    && !base.fwd.comms[e].transfers.is_empty()
+                {
+                    let moved = &base.fwd.comms[e].transfers[0];
+                    let h = maxed
+                        .fwd
+                        .comms
+                        .iter()
+                        .position(|op| op.transfers.contains(moved))
+                        .expect("some head holds the emptied op's transfers");
+                    pair = Some((h, e));
+                    break 'devices;
+                }
+            }
+        }
+        let (h, e) = pair.expect("a fused pair exists");
+        let at_cap = orig[h] + orig[e];
+        assert!(orig[h] > 0 && orig[e] > 0);
+
+        // Threshold == combined size: the pair fuses, and the head stops
+        // growing at exactly the cap (the next candidate would exceed it).
+        let (fused, outs) = fuse_only(at_cap);
+        assert!(outs.iter().any(|o| o.ops_fused > 0));
+        assert!(
+            fused.fwd.comms[e].transfers.is_empty(),
+            "pair must fuse at exactly the cap"
+        );
+        assert_eq!(
+            fused.fwd.comms[h].bytes(),
+            at_cap,
+            "head must stop growing at the cap"
+        );
+
+        // One byte under: that same pair must not fuse.
+        let (unfused, _) = fuse_only(at_cap - 1);
+        assert!(
+            !unfused.fwd.comms[e].transfers.is_empty(),
+            "pair must not fuse one byte under the cap"
+        );
+        assert_eq!(unfused.fwd.comms[h].bytes(), orig[h]);
     }
 
     #[test]

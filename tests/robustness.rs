@@ -150,6 +150,52 @@ fn epsilon_infeasible_request_degrades_to_a_valid_static_plan() {
 }
 
 #[test]
+fn retry_backoff_is_charged_against_the_batch_deadline() {
+    // A permanently broken batch with a 100 ms deadline and 300 ms linear
+    // backoff used to cost deadline + 300 + 600 + 900 ms before giving up:
+    // the backoff sleeps ignored the per-batch deadline. They must be
+    // clamped to the remaining deadline budget, bounding total wall time
+    // per batch at roughly 2 × deadline regardless of the backoff curve —
+    // while still running every re-plan attempt.
+    let bs = batches();
+    let p = planner();
+    let kill_len = bs[1].seqs[0].0;
+    let plan_fn: Arc<PlanFn> = Arc::new(move |seqs: &[(u32, MaskSpec)]| {
+        if seqs[0].0 == kill_len {
+            panic!("injected: permanently broken batch");
+        }
+        p.plan(seqs)
+    });
+    let deadline = Duration::from_millis(100);
+    let backoff = Duration::from_millis(300);
+    let mut loader = DcpDataloader::with_plan_fn(
+        plan_fn,
+        bs.clone(),
+        0, // no look-ahead: the deadline wait itself stays near zero
+        RetryConfig {
+            batch_deadline: Some(deadline),
+            max_retries: 3,
+            backoff,
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let results: Vec<_> = loader.by_ref().collect();
+    let wall = t0.elapsed();
+    assert_eq!(results.len(), bs.len());
+    assert!(results[1].is_err(), "the broken batch still fails");
+    let ev = &loader.replan_events()[0];
+    assert_eq!(ev.attempts, 3, "clamping must not skip re-plan attempts");
+    // Old behavior slept 300+600+900 ms = 1.8 s on batch 1 alone. The
+    // clamped budget allows at most one deadline's worth of sleeping on
+    // top of the deadline wait; the healthy batches plan in milliseconds.
+    let sleep_total = backoff * 1 + backoff * 2 + backoff * 3;
+    assert!(
+        wall < sleep_total,
+        "retry sleeps must be deadline-bounded: took {wall:?}"
+    );
+}
+
+#[test]
 fn persistent_planner_failure_surfaces_typed_error_without_poisoning() {
     let bs = batches();
     let p = planner();

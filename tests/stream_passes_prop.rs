@@ -192,6 +192,44 @@ proptest! {
         );
     }
 
+    /// Launch fusion never grows a comm op past the configured cap — for
+    /// the default 256 KiB threshold and for tiny random caps that actually
+    /// bind at these block sizes. An op that absorbed transfers (bytes
+    /// grew) must sit at or under the cap; untouched ops may be any size.
+    #[test]
+    fn fusion_never_exceeds_the_cap(
+        (seqs, bs, n, t, seed) in arb_case(),
+        small_cap in 1u64..4096,
+    ) {
+        let (layout, placement, plan) = case_plan(&seqs, bs, n, t, seed);
+        for cap in [small_cap, PassConfig::default().fuse_threshold_bytes] {
+            let mut opt = plan.clone();
+            let pm = PassManager::new(PassConfig {
+                enabled: true,
+                dead_comm: false,
+                coalesce: false,
+                sink: false,
+                fuse_threshold_bytes: cap,
+                ..PassConfig::default()
+            });
+            pm.run_plan(&layout, &placement, &mut opt);
+            verify_plan(&layout, &placement, &opt)
+                .map_err(|d| TestCaseError::fail(format!("fused plan illegal: {d}")))?;
+            for (phase, orig) in [(&opt.fwd, &plan.fwd), (&opt.bwd, &plan.bwd)] {
+                for (i, op) in phase.comms.iter().enumerate() {
+                    let before = orig.comms[i].bytes();
+                    if op.bytes() > before {
+                        prop_assert!(
+                            op.bytes() <= cap,
+                            "op {i} fused past the cap: {} > {cap}",
+                            op.bytes()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Every seeded illegal mutation is rejected with a typed diagnostic
     /// that names the offending instruction index.
     #[test]
