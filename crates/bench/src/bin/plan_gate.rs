@@ -38,12 +38,141 @@
 //! allowed factor. The robustness leg is skipped (with a notice) only when
 //! the committed baseline does not exist.
 //!
-//! Usage: `plan_gate [report.json] [baseline.json] [robustness.json]
-//! [robustness_baseline.json]`.
+//! It also gates cluster scaling (`BENCH_scaling.json`, written by
+//! `scaling_report`) against `results/BENCH_scaling_baseline.json`:
+//!
+//! - the 256-device flat-topology cold-plan median must stay within
+//!   `DCP_SCALE_GATE_FACTOR` (default 1.5) of the committed baseline,
+//! - every 1024-device cold-plan median must stay under the absolute
+//!   `DCP_SCALE_GATE_S` budget (default 2 seconds),
+//! - the incremental network engine must beat the scratch water-fill
+//!   reference by at least `DCP_SIM_GATE_FACTOR` (default 5x) on the
+//!   sweep's largest plan, agreeing with it to fp tolerance.
+//!
+//! The scaling leg is skipped (with a notice) when `BENCH_scaling.json` is
+//! absent — the CI jobs that don't run `scaling_report` — and runs *alone*
+//! under `plan_gate --scaling` (the dedicated CI scaling job).
+//!
+//! Usage: `plan_gate [--scaling] [report.json] [baseline.json]
+//! [robustness.json] [robustness_baseline.json]`.
 
 use std::process::exit;
 
 use dcp_bench::check_schema;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Gates `BENCH_scaling.json` against the committed scaling baseline,
+/// appending failures. Exits immediately on unreadable/drifted documents.
+fn scaling_leg(report_path: &str, baseline_path: &str, failures: &mut Vec<String>) {
+    let report = load(report_path);
+    let baseline = load(baseline_path);
+    for (doc, path) in [(&report, report_path), (&baseline, baseline_path)] {
+        if let Err(e) = check_schema(doc, path) {
+            eprintln!("plan_gate: FAIL: {e}");
+            exit(1);
+        }
+    }
+    println!("plan_gate: schema_version OK on scaling report and baseline");
+    let factor = env_f64("DCP_SCALE_GATE_FACTOR", 1.5);
+    let abs_s = env_f64("DCP_SCALE_GATE_S", 2.0);
+    let sim_factor = env_f64("DCP_SIM_GATE_FACTOR", 5.0);
+
+    let flat_median = |doc: &serde_json::Value, devices: u64| -> Option<f64> {
+        doc["sweep"].as_array()?.iter().find_map(|r| {
+            if r["devices"].as_u64() == Some(devices) && r["topology"].as_str() == Some("flat") {
+                r["plan_wall_s_median"].as_f64()
+            } else {
+                None
+            }
+        })
+    };
+    match (flat_median(&report, 256), flat_median(&baseline, 256)) {
+        (Some(cur), Some(base)) => {
+            let limit = base * factor;
+            println!(
+                "plan_gate: 256-device cold plan median {:.1}ms vs baseline {:.1}ms \
+                 (limit {:.1}ms = {factor:.2}x)",
+                cur * 1e3,
+                base * 1e3,
+                limit * 1e3
+            );
+            if cur > limit {
+                failures.push(format!(
+                    "256-device cold plan median regressed: {:.1}ms > {:.1}ms \
+                     ({factor:.2}x baseline)",
+                    cur * 1e3,
+                    limit * 1e3
+                ));
+            }
+        }
+        (None, _) => failures.push(format!(
+            "{report_path} has no 256-device flat-topology sweep row"
+        )),
+        (_, None) => failures.push(format!(
+            "{baseline_path} has no 256-device flat-topology sweep row"
+        )),
+    }
+
+    let mut saw_1024 = false;
+    for row in report["sweep"].as_array().into_iter().flatten() {
+        if row["devices"].as_u64() != Some(1024) {
+            continue;
+        }
+        saw_1024 = true;
+        let topo = row["topology"].as_str().unwrap_or("?");
+        match row["plan_wall_s_median"].as_f64() {
+            Some(cur) => {
+                println!(
+                    "plan_gate: 1024-device/{topo} cold plan median {:.2}s (budget {abs_s:.2}s)",
+                    cur
+                );
+                if cur > abs_s {
+                    failures.push(format!(
+                        "1024-device/{topo} cold plan median {cur:.2}s exceeds the \
+                         {abs_s:.2}s budget"
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "{report_path} 1024-device/{topo} row lacks plan_wall_s_median"
+            )),
+        }
+    }
+    if !saw_1024 {
+        failures.push(format!("{report_path} has no 1024-device sweep rows"));
+    }
+
+    let engine = &report["sim_engine"];
+    match engine["speedup"].as_f64() {
+        Some(sp) => {
+            println!(
+                "plan_gate: incremental engine speedup {sp:.1}x over scratch \
+                 (floor {sim_factor:.1}x)"
+            );
+            if sp < sim_factor {
+                failures.push(format!(
+                    "incremental engine speedup {sp:.1}x is below the {sim_factor:.1}x floor"
+                ));
+            }
+        }
+        None => failures.push(format!("{report_path} sim_engine lacks speedup")),
+    }
+    match engine["makespan_rel_err"].as_f64() {
+        Some(err) if err < 1e-9 => {
+            println!("plan_gate: engine A/B makespan rel err {err:.2e} (< 1e-9)");
+        }
+        Some(err) => failures.push(format!(
+            "incremental and scratch engines disagree: makespan rel err {err:.2e} >= 1e-9"
+        )),
+        None => failures.push(format!("{report_path} sim_engine lacks makespan_rel_err")),
+    }
+}
 
 fn median_plan_wall(report: &serde_json::Value) -> Option<f64> {
     // Prefer the precomputed median; recompute from the rows otherwise
@@ -80,7 +209,25 @@ fn load(path: &str) -> serde_json::Value {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let scaling_report_path = "BENCH_scaling.json";
+    let scaling_baseline_path = "results/BENCH_scaling_baseline.json";
+    if flags.iter().any(|f| f == "--scaling") {
+        // Dedicated scaling-job mode: only the scaling leg, and a missing
+        // report is a failure, never a skip.
+        let mut failures = Vec::new();
+        scaling_leg(scaling_report_path, scaling_baseline_path, &mut failures);
+        if failures.is_empty() {
+            println!("plan_gate: OK");
+            return;
+        }
+        for f in &failures {
+            eprintln!("plan_gate: FAIL: {f}");
+        }
+        exit(1);
+    }
+    let mut args = positional.into_iter();
     let report_path = args.next().unwrap_or_else(|| "BENCH_plan.json".into());
     let baseline_path = args
         .next()
@@ -382,6 +529,14 @@ fn main() {
         }
     } else {
         println!("plan_gate: no robustness baseline at {rob_baseline_path} (skipped)");
+    }
+
+    // Cluster scaling: only checked when this invocation's pipeline ran
+    // `scaling_report` (the dedicated CI job uses `--scaling` instead).
+    if std::path::Path::new(scaling_report_path).exists() {
+        scaling_leg(scaling_report_path, scaling_baseline_path, &mut failures);
+    } else {
+        println!("plan_gate: no scaling report at {scaling_report_path} (skipped)");
     }
 
     if failures.is_empty() {

@@ -542,12 +542,8 @@ impl Planner {
         if seqs.is_empty() {
             return Err(DcpError::invalid_argument("empty batch"));
         }
+        self.cluster.validate()?;
         let n = self.cluster.num_devices();
-        if n == 0 {
-            return Err(DcpError::invalid_argument(
-                "cluster has zero devices (nodes * devices_per_node == 0)",
-            ));
-        }
         if self.cfg.divisions == 0 {
             return Err(DcpError::invalid_argument("divisions must be > 0"));
         }
@@ -1239,73 +1235,12 @@ impl Planner {
         layout: &BatchLayout,
         seed: &[u32],
     ) -> DcpResult<(Placement, bool, PartitionStats, u64)> {
-        type LocalPartition = (Vec<u32>, Vec<u32>, bool, PartitionStats);
         let hg = self.build_hypergraph_in(layout);
         let nt = layout.token_blocks.len();
-        let x = self.cluster.nodes;
-        let y = self.cluster.devices_per_node;
-        let n = x * y;
-        let mut stats = PartitionStats::default();
-        let result: DcpResult<(Vec<u32>, bool)> = if !self.cfg.hierarchical || x == 1 {
-            let mut pc = PartitionConfig::new(n)
-                .with_epsilon(self.cfg.eps_intra)
-                .with_seed(self.cfg.seed);
-            pc.refine_enabled = self.cfg.refine;
-            partition_warm_with_stats(&hg, &pc, seed).map(|(part, s)| {
-                stats.merge(&s);
-                (part.assignment, part.balanced)
-            })
-        } else {
-            // Level 1: warm-refine the machine assignment implied by the
-            // seeded devices (machine = device / y).
-            let mseed: Vec<u32> = seed.iter().map(|&d| d / y).collect();
-            let mut pc = PartitionConfig::new(x)
-                .with_epsilon(self.cfg.eps_inter)
-                .with_seed(self.cfg.seed);
-            pc.refine_enabled = self.cfg.refine;
-            partition_warm_with_stats(&hg, &pc, &mseed).and_then(|(machine, s1)| {
-                stats.merge(&s1);
-                let mut balanced = machine.balanced;
-                // Level 2: per-machine device refinement, mirroring the cold
-                // hierarchy (same subgraphs, epsilons and per-machine seeds)
-                // so a converged seed reproduces the cold placement exactly.
-                use rayon::prelude::*;
-                let locals: Vec<DcpResult<LocalPartition>> = (0..x)
-                    .into_par_iter()
-                    .map(|m| {
-                        let verts: Vec<u32> = (0..hg.num_vertices() as u32)
-                            .filter(|&v| machine.assignment[v as usize] == m)
-                            .collect();
-                        if verts.is_empty() {
-                            return Ok((Vec::new(), Vec::new(), true, PartitionStats::default()));
-                        }
-                        let (sub, map) = hg.induced_subgraph(&verts);
-                        let mut pc2 = PartitionConfig::new(y)
-                            .with_epsilon(self.cfg.eps_intra)
-                            .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
-                        pc2.refine_enabled = self.cfg.refine;
-                        // Seeded device index within the machine; still a
-                        // valid local part when level-1 refinement moved the
-                        // vertex to another machine.
-                        let local_seed: Vec<u32> =
-                            map.iter().map(|&orig| seed[orig as usize] % y).collect();
-                        let (local, s2) = partition_warm_with_stats(&sub, &pc2, &local_seed)?;
-                        Ok((map, local.assignment, local.balanced, s2))
-                    })
-                    .collect();
-                let mut assignment = vec![0u32; hg.num_vertices()];
-                for (m, res) in locals.into_iter().enumerate() {
-                    let (map, local, local_balanced, s2) = res?;
-                    balanced &= local_balanced;
-                    stats.merge(&s2);
-                    for (i, &orig) in map.iter().enumerate() {
-                        assignment[orig as usize] = m as u32 * y + local[i];
-                    }
-                }
-                Ok((assignment, balanced))
-            })
-        };
-        let (assignment, balanced) = match result {
+        let n = self.cluster.num_devices();
+        let levels = self.placement_levels();
+        let result = self.place_warm_levels(&hg, &levels, self.cfg.seed, seed);
+        let (assignment, balanced, stats) = match result {
             Ok(v) => v,
             Err(e) => {
                 self.recycle_hg(hg);
@@ -1326,94 +1261,114 @@ impl Planner {
         ))
     }
 
-    fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool, PartitionStats)> {
-        // Per-machine sub-partition: vertex map, local assignment, balanced,
-        // stage timings.
+    /// The partition hierarchy as `(parts, epsilon)` refinement levels,
+    /// outermost first, mirroring the cluster's fabric tiers
+    /// ([`ClusterSpec::hierarchy`]): spine groups, then leaves, then nodes,
+    /// then devices — the flat model yields the classic machine/device
+    /// split. The device level uses `eps_intra`, every switch level
+    /// `eps_inter`; degenerate one-way levels are dropped. A non-hierarchical
+    /// config collapses to a single flat level over all devices.
+    fn placement_levels(&self) -> Vec<(u32, f64)> {
+        let n = self.cluster.num_devices();
+        if !self.cfg.hierarchical {
+            return vec![(n, self.cfg.eps_intra)];
+        }
+        let h = self.cluster.hierarchy();
+        let mut levels: Vec<(u32, f64)> = Vec::new();
+        for (i, &k) in h.iter().enumerate() {
+            if k == 1 {
+                continue;
+            }
+            let eps = if i + 1 == h.len() {
+                self.cfg.eps_intra
+            } else {
+                self.cfg.eps_inter
+            };
+            levels.push((k, eps));
+        }
+        if levels.is_empty() {
+            levels.push((1, self.cfg.eps_intra));
+        }
+        levels
+    }
+
+    /// Warm-started placement through the level hierarchy: at each level the
+    /// seeded assignment (divided down to that level's granularity) is
+    /// refined without coarsening or initial partitioning, then each part
+    /// recurses on its induced subgraph — the same subgraphs, epsilons and
+    /// per-part seeds as the cold [`Planner::place_levels`], so a converged
+    /// seed reproduces the cold placement exactly.
+    fn place_warm_levels(
+        &self,
+        hg: &Hypergraph,
+        levels: &[(u32, f64)],
+        seed: u64,
+        dev_seed: &[u32],
+    ) -> DcpResult<(Vec<u32>, bool, PartitionStats)> {
         type LocalPartition = (Vec<u32>, Vec<u32>, bool, PartitionStats);
+        let (parts, eps) = levels[0];
+        let stride: u32 = levels[1..].iter().map(|l| l.0).product();
+        let mut pc = PartitionConfig::new(parts)
+            .with_epsilon(eps)
+            .with_seed(seed);
+        pc.refine_enabled = self.cfg.refine;
+        if levels.len() == 1 {
+            let (part, s) = partition_warm_with_stats(hg, &pc, dev_seed)?;
+            return Ok((part.assignment, part.balanced, s));
+        }
+        // Warm-refine this level's assignment implied by the seeded devices
+        // (part = device / stride).
+        let level_seed: Vec<u32> = dev_seed.iter().map(|&d| d / stride).collect();
+        let (part, s1) = partition_warm_with_stats(hg, &pc, &level_seed)?;
+        let mut stats = s1;
+        let mut balanced = part.balanced;
+        use rayon::prelude::*;
+        let locals: Vec<DcpResult<LocalPartition>> = (0..parts)
+            .into_par_iter()
+            .map(|p| {
+                let verts: Vec<u32> = (0..hg.num_vertices() as u32)
+                    .filter(|&v| part.assignment[v as usize] == p)
+                    .collect();
+                if verts.is_empty() {
+                    return Ok((Vec::new(), Vec::new(), true, PartitionStats::default()));
+                }
+                let (sub, map) = hg.induced_subgraph(&verts);
+                // Seeded sub-level index within the part; still valid when
+                // this level's refinement moved the vertex to another part.
+                let local_seed: Vec<u32> = map
+                    .iter()
+                    .map(|&orig| dev_seed[orig as usize] % stride)
+                    .collect();
+                let (local, lb, ls) = self.place_warm_levels(
+                    &sub,
+                    &levels[1..],
+                    seed.wrapping_add(p as u64 + 1),
+                    &local_seed,
+                )?;
+                Ok((map, local, lb, ls))
+            })
+            .collect();
+        let mut assignment = vec![0u32; hg.num_vertices()];
+        for (p, res) in locals.into_iter().enumerate() {
+            let (map, local, local_balanced, ls) = res?;
+            balanced &= local_balanced;
+            stats.merge(&ls);
+            for (i, &orig) in map.iter().enumerate() {
+                assignment[orig as usize] = p as u32 * stride + local[i];
+            }
+        }
+        Ok((assignment, balanced, stats))
+    }
+
+    fn place(&self, layout: &BatchLayout) -> DcpResult<(Placement, bool, PartitionStats)> {
         let hg = self.build_hypergraph_in(layout);
         let nt = layout.token_blocks.len();
-        let x = self.cluster.nodes;
-        let y = self.cluster.devices_per_node;
-        let n = x * y;
+        let n = self.cluster.num_devices();
         let fw = self.fault_weights(n);
-        let totals = hg.part_weights(&vec![0u32; hg.num_vertices()], 1)[0];
-
-        let mut stats = PartitionStats::default();
-        let (assignment, balanced): (Vec<u32>, bool) = if !self.cfg.hierarchical || x == 1 {
-            let mut pc = PartitionConfig::new(n)
-                .with_epsilon(self.cfg.eps_intra)
-                .with_seed(self.cfg.seed);
-            pc.refine_enabled = self.cfg.refine;
-            if let Some(w) = &fw {
-                pc = pc.with_part_targets(Self::targets_from_weights(totals, w));
-            }
-            let (part, s) = partition_with_stats(&hg, &pc)?;
-            stats.merge(&s);
-            (part.assignment, part.balanced)
-        } else {
-            // Level 1: machines, minimizing inter-node volume.
-            let mut pc = PartitionConfig::new(x)
-                .with_epsilon(self.cfg.eps_inter)
-                .with_seed(self.cfg.seed);
-            pc.refine_enabled = self.cfg.refine;
-            if let Some(w) = &fw {
-                // A machine's capacity is the sum of its member devices'.
-                let mw: Vec<[f64; 2]> = (0..x as usize)
-                    .map(|m| {
-                        let mut s = [0.0f64; 2];
-                        for j in 0..y as usize {
-                            s[0] += w[m * y as usize + j][0];
-                            s[1] += w[m * y as usize + j][1];
-                        }
-                        s
-                    })
-                    .collect();
-                pc = pc.with_part_targets(Self::targets_from_weights(totals, &mw));
-            }
-            let (machine, s1) = partition_with_stats(&hg, &pc)?;
-            stats.merge(&s1);
-            let mut balanced = machine.balanced;
-            // Level 2: devices within each machine. The per-machine
-            // subproblems are independent — solve them on the rayon pool
-            // (the paper parallelizes planning across CPU cores, Sec. 6.1).
-            use rayon::prelude::*;
-            let locals: Vec<DcpResult<LocalPartition>> = (0..x)
-                .into_par_iter()
-                .map(|m| {
-                    let verts: Vec<u32> = (0..hg.num_vertices() as u32)
-                        .filter(|&v| machine.assignment[v as usize] == m)
-                        .collect();
-                    if verts.is_empty() {
-                        return Ok((Vec::new(), Vec::new(), true, PartitionStats::default()));
-                    }
-                    let (sub, map) = hg.induced_subgraph(&verts);
-                    let mut pc2 = PartitionConfig::new(y)
-                        .with_epsilon(self.cfg.eps_intra)
-                        .with_seed(self.cfg.seed.wrapping_add(m as u64 + 1));
-                    pc2.refine_enabled = self.cfg.refine;
-                    if let Some(w) = &fw {
-                        // Re-scale the member devices' weights to the load
-                        // level 1 actually assigned to this machine.
-                        let sub_totals = sub.part_weights(&vec![0u32; sub.num_vertices()], 1)[0];
-                        let dw = &w[m as usize * y as usize..(m as usize + 1) * y as usize];
-                        pc2 = pc2.with_part_targets(Self::targets_from_weights(sub_totals, dw));
-                    }
-                    let (local, s2) = partition_with_stats(&sub, &pc2)?;
-                    Ok((map, local.assignment, local.balanced, s2))
-                })
-                .collect();
-            let mut assignment = vec![0u32; hg.num_vertices()];
-            for (m, res) in locals.into_iter().enumerate() {
-                let (map, local, local_balanced, s2) = res?;
-                balanced &= local_balanced;
-                stats.merge(&s2);
-                for (i, &orig) in map.iter().enumerate() {
-                    assignment[orig as usize] = m as u32 * y + local[i];
-                }
-            }
-            (assignment, balanced)
-        };
-
+        let levels = self.placement_levels();
+        let result = self.place_levels(&hg, &levels, self.cfg.seed, fw.as_deref(), 0);
+        self.recycle_hg(hg);
+        let (assignment, balanced, stats) = result?;
         Ok((
             Placement {
                 num_devices: n,
@@ -1423,6 +1378,86 @@ impl Planner {
             balanced,
             stats,
         ))
+    }
+
+    /// Cold placement through the level hierarchy: partition this level's
+    /// graph `parts` ways (minimizing the traffic that would cross this
+    /// fabric boundary), then recurse per part on the induced subgraph with
+    /// a per-part derived seed. `weights` are per-device fault capacities
+    /// over the *global* device space; `base` is this subproblem's first
+    /// global device. The per-part subproblems are independent — solved on
+    /// the rayon pool (the paper parallelizes planning across CPU cores,
+    /// Sec. 6.1) and merged in part order, so the result is
+    /// thread-count-independent.
+    fn place_levels(
+        &self,
+        hg: &Hypergraph,
+        levels: &[(u32, f64)],
+        seed: u64,
+        weights: Option<&[[f64; 2]]>,
+        base: usize,
+    ) -> DcpResult<(Vec<u32>, bool, PartitionStats)> {
+        type LocalPartition = (Vec<u32>, Vec<u32>, bool, PartitionStats);
+        let (parts, eps) = levels[0];
+        let stride: u32 = levels[1..].iter().map(|l| l.0).product();
+        let mut pc = PartitionConfig::new(parts)
+            .with_epsilon(eps)
+            .with_seed(seed);
+        pc.refine_enabled = self.cfg.refine;
+        if let Some(w) = weights {
+            // A part's capacity is the sum of its member devices', re-scaled
+            // to the load actually present in this subgraph.
+            let totals = hg.part_weights(&vec![0u32; hg.num_vertices()], 1)[0];
+            let span = stride as usize;
+            let pw: Vec<[f64; 2]> = (0..parts as usize)
+                .map(|p| {
+                    let mut s = [0.0f64; 2];
+                    for j in 0..span {
+                        s[0] += w[base + p * span + j][0];
+                        s[1] += w[base + p * span + j][1];
+                    }
+                    s
+                })
+                .collect();
+            pc = pc.with_part_targets(Self::targets_from_weights(totals, &pw));
+        }
+        let (part, s1) = partition_with_stats(hg, &pc)?;
+        if levels.len() == 1 {
+            return Ok((part.assignment, part.balanced, s1));
+        }
+        let mut stats = s1;
+        let mut balanced = part.balanced;
+        use rayon::prelude::*;
+        let locals: Vec<DcpResult<LocalPartition>> = (0..parts)
+            .into_par_iter()
+            .map(|p| {
+                let verts: Vec<u32> = (0..hg.num_vertices() as u32)
+                    .filter(|&v| part.assignment[v as usize] == p)
+                    .collect();
+                if verts.is_empty() {
+                    return Ok((Vec::new(), Vec::new(), true, PartitionStats::default()));
+                }
+                let (sub, map) = hg.induced_subgraph(&verts);
+                let (local, lb, ls) = self.place_levels(
+                    &sub,
+                    &levels[1..],
+                    seed.wrapping_add(p as u64 + 1),
+                    weights,
+                    base + p as usize * stride as usize,
+                )?;
+                Ok((map, local, lb, ls))
+            })
+            .collect();
+        let mut assignment = vec![0u32; hg.num_vertices()];
+        for (p, res) in locals.into_iter().enumerate() {
+            let (map, local, local_balanced, ls) = res?;
+            balanced &= local_balanced;
+            stats.merge(&ls);
+            for (i, &orig) in map.iter().enumerate() {
+                assignment[orig as usize] = p as u32 * stride + local[i];
+            }
+        }
+        Ok((assignment, balanced, stats))
     }
 }
 
@@ -1527,6 +1562,49 @@ mod tests {
             "hier {} > flat {}",
             inter_bytes(&hier),
             inter_bytes(&flat)
+        );
+    }
+
+    #[test]
+    fn spine_topology_adds_a_leaf_level_and_cuts_cross_leaf_volume() {
+        // 4 nodes, 2 per leaf: the planner should mirror the 3-tier fabric
+        // with a [leaves, nodes, devices] refinement hierarchy and push
+        // traffic off the oversubscribed spine.
+        let seqs = vec![
+            (65536, MaskSpec::Causal),
+            (16384, MaskSpec::Causal),
+            (16384, MaskSpec::Causal),
+            (8192, MaskSpec::Causal),
+        ];
+        let spine = ClusterSpec::p4de_spine(4, 2, 4.0);
+        let mk = |cluster: ClusterSpec| {
+            Planner::new(
+                cluster,
+                AttnSpec::paper_micro(),
+                PlannerConfig {
+                    block_size: 1024,
+                    ..Default::default()
+                },
+            )
+        };
+        let aware = mk(spine.clone());
+        assert_eq!(
+            aware.placement_levels(),
+            vec![
+                (2, aware.cfg.eps_inter),
+                (2, aware.cfg.eps_inter),
+                (8, aware.cfg.eps_intra)
+            ]
+        );
+        let aware_out = aware.plan(&seqs).unwrap();
+        validate_plan(&aware_out.layout, &aware_out.placement, &aware_out.plan).unwrap();
+        let blind_out = mk(ClusterSpec::p4de(4)).plan(&seqs).unwrap();
+        let cross_leaf = |out: &PlanOutput| out.plan.fwd.comm_bytes_by_tier(&spine)[2];
+        assert!(
+            cross_leaf(&aware_out) <= cross_leaf(&blind_out),
+            "aware {} > blind {}",
+            cross_leaf(&aware_out),
+            cross_leaf(&blind_out)
         );
     }
 

@@ -193,6 +193,21 @@ impl PhasePlan {
             .sum()
     }
 
+    /// Bytes communicated per tier distance under `cluster`'s topology:
+    /// index 0 is intra-node traffic, 1 crosses only the first network tier
+    /// (e.g. stays under one leaf), and so on up to
+    /// [`dcp_types::ClusterSpec::num_tier_distances`]` - 1` for traffic
+    /// crossing the whole fabric. The flat two-tier model yields
+    /// `[intra_node, inter_node]`.
+    pub fn comm_bytes_by_tier(&self, cluster: &dcp_types::ClusterSpec) -> Vec<u64> {
+        let mut out = vec![0u64; cluster.num_tier_distances()];
+        for t in self.comms.iter().flat_map(|c| c.transfers.iter()) {
+            let d = cluster.tier_distance(dcp_types::DeviceId(t.from), dcp_types::DeviceId(t.to));
+            out[d as usize] += t.bytes;
+        }
+        out
+    }
+
     /// Maximum, over devices, of bytes sent plus bytes received.
     pub fn max_device_comm_bytes(&self) -> u64 {
         let n = self.devices.len();
@@ -244,6 +259,16 @@ impl ExecutionPlan {
     /// Total bytes communicated over both phases.
     pub fn total_comm_bytes(&self) -> u64 {
         self.fwd.total_comm_bytes() + self.bwd.total_comm_bytes()
+    }
+
+    /// Per-tier-distance bytes over both phases (see
+    /// [`PhasePlan::comm_bytes_by_tier`]).
+    pub fn comm_bytes_by_tier(&self, cluster: &dcp_types::ClusterSpec) -> Vec<u64> {
+        let mut out = self.fwd.comm_bytes_by_tier(cluster);
+        for (o, b) in out.iter_mut().zip(self.bwd.comm_bytes_by_tier(cluster)) {
+            *o += b;
+        }
+        out
     }
 
     /// Serializes the plan to JSON (the dataloader-to-executor handoff).
@@ -329,5 +354,43 @@ mod tests {
         assert_eq!(phase.total_comm_bytes(), 17);
         // "Cross-node" if ranks are 8 apart.
         assert_eq!(phase.comm_bytes_where(|a, b| a / 8 != b / 8), 10);
+    }
+
+    #[test]
+    fn comm_bytes_by_tier_splits_traffic_by_crossed_fabric_level() {
+        let phase = PhasePlan {
+            comms: vec![CommOp {
+                transfers: vec![
+                    // Intra-node (devices 0 and 1 share node 0).
+                    Transfer {
+                        from: 0,
+                        to: 1,
+                        payload: Payload::Kv(TokenBlockId(0)),
+                        bytes: 3,
+                    },
+                    // Cross-node, same leaf (nodes 0 and 1, leaf 0).
+                    Transfer {
+                        from: 1,
+                        to: 9,
+                        payload: Payload::Kv(TokenBlockId(1)),
+                        bytes: 5,
+                    },
+                    // Cross-leaf (node 0 → node 2).
+                    Transfer {
+                        from: 0,
+                        to: 17,
+                        payload: Payload::Kv(TokenBlockId(2)),
+                        bytes: 11,
+                    },
+                ],
+            }],
+            devices: vec![],
+        };
+        // 4 nodes of 8 devices, 2 nodes per leaf → leaf boundary at node 2.
+        let spine = dcp_types::ClusterSpec::p4de_spine(4, 2, 4.0);
+        assert_eq!(phase.comm_bytes_by_tier(&spine), vec![3, 5, 11]);
+        // Flat topology folds all cross-node traffic into one bucket.
+        let flat = dcp_types::ClusterSpec::p4de(4);
+        assert_eq!(phase.comm_bytes_by_tier(&flat), vec![3, 16]);
     }
 }

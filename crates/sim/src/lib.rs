@@ -30,7 +30,8 @@ pub mod trace;
 
 pub use fault::{Fault, FaultSpec, FAILED_LINK_FACTOR};
 pub use sim::{
-    simulate_phase, simulate_phase_faulted, simulate_phase_traced, simulate_plan,
-    simulate_plan_faulted, DeviceTimeline, PhaseSim, PlanSim,
+    simulate_phase, simulate_phase_counted, simulate_phase_faulted, simulate_phase_scratch,
+    simulate_phase_traced, simulate_plan, simulate_plan_faulted, DeviceTimeline, PhaseSim, PlanSim,
+    SimCounters,
 };
 pub use trace::{ascii_gantt, to_chrome_trace, trace_to_obs, TraceEvent, TraceKind};

@@ -5,14 +5,33 @@
 //!
 //! - intra-node (`src` and `dst` on the same node): the per-device NVSwitch
 //!   egress of `src` and ingress of `dst`;
-//! - inter-node: the per-node NIC egress of the source node and NIC ingress
-//!   of the destination node (shared by all devices of the node).
+//! - inter-node: the NIC egress of the source and NIC ingress of the
+//!   destination — one shared port per node, or one dedicated rail per
+//!   device on rail-optimized fabrics ([`dcp_types::TopologySpec`]);
+//! - additionally, for every switch tier the path crosses, the uplink
+//!   egress of the source's group and uplink ingress of the destination's
+//!   group at that tier.
 //!
 //! Rates are allocated by progressive filling (water-filling): repeatedly
 //! find the resource with the smallest fair share and freeze its flows at
 //! that rate. This is the classic max-min fair allocation; it captures the
 //! NIC-contention effects that motivate LoongTrain's double-ring and DCP's
 //! hierarchical placement.
+//!
+//! # Incremental engine
+//!
+//! The default engine recomputes rates *incrementally*: each flow caches its
+//! resource list at insertion, each resource keeps a persistent member list,
+//! and an event (activation, completion, fault-factor change) only re-runs
+//! the water-fill over the connected component of the flow/resource
+//! bipartite graph that the event touched. Rates outside the dirty component
+//! are already the max-min fixpoint of their own component and cannot
+//! change, so the restriction is exact — and because the component-local
+//! fill performs the same freeze steps in the same share order with the same
+//! arithmetic as a global fill would, it is *bitwise* identical to the
+//! retained scratch engine ([`Network::use_scratch_engine`]), which rebuilds
+//! everything from fresh hash maps on every event and serves as the
+//! reference for tests and the scaling benchmark.
 
 use std::collections::HashMap;
 
@@ -23,8 +42,12 @@ use dcp_types::{ClusterSpec, DeviceId};
 enum Resource {
     DevEgress(u32),
     DevIngress(u32),
+    /// Keyed by node id, or by device id on rail-optimized fabrics.
     NicEgress(u32),
     NicIngress(u32),
+    /// Uplink of tier-`.0` group `.1` into the tier above.
+    TierEgress(u8, u32),
+    TierIngress(u8, u32),
 }
 
 /// Piecewise-constant flapping parameters attached to a flow: for the
@@ -92,11 +115,27 @@ struct Flow {
     /// Flapping parameters when the flow's link flaps.
     flap: Option<Flap>,
     done: bool,
+    /// Interned ids of the resources on this flow's path, cached at
+    /// insertion (never recollected).
+    resources: Vec<u32>,
+    /// Whether the flow currently sits in its resources' member lists
+    /// (joined at activation, left at completion).
+    member: bool,
 }
 
 /// Opaque flow handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId(pub usize);
+
+/// Engine counters (instrumentation for the scaling benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Number of water-fill invocations.
+    pub recomputes: u64,
+    /// Total flows visited across all water-fills (component sizes summed;
+    /// the scratch engine counts every live flow on every recompute).
+    pub touched_flows: u64,
+}
 
 /// The fluid network simulator.
 ///
@@ -111,6 +150,40 @@ pub struct Network {
     /// Fault-injected flapping parameters per directed device pair.
     flapping: HashMap<(u32, u32), (f64, f64, f64)>,
     now: f64,
+    /// Resource interner: every distinct port gets a dense id.
+    res_ids: HashMap<Resource, u32>,
+    /// Nominal capacity per resource id.
+    res_cap: Vec<f64>,
+    /// Member flows per resource id: flows that joined at activation and
+    /// have not been compacted away after completing. Kept in activation
+    /// order; stale (done) entries are skipped and pruned lazily.
+    members: Vec<Vec<u32>>,
+    /// Live (activated, not done) member count per resource id.
+    nlive: Vec<u32>,
+    /// Flows not yet done, in insertion order (includes pending ones).
+    live_flows: Vec<u32>,
+    /// Stale (done) entries currently in `live_flows`.
+    live_dead: usize,
+    /// Flows with flapping links, for the phase-refresh sweep.
+    flap_flows: Vec<u32>,
+    /// Use the retained scratch reference engine instead of the
+    /// incremental one.
+    scratch: bool,
+    stats: NetStats,
+    /// Epoch-stamped scratch state for the incremental water-fill, reused
+    /// across recomputes so the steady state allocates nothing.
+    epoch: u64,
+    res_mark: Vec<u64>,
+    flow_mark: Vec<u64>,
+    frozen_mark: Vec<u64>,
+    frozen_rate: Vec<f64>,
+    wcap: Vec<f64>,
+    wcount: Vec<u32>,
+    comp_res: Vec<u32>,
+    comp_flows: Vec<u32>,
+    /// Flows whose state changed since the last recompute (seeds the dirty
+    /// component).
+    dirty: Vec<u32>,
 }
 
 impl Network {
@@ -122,7 +195,39 @@ impl Network {
             link_factors: HashMap::new(),
             flapping: HashMap::new(),
             now: 0.0,
+            res_ids: HashMap::new(),
+            res_cap: Vec::new(),
+            members: Vec::new(),
+            nlive: Vec::new(),
+            live_flows: Vec::new(),
+            live_dead: 0,
+            flap_flows: Vec::new(),
+            scratch: false,
+            stats: NetStats::default(),
+            epoch: 0,
+            res_mark: Vec::new(),
+            flow_mark: Vec::new(),
+            frozen_mark: Vec::new(),
+            frozen_rate: Vec::new(),
+            wcap: Vec::new(),
+            wcount: Vec::new(),
+            comp_res: Vec::new(),
+            comp_flows: Vec::new(),
+            dirty: Vec::new(),
         }
+    }
+
+    /// Switches to the scratch reference engine: every event rebuilds the
+    /// full allocation from fresh hash maps and recollected resource lists,
+    /// like the pre-incremental simulator. Call before adding flows.
+    pub fn use_scratch_engine(&mut self, on: bool) {
+        debug_assert!(self.flows.is_empty(), "switch engines on an empty network");
+        self.scratch = on;
+    }
+
+    /// Engine counters accumulated so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
     }
 
     /// Degrades the directed link `src -> dst`: flows over it achieve only
@@ -172,6 +277,11 @@ impl Network {
             Some(fl) => fl.factor_at(t),
             None => base,
         };
+        let resources: Vec<u32> = Self::path_of(&self.cluster, src, dst)
+            .into_iter()
+            .map(|r| self.intern(r))
+            .collect();
+        let fi = self.flows.len();
         self.flows.push(Flow {
             src,
             dst,
@@ -181,9 +291,32 @@ impl Network {
             factor,
             flap,
             done: bytes == 0,
+            resources,
+            member: false,
         });
-        self.recompute();
-        (FlowId(self.flows.len() - 1), active_at)
+        self.frozen_mark.push(0);
+        self.frozen_rate.push(0.0);
+        self.flow_mark.push(0);
+        if !self.flows[fi].done {
+            self.live_flows.push(fi as u32);
+            if self.flows[fi].flap.is_some() {
+                self.flap_flows.push(fi as u32);
+            }
+        }
+        if self.scratch {
+            // The reference engine recomputes on every insertion, like the
+            // pre-incremental simulator (a pending flow leaves rates
+            // unchanged, but the full rebuild cost is the point).
+            self.recompute_scratch();
+        } else if !self.flows[fi].done && active_at <= self.now {
+            // Only possible with zero link latency; normally activation
+            // happens inside a later `advance_to`.
+            self.join(fi);
+            self.dirty.clear();
+            self.dirty.push(fi as u32);
+            self.recompute_component();
+        }
+        (FlowId(fi), active_at)
     }
 
     /// Whether the flow has delivered all its bytes.
@@ -205,8 +338,11 @@ impl Network {
         // the floating-point resolution of `now` must still be completed,
         // or the event loop would spin at a frozen clock. "Done" therefore
         // means: would finish within a nanosecond at the current rate.
-        let mut activated = false;
-        for f in &mut self.flows {
+        self.dirty.clear();
+        let mut completed = false;
+        for idx in 0..self.live_flows.len() {
+            let fi = self.live_flows[idx] as usize;
+            let f = &mut self.flows[fi];
             if f.done {
                 continue;
             }
@@ -215,10 +351,13 @@ impl Network {
                 if f.remaining <= f.rate * 1e-9 + 1e-6 {
                     f.remaining = 0.0;
                     f.done = true;
-                    activated = true; // rates must change
+                    f.rate = 0.0;
+                    completed = true;
+                    self.dirty.push(fi as u32);
                 }
             } else if f.active_at <= t {
-                activated = true;
+                // Newly activated.
+                self.dirty.push(fi as u32);
             }
         }
         self.now = t;
@@ -226,7 +365,9 @@ impl Network {
         // rate recomputation. The event loop never integrates across a
         // boundary because `next_event` caps at the next one.
         if !self.flapping.is_empty() {
-            for f in &mut self.flows {
+            for idx in 0..self.flap_flows.len() {
+                let fi = self.flap_flows[idx] as usize;
+                let f = &mut self.flows[fi];
                 if f.done {
                     continue;
                 }
@@ -234,20 +375,55 @@ impl Network {
                     let nf = fl.factor_at(t);
                     if nf != f.factor {
                         f.factor = nf;
-                        activated = true;
+                        self.dirty.push(fi as u32);
                     }
                 }
             }
         }
-        if activated {
-            self.recompute();
+        if self.dirty.is_empty() {
+            return;
+        }
+        // Membership updates before the recompute: completed flows leave,
+        // newly activated flows join.
+        for idx in 0..self.dirty.len() {
+            let fi = self.dirty[idx] as usize;
+            if self.flows[fi].done {
+                self.leave(fi);
+            } else if !self.flows[fi].member && self.flows[fi].active_at <= t {
+                self.join(fi);
+            }
+        }
+        if completed {
+            self.live_dead += self.dirty.len(); // over-counts harmlessly
+            if 2 * self.live_dead > self.live_flows.len() {
+                let flows = &self.flows;
+                self.live_flows.retain(|&fi| !flows[fi as usize].done);
+                self.flap_flows.retain(|&fi| !flows[fi as usize].done);
+                self.live_dead = 0;
+            }
+        }
+        if self.scratch {
+            self.recompute_scratch();
+        } else {
+            self.recompute_component();
         }
     }
 
     /// The earliest future event (flow activation or completion), if any.
     pub fn next_event(&self) -> Option<f64> {
         let mut best: Option<f64> = None;
-        for f in &self.flows {
+        // The live index skips completed flows; the scratch engine scans
+        // everything, like the pre-incremental simulator.
+        let ids: &[u32] = &self.live_flows;
+        let all: Vec<u32>;
+        let ids = if self.scratch {
+            all = (0..self.flows.len() as u32).collect();
+            &all
+        } else {
+            ids
+        };
+        for &fi in ids {
+            let f = &self.flows[fi as usize];
             if f.done {
                 continue;
             }
@@ -269,19 +445,174 @@ impl Network {
         best
     }
 
-    /// Recomputes max-min fair rates for all active flows.
-    fn recompute(&mut self) {
-        // Collect unfrozen active flows and their resources.
+    /// Interns a resource, assigning a dense id and its nominal capacity.
+    fn intern(&mut self, r: Resource) -> u32 {
+        if let Some(&id) = self.res_ids.get(&r) {
+            return id;
+        }
+        let id = self.res_cap.len() as u32;
+        self.res_ids.insert(r, id);
+        self.res_cap.push(Self::capacity_of(&self.cluster, r));
+        self.members.push(Vec::new());
+        self.nlive.push(0);
+        self.res_mark.push(0);
+        self.wcap.push(0.0);
+        self.wcount.push(0);
+        id
+    }
+
+    /// Joins a flow to the member lists of its resources (at activation).
+    fn join(&mut self, fi: usize) {
+        self.flows[fi].member = true;
+        for k in 0..self.flows[fi].resources.len() {
+            let r = self.flows[fi].resources[k] as usize;
+            self.members[r].push(fi as u32);
+            self.nlive[r] += 1;
+        }
+    }
+
+    /// Removes a flow from its resources' live counts (at completion). The
+    /// member vectors are pruned lazily once mostly stale, preserving
+    /// activation order.
+    fn leave(&mut self, fi: usize) {
+        if !self.flows[fi].member {
+            return;
+        }
+        self.flows[fi].member = false;
+        for k in 0..self.flows[fi].resources.len() {
+            let r = self.flows[fi].resources[k] as usize;
+            self.nlive[r] -= 1;
+            if self.members[r].len() >= 8 && self.members[r].len() as u32 >= 2 * self.nlive[r] + 4 {
+                let mut v = std::mem::take(&mut self.members[r]);
+                let flows = &self.flows;
+                v.retain(|&f| !flows[f as usize].done);
+                self.members[r] = v;
+            }
+        }
+    }
+
+    /// Recomputes max-min fair rates over the connected component(s) of the
+    /// flow/resource graph touched by the flows in `self.dirty`.
+    ///
+    /// Exactness: the previous allocation is the max-min fixpoint of every
+    /// component. An event only alters demand inside the components of the
+    /// dirty flows, so all other rates are unchanged; within the dirty
+    /// component the fill below performs the same freeze steps, in the same
+    /// least-share-first order, with the same `cap - share` arithmetic as a
+    /// global scratch fill restricted to that component — hence bitwise
+    /// equality with the reference engine.
+    fn recompute_component(&mut self) {
+        self.stats.recomputes += 1;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.comp_res.clear();
+        self.comp_flows.clear();
+        // Seed with the dirty flows' resources (a completed flow no longer
+        // counts toward demand but its ports still need new shares).
+        for idx in 0..self.dirty.len() {
+            let fi = self.dirty[idx] as usize;
+            for k in 0..self.flows[fi].resources.len() {
+                let r = self.flows[fi].resources[k] as usize;
+                if self.res_mark[r] != epoch {
+                    self.res_mark[r] = epoch;
+                    self.comp_res.push(r as u32);
+                }
+            }
+        }
+        // BFS across the bipartite graph: resources reach their live member
+        // flows, flows reach all their resources.
+        let mut qi = 0;
+        while qi < self.comp_res.len() {
+            let r = self.comp_res[qi] as usize;
+            qi += 1;
+            let mut j = 0;
+            while j < self.members[r].len() {
+                let fi = self.members[r][j] as usize;
+                j += 1;
+                if self.flows[fi].done || self.flow_mark[fi] == epoch {
+                    continue;
+                }
+                self.flow_mark[fi] = epoch;
+                self.comp_flows.push(fi as u32);
+                for k in 0..self.flows[fi].resources.len() {
+                    let r2 = self.flows[fi].resources[k] as usize;
+                    if self.res_mark[r2] != epoch {
+                        self.res_mark[r2] = epoch;
+                        self.comp_res.push(r2 as u32);
+                    }
+                }
+            }
+        }
+        self.stats.touched_flows += self.comp_flows.len() as u64;
+        // Progressive filling restricted to the component.
+        for idx in 0..self.comp_res.len() {
+            let r = self.comp_res[idx] as usize;
+            self.wcap[r] = self.res_cap[r];
+            self.wcount[r] = self.nlive[r];
+        }
+        let mut unfrozen = self.comp_flows.len();
+        while unfrozen > 0 {
+            // Resource with the smallest fair share.
+            let mut best_r = usize::MAX;
+            let mut best_s = f64::INFINITY;
+            for idx in 0..self.comp_res.len() {
+                let r = self.comp_res[idx] as usize;
+                if self.wcount[r] == 0 {
+                    continue;
+                }
+                let share = self.wcap[r] / self.wcount[r] as f64;
+                if share < best_s {
+                    best_s = share;
+                    best_r = r;
+                }
+            }
+            if best_r == usize::MAX {
+                break;
+            }
+            // Freeze every unfrozen live flow on the bottleneck at `share`.
+            let mut j = 0;
+            while j < self.members[best_r].len() {
+                let fi = self.members[best_r][j] as usize;
+                j += 1;
+                if self.flows[fi].done || self.frozen_mark[fi] == epoch {
+                    continue;
+                }
+                self.frozen_mark[fi] = epoch;
+                self.frozen_rate[fi] = best_s;
+                unfrozen -= 1;
+                for k in 0..self.flows[fi].resources.len() {
+                    let r2 = self.flows[fi].resources[k] as usize;
+                    self.wcap[r2] -= best_s;
+                    self.wcount[r2] -= 1;
+                }
+            }
+            self.wcount[best_r] = 0;
+        }
+        for idx in 0..self.comp_flows.len() {
+            let fi = self.comp_flows[idx] as usize;
+            let rate = if self.frozen_mark[fi] == self.epoch {
+                self.frozen_rate[fi] * self.flows[fi].factor
+            } else {
+                0.0
+            };
+            self.flows[fi].rate = rate;
+        }
+    }
+
+    /// The retained reference engine: rebuilds the full max-min allocation
+    /// from scratch — fresh hash maps, resource lists recollected per flow —
+    /// exactly like the pre-incremental simulator. Kept for the equivalence
+    /// proptest and as the baseline of the scaling benchmark.
+    fn recompute_scratch(&mut self) {
+        self.stats.recomputes += 1;
         let mut cap: HashMap<Resource, f64> = HashMap::new();
         let mut members: HashMap<Resource, Vec<usize>> = HashMap::new();
         let mut unfrozen: Vec<usize> = Vec::new();
         let now = self.now;
-        let intra_bw = self.cluster.intra_bw;
-        let inter_bw = self.cluster.inter_bw;
         let resources: Vec<Vec<Resource>> = self
             .flows
             .iter()
-            .map(|f| self.resources_of(f.src, f.dst))
+            .map(|f| Self::path_of(&self.cluster, f.src, f.dst))
             .collect();
         for (i, f) in self.flows.iter_mut().enumerate() {
             if f.done {
@@ -294,14 +625,12 @@ impl Network {
             }
             unfrozen.push(i);
             for &r in &resources[i] {
-                let c = match r {
-                    Resource::DevEgress(_) | Resource::DevIngress(_) => intra_bw,
-                    Resource::NicEgress(_) | Resource::NicIngress(_) => inter_bw,
-                };
-                cap.entry(r).or_insert(c);
+                cap.entry(r)
+                    .or_insert_with(|| Self::capacity_of(&self.cluster, r));
                 members.entry(r).or_default().push(i);
             }
         }
+        self.stats.touched_flows += unfrozen.len() as u64;
         let mut frozen: HashMap<usize, f64> = HashMap::new();
         let mut active_count: HashMap<Resource, usize> =
             members.iter().map(|(r, m)| (*r, m.len())).collect();
@@ -338,13 +667,44 @@ impl Network {
         }
     }
 
-    fn resources_of(&self, src: u32, dst: u32) -> Vec<Resource> {
-        let ns = self.cluster.node_of(DeviceId(src)).0;
-        let nd = self.cluster.node_of(DeviceId(dst)).0;
+    /// The capacity-constrained ports on the path from `src` to `dst`.
+    fn path_of(cluster: &ClusterSpec, src: u32, dst: u32) -> Vec<Resource> {
+        let ns = cluster.node_of(DeviceId(src)).0;
+        let nd = cluster.node_of(DeviceId(dst)).0;
         if ns == nd {
-            vec![Resource::DevEgress(src), Resource::DevIngress(dst)]
+            return vec![Resource::DevEgress(src), Resource::DevIngress(dst)];
+        }
+        let (ke, ki) = if cluster.rail_optimized() {
+            (src, dst)
         } else {
-            vec![Resource::NicEgress(ns), Resource::NicIngress(nd)]
+            (ns, nd)
+        };
+        let mut path = vec![Resource::NicEgress(ke), Resource::NicIngress(ki)];
+        for i in 0..cluster.tiers().len() {
+            let gs = cluster.tier_group(i, dcp_types::NodeId(ns));
+            let gd = cluster.tier_group(i, dcp_types::NodeId(nd));
+            if gs != gd {
+                path.push(Resource::TierEgress(i as u8, gs));
+                path.push(Resource::TierIngress(i as u8, gd));
+            }
+        }
+        path
+    }
+
+    /// Nominal capacity of a resource.
+    fn capacity_of(cluster: &ClusterSpec, r: Resource) -> f64 {
+        match r {
+            Resource::DevEgress(_) | Resource::DevIngress(_) => cluster.intra_bw,
+            Resource::NicEgress(_) | Resource::NicIngress(_) => {
+                if cluster.rail_optimized() {
+                    cluster.inter_bw / cluster.devices_per_node as f64
+                } else {
+                    cluster.inter_bw
+                }
+            }
+            Resource::TierEgress(i, _) | Resource::TierIngress(i, _) => {
+                cluster.tiers()[i as usize].uplink_bw
+            }
         }
     }
 
@@ -577,5 +937,130 @@ mod tests {
         let mut net = Network::new(c);
         let (f, _) = net.add_flow(0.0, 0, 1, 0);
         assert!(net.is_done(f));
+    }
+
+    /// Drives the same adversarial flow schedule through both engines and
+    /// requires bitwise-identical rates at every event and an identical
+    /// completion time.
+    #[test]
+    fn incremental_engine_matches_scratch_bitwise() {
+        for cluster in [
+            ClusterSpec::p4de(2),
+            ClusterSpec::p4de_rail(2),
+            ClusterSpec::p4de_spine(4, 2, 4.0),
+        ] {
+            let mut inc = Network::new(cluster.clone());
+            let mut scr = Network::new(cluster.clone());
+            scr.use_scratch_engine(true);
+            inc.set_link_factor(0, 9, 0.5);
+            scr.set_link_factor(0, 9, 0.5);
+            let n = cluster.num_devices();
+            let mut ids = Vec::new();
+            for i in 0..40u32 {
+                let t = (i / 5) as f64 * 3e-5;
+                let (src, dst) = (i % n, (i * 7 + 3) % n);
+                let bytes = 1_000_000 + 97_000 * i as u64 % 5_000_000;
+                let (fa, aa) = inc.add_flow(t, src, dst, bytes);
+                let (fb, ab) = scr.add_flow(t, src, dst, bytes);
+                assert_eq!(fa, fb);
+                assert_eq!(aa.to_bits(), ab.to_bits());
+                ids.push(fa);
+            }
+            loop {
+                let (ea, eb) = (inc.next_event(), scr.next_event());
+                assert_eq!(
+                    ea.map(f64::to_bits),
+                    eb.map(f64::to_bits),
+                    "event divergence at t={}",
+                    inc.now()
+                );
+                let Some(t) = ea else { break };
+                inc.advance_to(t);
+                scr.advance_to(t);
+                for &f in &ids {
+                    assert_eq!(
+                        inc.rate(f).to_bits(),
+                        scr.rate(f).to_bits(),
+                        "rate divergence for {f:?} at t={t}"
+                    );
+                    assert_eq!(inc.is_done(f), scr.is_done(f));
+                }
+            }
+            assert_eq!(inc.now().to_bits(), scr.now().to_bits());
+            // The incremental engine must have touched fewer flows in total.
+            assert!(inc.stats().touched_flows <= scr.stats().touched_flows);
+        }
+    }
+
+    #[test]
+    fn rail_optimized_removes_nic_contention() {
+        let flat = ClusterSpec::p4de(2);
+        let rail = ClusterSpec::p4de_rail(2);
+        // Two cross-node flows from different local ranks: on the flat
+        // fabric they halve the shared NIC; on rails each owns inter_bw/8.
+        let mut nf = Network::new(flat.clone());
+        let (f1, a) = nf.add_flow(0.0, 0, 8, 1_000_000_000);
+        let (_f2, _) = nf.add_flow(0.0, 1, 9, 1_000_000_000);
+        nf.advance_to(a);
+        assert!((nf.rate(f1) - flat.inter_bw / 2.0).abs() < 1.0);
+        let mut nr = Network::new(rail.clone());
+        let (r1, a) = nr.add_flow(0.0, 0, 8, 1_000_000_000);
+        let (r2, _) = nr.add_flow(0.0, 1, 9, 1_000_000_000);
+        nr.advance_to(a);
+        assert!((nr.rate(r1) - rail.inter_bw / 8.0).abs() < 1.0);
+        assert!((nr.rate(r2) - rail.inter_bw / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_spine_throttles_cross_leaf_traffic() {
+        // 8 nodes, 4 per leaf, 4x oversubscribed: the leaf uplink equals a
+        // single node NIC, so four cross-leaf senders in one leaf get a
+        // quarter NIC each while four same-leaf senders get a full NIC.
+        let c = ClusterSpec::p4de_spine(8, 4, 4.0);
+        let mut cross = Network::new(c.clone());
+        let mut ids = Vec::new();
+        for i in 0..4u32 {
+            // Node i (leaf 0) to node 4+i (leaf 1): distinct NIC pairs.
+            let (f, a) = cross.add_flow(0.0, i * 8, (4 + i) * 8, 1_000_000_000);
+            ids.push((f, a));
+        }
+        cross.advance_to(ids[0].1);
+        for (f, _) in &ids {
+            assert!(
+                (cross.rate(*f) - c.inter_bw / 4.0).abs() < 1.0,
+                "cross-leaf rate {}",
+                cross.rate(*f)
+            );
+        }
+        let mut intra = Network::new(c.clone());
+        let mut ids = Vec::new();
+        for i in 0..2u32 {
+            // Node i to node 2+i, all under leaf 0: no uplink involved.
+            let (f, a) = intra.add_flow(0.0, i * 8, (2 + i) * 8, 1_000_000_000);
+            ids.push((f, a));
+        }
+        intra.advance_to(ids[0].1);
+        for (f, _) in &ids {
+            assert!((intra.rate(*f) - c.inter_bw).abs() < 1.0);
+        }
+        // Latency also reflects the extra hop.
+        let mut n = Network::new(c.clone());
+        let (_, a_same_leaf) = n.add_flow(0.0, 0, 8, 1);
+        let (_, a_cross_leaf) = n.add_flow(0.0, 16, 4 * 8, 1);
+        assert!(a_cross_leaf > a_same_leaf);
+    }
+
+    #[test]
+    fn stale_members_are_compacted() {
+        // Many short flows over the same ports: member lists must not grow
+        // without bound.
+        let c = ClusterSpec::p4de(1);
+        let mut net = Network::new(c);
+        for i in 0..200 {
+            net.add_flow(i as f64 * 1e-3, 0, 1, 1_000);
+            run_until_done(&mut net);
+        }
+        let max_members = net.members.iter().map(Vec::len).max().unwrap_or(0);
+        assert!(max_members < 32, "stale members retained: {max_members}");
     }
 }

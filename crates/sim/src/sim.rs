@@ -120,6 +120,58 @@ pub fn simulate_phase_faulted(
     phase: &PhasePlan,
     spec: &FaultSpec,
 ) -> DcpResult<(PhaseSim, Vec<TraceEvent>)> {
+    simulate_phase_opts(cluster, phase, spec, false).map(|(sim, trace, _)| (sim, trace))
+}
+
+/// Like [`simulate_phase`], additionally returning event-loop and network
+/// engine counters (for throughput benchmarking).
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_phase`].
+pub fn simulate_phase_counted(
+    cluster: &ClusterSpec,
+    phase: &PhasePlan,
+) -> DcpResult<(PhaseSim, SimCounters)> {
+    simulate_phase_opts(cluster, phase, &FaultSpec::none(), false)
+        .map(|(sim, _, counters)| (sim, counters))
+}
+
+/// Like [`simulate_phase_counted`] but on the retained scratch reference
+/// network engine (full water-fill rebuild per event) — the baseline the
+/// incremental engine is benchmarked against.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_phase`].
+pub fn simulate_phase_scratch(
+    cluster: &ClusterSpec,
+    phase: &PhasePlan,
+) -> DcpResult<(PhaseSim, SimCounters)> {
+    simulate_phase_opts(cluster, phase, &FaultSpec::none(), true)
+        .map(|(sim, _, counters)| (sim, counters))
+}
+
+/// Event-loop and network-engine counters from one simulated phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimCounters {
+    /// Discrete events processed by the outer event loop.
+    pub events: u64,
+    /// Flows carried by the network.
+    pub flows: u64,
+    /// Water-fill invocations in the network engine.
+    pub recomputes: u64,
+    /// Total flows visited across all water-fills.
+    pub touched_flows: u64,
+}
+
+fn simulate_phase_opts(
+    cluster: &ClusterSpec,
+    phase: &PhasePlan,
+    spec: &FaultSpec,
+    scratch_engine: bool,
+) -> DcpResult<(PhaseSim, Vec<TraceEvent>, SimCounters)> {
+    cluster.validate()?;
     let n = phase.devices.len();
     if n as u32 > cluster.num_devices() {
         return Err(DcpError::invalid_plan(format!(
@@ -128,6 +180,7 @@ pub fn simulate_phase_faulted(
         )));
     }
     let mut net = Network::new(cluster.clone());
+    net.use_scratch_engine(scratch_engine);
     for (src, dst, factor) in spec.link_factors() {
         net.set_link_factor(src, dst, factor);
     }
@@ -174,6 +227,7 @@ pub fn simulate_phase_faulted(
     }
 
     let mut now = 0.0f64;
+    let mut events: u64 = 0;
     loop {
         // Mark completions at the current time.
         for m in metas.iter_mut() {
@@ -342,6 +396,7 @@ pub fn simulate_phase_faulted(
         };
         net.advance_to(t);
         now = t;
+        events += 1;
     }
 
     // Interval accounting: per device, comm_active = |union of its flow
@@ -380,12 +435,19 @@ pub fn simulate_phase_faulted(
     trace.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("no NaN"));
 
     let makespan = tl.iter().map(|t| t.finish).fold(0.0, f64::max);
+    let net_stats = net.stats();
     Ok((
         PhaseSim {
             makespan,
             devices: tl,
         },
         trace,
+        SimCounters {
+            events,
+            flows: metas.len() as u64,
+            recomputes: net_stats.recomputes,
+            touched_flows: net_stats.touched_flows,
+        },
     ))
 }
 
@@ -862,5 +924,64 @@ mod tests {
         let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
         let tiny = ClusterSpec::single_node(4);
         assert!(simulate_phase(&tiny, &plan.fwd).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_cluster() {
+        let l = layout(4096, 512);
+        let p = ring_placement(&l, 4);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        let mut c = ClusterSpec::p4de(1);
+        c.inter_bw = 0.0;
+        let err = simulate_phase(&c, &plan.fwd).unwrap_err();
+        assert!(matches!(err, DcpError::InvalidArgument(_)), "{err:?}");
+    }
+
+    #[test]
+    fn incremental_and_scratch_engines_agree_bitwise_on_plans() {
+        let l = layout(32768, 1024);
+        let p = ring_placement(&l, 8);
+        let plan = build_plan(&l, &p, &ScheduleConfig::default()).unwrap();
+        for cluster in [ClusterSpec::p4de(1), {
+            let mut c = ClusterSpec::p4de(4);
+            c.devices_per_node = 2;
+            c
+        }] {
+            let (inc, ci) = simulate_phase_counted(&cluster, &plan.fwd).unwrap();
+            let (scr, cs) = simulate_phase_scratch(&cluster, &plan.fwd).unwrap();
+            assert_eq!(inc.makespan.to_bits(), scr.makespan.to_bits());
+            assert_eq!(inc.devices, scr.devices);
+            assert_eq!(ci.events, cs.events);
+            assert_eq!(ci.flows, cs.flows);
+            assert!(ci.touched_flows <= cs.touched_flows);
+        }
+    }
+
+    #[test]
+    fn topology_aware_simulation_sees_oversubscription() {
+        // The same cross-node-heavy plan is slower behind a 16x
+        // oversubscribed spine than on the flat fabric.
+        let l = layout(65536, 1024);
+        // 8 devices, one per node, on an 8-node cluster: every ring hop is
+        // cross-node and half of them cross the leaf boundary.
+        let p = ring_placement(&l, 8);
+        let mut flat = ClusterSpec::p4de(8);
+        flat.devices_per_node = 1;
+        let mut spine = ClusterSpec::p4de_spine(8, 4, 16.0);
+        spine.devices_per_node = 1;
+        let t_flat = simulate_phase(&flat, &plan_of(&l, &p).fwd)
+            .unwrap()
+            .makespan;
+        let t_spine = simulate_phase(&spine, &plan_of(&l, &p).fwd)
+            .unwrap()
+            .makespan;
+        assert!(
+            t_spine > t_flat,
+            "oversubscribed spine should cost makespan: {t_spine} vs {t_flat}"
+        );
+    }
+
+    fn plan_of(l: &BatchLayout, p: &Placement) -> ExecutionPlan {
+        build_plan(l, p, &ScheduleConfig::default()).unwrap()
     }
 }

@@ -113,3 +113,110 @@ proptest! {
         }
     }
 }
+
+/// Randomized flow arrivals (departures happen as flows drain), over one of
+/// the fabric topologies.
+fn arb_flows() -> impl Strategy<Value = (usize, Vec<(f64, u32, u32, u64)>)> {
+    (
+        0usize..3,
+        prop::collection::vec((0u64..2_000, 0u32..16, 0u32..16, 1u64..4_000_000), 1..40),
+    )
+        .prop_map(|(topo, raw)| {
+            let mut t = 0.0f64;
+            let flows = raw
+                .into_iter()
+                .filter(|(_, s, d, _)| s != d)
+                .map(|(gap_us, s, d, b)| {
+                    t += gap_us as f64 * 1e-6;
+                    (t, s, d, b)
+                })
+                .collect();
+            (topo, flows)
+        })
+}
+
+fn topology(idx: usize) -> ClusterSpec {
+    match idx {
+        0 => ClusterSpec::p4de(2),
+        1 => ClusterSpec::p4de_rail(2),
+        _ => ClusterSpec::p4de_spine(4, 2, 4.0),
+    }
+}
+
+/// Drives one engine through the arrival sequence, stepping strictly through
+/// `next_event`, and returns the event times plus the allocated rate of
+/// every live flow observed after each arrival and each event.
+fn drive(
+    cluster: &ClusterSpec,
+    flows: &[(f64, u32, u32, u64)],
+    scratch: bool,
+) -> (Vec<f64>, Vec<f64>) {
+    use dcp_sim::network::{FlowId, Network};
+    let mut net = Network::new(cluster.clone());
+    net.use_scratch_engine(scratch);
+    let mut events = Vec::new();
+    let mut rates = Vec::new();
+    let mut n_flows = 0usize;
+    let observe = |net: &Network, n: usize, rates: &mut Vec<f64>| {
+        for i in 0..n {
+            rates.push(net.rate(FlowId(i)));
+        }
+    };
+    for &(t, src, dst, bytes) in flows {
+        while let Some(e) = net.next_event() {
+            if e >= t {
+                break;
+            }
+            net.advance_to(e);
+            events.push(e);
+            observe(&net, n_flows, &mut rates);
+        }
+        net.add_flow(t, src, dst, bytes);
+        n_flows += 1;
+        observe(&net, n_flows, &mut rates);
+    }
+    while let Some(e) = net.next_event() {
+        net.advance_to(e);
+        events.push(e);
+        observe(&net, n_flows, &mut rates);
+    }
+    (events, rates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental dirty-component allocator reproduces the retained
+    /// scratch water-fill reference on arbitrary arrival/departure
+    /// sequences: same event count, same event times and same per-flow
+    /// rates to fp tolerance (the reference's hash-map iteration order
+    /// wanders by an ulp on exact max-min ties) — and the incremental
+    /// engine itself is exactly deterministic run-to-run. The CI thread
+    /// matrix re-runs this at `RAYON_NUM_THREADS` 1/2/8; the engine is
+    /// single-threaded so the pin must hold bitwise across legs.
+    #[test]
+    fn incremental_allocator_matches_scratch_reference(
+        (topo, flows) in arb_flows()
+    ) {
+        let cluster = topology(topo);
+        let (inc_ev, inc_rates) = drive(&cluster, &flows, false);
+        let (scr_ev, scr_rates) = drive(&cluster, &flows, true);
+        prop_assert_eq!(inc_ev.len(), scr_ev.len(), "event counts diverged");
+        for (i, (a, b)) in inc_ev.iter().zip(&scr_ev).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                "event {i}: incremental {a} vs scratch {b}"
+            );
+        }
+        prop_assert_eq!(inc_rates.len(), scr_rates.len());
+        for (i, (a, b)) in inc_rates.iter().zip(&scr_rates).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+                "rate sample {i}: incremental {a} vs scratch {b}"
+            );
+        }
+        let (again_ev, again_rates) = drive(&cluster, &flows, false);
+        prop_assert_eq!(inc_ev, again_ev);
+        prop_assert_eq!(inc_rates, again_rates);
+    }
+}

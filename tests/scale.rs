@@ -1,0 +1,151 @@
+//! Scale-refactor regression pins.
+//!
+//! The multi-tier topology model and the incremental max-min network engine
+//! both promise *bitwise* compatibility on the default flat topology: a
+//! `ClusterSpec` without a `TopologySpec` must produce exactly the plans and
+//! simulated makespans the pre-refactor engine produced. The constants below
+//! were captured from the engine immediately before the topology/incremental
+//! rewrite landed; any low-bit drift in the partitioner hierarchy, the
+//! water-fill order, or the event loop shows up here as a hard failure.
+//! The CI thread matrix re-runs this at `RAYON_NUM_THREADS` 1/2/8, so the
+//! pin doubles as the cross-thread-count determinism check.
+
+use dcp::core::{Planner, PlannerConfig};
+use dcp::mask::MaskSpec;
+use dcp::sim::{simulate_phase_counted, simulate_phase_scratch, simulate_plan};
+use dcp::types::{AttnSpec, ClusterSpec};
+
+fn golden_batch() -> Vec<(u32, MaskSpec)> {
+    vec![
+        (65536, MaskSpec::Causal),
+        (16384, MaskSpec::Causal),
+        (16384, MaskSpec::paper_lambda()),
+        (8192, MaskSpec::Causal),
+    ]
+}
+
+/// FNV-1a over the concatenated token and comp assignments.
+fn placement_fnv(p: &dcp::sched::Placement) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &d in p.token_to_dev.iter().chain(p.comp_to_dev.iter()) {
+        h ^= d as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn flat_topology_plans_and_makespans_are_bitwise_pinned() {
+    // (nodes, placement fnv, fwd makespan bits, bwd makespan bits, bytes) —
+    // captured from the pre-refactor engine.
+    let goldens: [(u32, u64, u64, u64, u64); 3] = [
+        (
+            1,
+            0x2ce2378498f6bec6,
+            0x3f8060dadf5adccf,
+            0x3f943bd8e5aecb85,
+            826343424,
+        ),
+        (
+            2,
+            0x5ba0690d7b5baf5b,
+            0x3f70c311fab7236a,
+            0x3f849101b775bd9a,
+            1340702720,
+        ),
+        (
+            4,
+            0xc3431b6e89befa6f,
+            0x3f69ca882cd15513,
+            0x3f7d23c8193a1e44,
+            2269216768,
+        ),
+    ];
+    for (nodes, fnv, fwd_bits, bwd_bits, comm) in goldens {
+        let cluster = ClusterSpec::p4de(nodes);
+        let planner = Planner::new(
+            cluster.clone(),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                ..Default::default()
+            },
+        );
+        let out = planner.plan(&golden_batch()).unwrap();
+        let sim = simulate_plan(&cluster, &out.plan).unwrap();
+        assert_eq!(
+            placement_fnv(&out.placement),
+            fnv,
+            "nodes={nodes}: placement drifted from the pre-refactor golden"
+        );
+        assert_eq!(
+            sim.fwd.makespan.to_bits(),
+            fwd_bits,
+            "nodes={nodes}: fwd makespan drifted ({} vs golden)",
+            sim.fwd.makespan
+        );
+        assert_eq!(
+            sim.bwd.makespan.to_bits(),
+            bwd_bits,
+            "nodes={nodes}: bwd makespan drifted ({} vs golden)",
+            sim.bwd.makespan
+        );
+        assert_eq!(out.plan.total_comm_bytes(), comm, "nodes={nodes}");
+    }
+}
+
+#[test]
+fn incremental_engine_matches_scratch_on_golden_plans() {
+    // Event *times* (makespan, every device finish) agree bitwise — the
+    // incremental fill performs the same freeze arithmetic as the global
+    // one. The scratch reference's overlap-interval bookkeeping iterates
+    // fresh hash maps, so its comm_active/overlap sums wander by an ulp on
+    // exact max-min ties; those are held to fp tolerance instead.
+    for nodes in [1u32, 2, 4] {
+        let cluster = ClusterSpec::p4de(nodes);
+        let planner = Planner::new(
+            cluster.clone(),
+            AttnSpec::paper_micro(),
+            PlannerConfig {
+                block_size: 1024,
+                ..Default::default()
+            },
+        );
+        let out = planner.plan(&golden_batch()).unwrap();
+        for phase in [&out.plan.fwd, &out.plan.bwd] {
+            let (inc, inc_counters) = simulate_phase_counted(&cluster, phase).unwrap();
+            let (scr, scr_counters) = simulate_phase_scratch(&cluster, phase).unwrap();
+            assert_eq!(
+                inc.makespan.to_bits(),
+                scr.makespan.to_bits(),
+                "nodes={nodes}: makespans diverged ({} vs {})",
+                inc.makespan,
+                scr.makespan
+            );
+            for (d, (a, b)) in inc.devices.iter().zip(&scr.devices).enumerate() {
+                assert_eq!(
+                    a.finish.to_bits(),
+                    b.finish.to_bits(),
+                    "nodes={nodes} device {d}: finish diverged"
+                );
+                for (what, x, y) in [
+                    ("comm_active", a.comm_active, b.comm_active),
+                    ("overlap", a.overlap, b.overlap),
+                    ("exposed_wait", a.exposed_wait, b.exposed_wait),
+                ] {
+                    assert!(
+                        (x - y).abs() <= 1e-9 * y.abs().max(1e-9),
+                        "nodes={nodes} device {d}: {what} {x} vs {y}"
+                    );
+                }
+            }
+            assert_eq!(inc_counters.events, scr_counters.events);
+            assert!(
+                inc_counters.touched_flows <= scr_counters.touched_flows,
+                "nodes={nodes}: incremental touched {} flows, scratch {}",
+                inc_counters.touched_flows,
+                scr_counters.touched_flows
+            );
+        }
+    }
+}
