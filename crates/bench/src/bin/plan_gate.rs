@@ -53,6 +53,16 @@
 //! absent — the CI jobs that don't run `scaling_report` — and runs *alone*
 //! under `plan_gate --scaling` (the dedicated CI scaling job).
 //!
+//! It also gates trace analytics (`BENCH_trace.json`, written by
+//! `trace_analyze`): the critical-path attribution components must sum to
+//! the simulated makespan within `DCP_TRACE_GATE_TOL` (default 1e-6,
+//! relative), the online detectors must report zero incidents on the clean
+//! runs and flag the injected straggler on the faulted ones, the
+//! differential attribution must blame the straggler device on a majority
+//! of runs with the prime suspect carrying at least half of every makespan
+//! delta, and the forced postmortem bundle must have validated. The trace
+//! leg is skipped (with a notice) when `BENCH_trace.json` is absent.
+//!
 //! Usage: `plan_gate [--scaling] [report.json] [baseline.json]
 //! [robustness.json] [robustness_baseline.json]`.
 
@@ -171,6 +181,85 @@ fn scaling_leg(report_path: &str, baseline_path: &str, failures: &mut Vec<String
             "incremental and scratch engines disagree: makespan rel err {err:.2e} >= 1e-9"
         )),
         None => failures.push(format!("{report_path} sim_engine lacks makespan_rel_err")),
+    }
+}
+
+/// Gates `BENCH_trace.json` (written by `trace_analyze`): conservation of
+/// the critical-path attribution, detector precision on the pinned fault
+/// scenario, differential blame quality, and postmortem validity. Exits
+/// immediately on unreadable/drifted documents.
+fn trace_leg(report_path: &str, failures: &mut Vec<String>) {
+    let report = load(report_path);
+    if let Err(e) = check_schema(&report, report_path) {
+        eprintln!("plan_gate: FAIL: {e}");
+        exit(1);
+    }
+    println!("plan_gate: schema_version OK on trace report");
+    let tol = env_f64("DCP_TRACE_GATE_TOL", 1e-6);
+
+    match (
+        report["attribution"]["sums_to_makespan"].as_bool(),
+        report["attribution"]["max_residual_rel"].as_f64(),
+    ) {
+        (Some(ok), Some(rel)) => {
+            println!(
+                "plan_gate: attribution conservation — max relative residual {rel:.2e} \
+                 (tolerance {tol:.0e})"
+            );
+            if !ok || rel > tol {
+                failures.push(format!(
+                    "attribution components do not sum to the simulated makespan: \
+                     max relative residual {rel:.2e} > {tol:.0e}"
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "{report_path} lacks attribution conservation fields"
+        )),
+    }
+
+    match report["detection"]["clean_incidents"].as_u64() {
+        Some(0) => println!("plan_gate: detectors silent on clean runs"),
+        Some(n) => failures.push(format!("{n} false-positive incident(s) on the clean runs")),
+        None => failures.push(format!("{report_path} lacks detection.clean_incidents")),
+    }
+    match report["detection"]["straggler_flagged"].as_bool() {
+        Some(true) => println!("plan_gate: injected straggler flagged"),
+        _ => failures.push("injected straggler was not flagged".into()),
+    }
+
+    let diff = &report["differential"];
+    match (
+        diff["runs_total"].as_u64(),
+        diff["prime_suspect_hits"].as_u64(),
+    ) {
+        (Some(total), Some(hits)) if total > 0 => {
+            println!("plan_gate: differential prime suspect hit {hits}/{total} runs");
+            if hits * 2 < total {
+                failures.push(format!(
+                    "differential attribution blamed the straggler on only {hits}/{total} runs"
+                ));
+            }
+        }
+        _ => failures.push(format!("{report_path} lacks differential run counts")),
+    }
+    match diff["suspect_share_min"].as_f64() {
+        Some(share) => {
+            println!("plan_gate: minimum prime-suspect delta share {share:.2} (floor 0.50)");
+            if share < 0.5 {
+                failures.push(format!(
+                    "prime suspect carries only {share:.2} of a makespan delta (< 0.50)"
+                ));
+            }
+        }
+        None => failures.push(format!(
+            "{report_path} lacks differential.suspect_share_min"
+        )),
+    }
+
+    match report["flight_recorder"]["valid"].as_bool() {
+        Some(true) => println!("plan_gate: postmortem bundle(s) validated"),
+        _ => failures.push("flight-recorder postmortem bundles missing or invalid".into()),
     }
 }
 
@@ -537,6 +626,16 @@ fn main() {
         scaling_leg(scaling_report_path, scaling_baseline_path, &mut failures);
     } else {
         println!("plan_gate: no scaling report at {scaling_report_path} (skipped)");
+    }
+
+    // Trace analytics: only checked when this invocation's pipeline ran
+    // `trace_analyze` (a self-contained leg — the pinned fault scenario
+    // needs no committed baseline).
+    let trace_report_path = "BENCH_trace.json";
+    if std::path::Path::new(trace_report_path).exists() {
+        trace_leg(trace_report_path, &mut failures);
+    } else {
+        println!("plan_gate: no trace report at {trace_report_path} (skipped)");
     }
 
     if failures.is_empty() {

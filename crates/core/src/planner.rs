@@ -896,6 +896,16 @@ impl Planner {
             }
         }
         if let Err(diag) = verify_plan(&layout, &placement, &plan) {
+            if obs_on {
+                // Flight-recorder trigger: a postmortem bundle captures the
+                // events leading up to the illegal stream.
+                let mut ev = Event::instant(ObsSource::Planner, "verify_diagnostic")
+                    .with_label(diag.to_string());
+                if let Some(d) = diag.device {
+                    ev = ev.with_device(d);
+                }
+                self.obs.record(stamp(ev));
+            }
             return Err(DcpError::invalid_plan(format!(
                 "planner produced an illegal stream ({} tier): {diag}",
                 tier.label()

@@ -308,6 +308,7 @@ impl<'a> Interp<'a> {
                 e.name = "comm_launch".into();
                 (
                     e.with_division(self.division[d])
+                        .with_comm(cid.0)
                         .with_bytes(self.phase.comms[cid.0 as usize].bytes()),
                     t_start,
                 )
@@ -320,6 +321,7 @@ impl<'a> Interp<'a> {
                 e.name = "comm_wait".into();
                 (
                     e.with_division(self.division[d])
+                        .with_comm(cid.0)
                         .with_bytes(self.phase.comms[cid.0 as usize].bytes_into(dev)),
                     began,
                 )

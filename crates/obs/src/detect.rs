@@ -1,0 +1,512 @@
+//! Online anomaly detection over recorded event streams.
+//!
+//! Two streaming detectors, both EWMA-smoothed with a one-sided CUSUM
+//! decision rule (Page's test on the log-ratio), tuned so the pinned
+//! clean workloads never trip while a ×4 straggler or a 10× link
+//! degradation is flagged within a few rounds:
+//!
+//! - [`KernelDurationDetector`] compares each device's kernel duration
+//!   against the cross-device median of the *matching* kernel (same
+//!   phase, kind and per-device step index — instruction streams are
+//!   division-aligned, so matched kernels do comparable work). Straggle
+//!   slices adjacent to a kernel are merged into its observed duration
+//!   first: detection never reads the fault label, only timings.
+//! - [`GaugeDetector`] watches gauge series (per-link / per-tier
+//!   achieved bandwidth) for sustained drops below an EWMA baseline.
+//!
+//! Confirmed anomalies become typed [`Incident`]s; `dcp-sim` folds them
+//! into an *estimated* `FaultSpec` that the planner's fault-aware
+//! placement consumes — closing the observe→detect→replan loop.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind};
+
+/// What kind of anomaly was confirmed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// A device's kernels run persistently slower than its peers'.
+    Straggler {
+        /// Slow device.
+        device: u32,
+        /// Estimated slowdown factor (observed / expected, ≥ 1).
+        slowdown: f64,
+    },
+    /// A point-to-point link delivers a fraction of its baseline rate.
+    DegradedLink {
+        /// Sending device.
+        src: u32,
+        /// Receiving device.
+        dst: u32,
+        /// Estimated remaining fraction of baseline bandwidth (≤ 1).
+        factor: f64,
+    },
+    /// A labeled bandwidth gauge dropped below its baseline (tier-level
+    /// or otherwise unattributable to one link).
+    BandwidthDrop {
+        /// Gauge series label.
+        label: String,
+        /// Estimated remaining fraction of baseline (≤ 1).
+        factor: f64,
+    },
+}
+
+impl IncidentKind {
+    /// Device blamed by the incident, when one is identifiable.
+    pub fn device(&self) -> Option<u32> {
+        match self {
+            IncidentKind::Straggler { device, .. } => Some(*device),
+            IncidentKind::DegradedLink { dst, .. } => Some(*dst),
+            IncidentKind::BandwidthDrop { .. } => None,
+        }
+    }
+}
+
+/// A confirmed anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// What was detected.
+    pub kind: IncidentKind,
+    /// Trace time (seconds) of the sample that crossed the threshold.
+    pub at_s: f64,
+    /// Samples observed for the series when it tripped.
+    pub samples: u32,
+    /// CUSUM score at trip time (log2-ratio units above the slack `k`).
+    pub score: f64,
+}
+
+/// Detector thresholds. Defaults are tuned against the pinned
+/// `tests/robustness.rs` workload: clean runs (±10% simulated jitter,
+/// mildly imbalanced divisions) stay silent, a ×4 straggler trips within
+/// `min_samples + 1` rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor for per-series ratios (weight of the newest
+    /// sample).
+    pub ewma_alpha: f64,
+    /// CUSUM slack `k`, in log2-ratio units: drift below `2^k` never
+    /// accumulates. 0.5 ⇒ ratios under ~1.41× are in-family.
+    pub cusum_k: f64,
+    /// CUSUM decision threshold `h` (log2-ratio units accumulated above
+    /// the slack).
+    pub cusum_h: f64,
+    /// Minimum samples in a series before it may trip.
+    pub min_samples: u32,
+    /// Minimum baseline/observed ratio for a gauge drop to accumulate
+    /// (drops shallower than this are in-family noise).
+    pub gauge_drop: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            ewma_alpha: 0.3,
+            cusum_k: 0.5,
+            cusum_h: 1.0,
+            min_samples: 2,
+            gauge_drop: 0.6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SeriesState {
+    ewma: Option<f64>,
+    cusum: f64,
+    samples: u32,
+    flagged: bool,
+    peak_ratio: f64,
+}
+
+impl SeriesState {
+    /// Feeds one ratio sample; returns `Some((score, samples, peak))`
+    /// the first time the CUSUM crosses the threshold.
+    fn update(&mut self, ratio: f64, cfg: &DetectorConfig) -> Option<(f64, u32, f64)> {
+        let a = cfg.ewma_alpha;
+        let smoothed = match self.ewma {
+            Some(prev) => a * ratio + (1.0 - a) * prev,
+            None => ratio,
+        };
+        self.ewma = Some(smoothed);
+        self.samples += 1;
+        self.peak_ratio = self.peak_ratio.max(ratio);
+        let drift = smoothed.max(1e-12).log2() - cfg.cusum_k;
+        self.cusum = (self.cusum + drift).max(0.0);
+        if !self.flagged && self.samples >= cfg.min_samples && self.cusum > cfg.cusum_h {
+            self.flagged = true;
+            return Some((self.cusum, self.samples, self.peak_ratio));
+        }
+        None
+    }
+}
+
+/// Streaming straggler detector over per-device kernel durations.
+#[derive(Debug, Clone, Default)]
+pub struct KernelDurationDetector {
+    cfg: DetectorConfig,
+    devices: BTreeMap<u32, SeriesState>,
+    incidents: Vec<Incident>,
+}
+
+impl KernelDurationDetector {
+    /// A detector with explicit thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        KernelDurationDetector {
+            cfg,
+            ..KernelDurationDetector::default()
+        }
+    }
+
+    /// Feeds one *round* of matched kernel durations — `(device,
+    /// seconds)` for the same (phase, kind, step-index) across devices —
+    /// ending at trace time `at_s`. Rounds with fewer than three devices
+    /// are skipped (no robust reference).
+    pub fn observe_round(&mut self, durations: &[(u32, f64)], at_s: f64) {
+        if durations.len() < 3 {
+            return;
+        }
+        let mut sorted: Vec<f64> = durations.iter().map(|&(_, s)| s).collect();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        };
+        if median <= 0.0 {
+            return;
+        }
+        for &(dev, secs) in durations {
+            let ratio = secs / median;
+            let state = self.devices.entry(dev).or_default();
+            if let Some((score, samples, peak)) = state.update(ratio, &self.cfg) {
+                self.incidents.push(Incident {
+                    kind: IncidentKind::Straggler {
+                        device: dev,
+                        slowdown: peak.max(1.0),
+                    },
+                    at_s,
+                    samples,
+                    score,
+                });
+            }
+        }
+    }
+
+    /// Groups kernel spans of an event stream into matched rounds and
+    /// feeds them through [`Self::observe_round`]. Straggle slices are
+    /// merged into the kernel they extend (same device, adjacent start),
+    /// so detection works from timings alone. Each round compares
+    /// *cumulative* matched kernel seconds — single divisions are
+    /// legitimately imbalanced across devices, cumulative load is
+    /// balanced by the planner, so the ratio isolates real slowdowns.
+    /// Deterministic: rounds are processed in (phase, kind, step-index)
+    /// order.
+    pub fn ingest(&mut self, events: &[Event]) {
+        // (phase-label, kernel-name, step-index) -> [(device, merged secs,
+        // kernel end)]
+        type RoundKey = (String, String, u32);
+        let mut rounds: BTreeMap<RoundKey, Vec<(u32, f64, f64)>> = BTreeMap::new();
+        let mut step_idx: BTreeMap<(u32, String, String), u32> = BTreeMap::new();
+        // Straggle slices keyed by (device, slice start) for adjacency
+        // merging.
+        let mut straggles: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+        for e in events {
+            if e.kind == EventKind::Span && e.name == "straggle" {
+                if let Some(d) = e.device {
+                    straggles.entry(d).or_default().push((e.start_s, e.dur_s));
+                }
+            }
+        }
+        let mut cum: BTreeMap<(u32, String, String), f64> = BTreeMap::new();
+        for e in events {
+            if e.kind != EventKind::Span {
+                continue;
+            }
+            let kernel = matches!(e.name.as_str(), "attn" | "attn_bwd" | "reduce" | "copy");
+            if !kernel {
+                continue;
+            }
+            let Some(dev) = e.device else { continue };
+            let phase = e.phase.map(|p| p.label().to_string()).unwrap_or_default();
+            let idx = step_idx
+                .entry((dev, phase.clone(), e.name.clone()))
+                .or_insert(0);
+            let k = *idx;
+            *idx += 1;
+            let end = e.start_s + e.dur_s;
+            let mut secs = e.dur_s;
+            // Merge any straggle slice that starts where this kernel ends.
+            if let Some(slices) = straggles.get(&dev) {
+                let eps = 1e-12 + end.abs() * 1e-9;
+                for &(s_start, s_dur) in slices {
+                    if (s_start - end).abs() <= eps {
+                        secs += s_dur;
+                    }
+                }
+            }
+            let total = cum
+                .entry((dev, phase.clone(), e.name.clone()))
+                .and_modify(|t| *t += secs)
+                .or_insert(secs);
+            rounds
+                .entry((phase, e.name.clone(), k))
+                .or_default()
+                .push((dev, *total, end));
+        }
+        for (_, mut round) in rounds {
+            round.sort_by_key(|r| r.0);
+            let at_s = round.iter().map(|r| r.2).fold(0.0, f64::max);
+            let durs: Vec<(u32, f64)> = round.iter().map(|&(d, s, _)| (d, s)).collect();
+            self.observe_round(&durs, at_s);
+        }
+    }
+
+    /// Confirmed incidents, in detection order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+}
+
+/// Streaming drop detector over labeled gauge series (achieved link /
+/// tier bandwidth).
+#[derive(Debug, Clone, Default)]
+pub struct GaugeDetector {
+    cfg: DetectorConfig,
+    series: BTreeMap<String, SeriesState>,
+    baselines: BTreeMap<String, f64>,
+    incidents: Vec<Incident>,
+}
+
+impl GaugeDetector {
+    /// A detector with explicit thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        GaugeDetector {
+            cfg,
+            ..GaugeDetector::default()
+        }
+    }
+
+    /// Feeds one sample of series `key` at trace time `at_s`. Keys of the
+    /// form `"devA->devB"` produce [`IncidentKind::DegradedLink`];
+    /// anything else produces [`IncidentKind::BandwidthDrop`].
+    pub fn observe(&mut self, key: &str, value: f64, at_s: f64) {
+        if value <= 0.0 {
+            return;
+        }
+        let baseline = self.baselines.entry(key.to_string()).or_insert(value);
+        // The baseline tracks the healthy level: it only moves towards
+        // higher observed rates (EWMA up, frozen on drops) so a sustained
+        // degradation cannot drag its own reference down.
+        if value >= *baseline {
+            let a = self.cfg.ewma_alpha;
+            *baseline = a * value + (1.0 - a) * *baseline;
+        }
+        let drop_ratio = *baseline / value; // >1 on a drop
+        let in_family = value >= self.cfg.gauge_drop * *baseline;
+        let sample = if in_family { 1.0 } else { drop_ratio };
+        let state = self.series.entry(key.to_string()).or_default();
+        if let Some((score, samples, peak)) = state.update(sample, &self.cfg) {
+            let factor = (1.0 / peak).clamp(0.0, 1.0);
+            let kind = parse_link(key)
+                .map(|(src, dst)| IncidentKind::DegradedLink { src, dst, factor })
+                .unwrap_or_else(|| IncidentKind::BandwidthDrop {
+                    label: key.to_string(),
+                    factor,
+                });
+            self.incidents.push(Incident {
+                kind,
+                at_s,
+                samples,
+                score,
+            });
+        }
+    }
+
+    /// Confirmed incidents, in detection order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+}
+
+/// Parses `"devA->devB"` into `(A, B)`.
+fn parse_link(key: &str) -> Option<(u32, u32)> {
+    let (a, b) = key.split_once("->")?;
+    Some((
+        a.trim().strip_prefix("dev")?.parse().ok()?,
+        b.trim().strip_prefix("dev")?.parse().ok()?,
+    ))
+}
+
+/// Both detectors behind one ingest call.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorBank {
+    /// Kernel-duration straggler detector.
+    pub kernels: KernelDurationDetector,
+    /// Bandwidth-gauge drop detector.
+    pub gauges: GaugeDetector,
+}
+
+impl DetectorBank {
+    /// A bank with shared thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        DetectorBank {
+            kernels: KernelDurationDetector::new(cfg.clone()),
+            gauges: GaugeDetector::new(cfg),
+        }
+    }
+
+    /// Feeds a recorded stream: kernel spans to the straggler detector,
+    /// `link_bandwidth` / `tier_bandwidth` gauges to the drop detector.
+    pub fn ingest(&mut self, events: &[Event]) {
+        self.kernels.ingest(events);
+        for e in events {
+            if e.kind == EventKind::Gauge
+                && matches!(e.name.as_str(), "link_bandwidth" | "tier_bandwidth")
+            {
+                let key = e.label.clone().unwrap_or_else(|| e.name.clone());
+                self.gauges.observe(&key, e.value.unwrap_or(0.0), e.start_s);
+            }
+        }
+    }
+
+    /// All confirmed incidents: kernel incidents first, then gauge
+    /// incidents, each in detection order.
+    pub fn incidents(&self) -> Vec<Incident> {
+        let mut out = self.kernels.incidents().to_vec();
+        out.extend_from_slice(self.gauges.incidents());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Phase, Source};
+
+    #[test]
+    fn clean_rounds_stay_silent() {
+        let mut det = KernelDurationDetector::default();
+        for round in 0..20 {
+            // ±10% jitter around a common duration.
+            let durs: Vec<(u32, f64)> = (0..8)
+                .map(|d| (d, 1.0 + 0.1 * (((d + round) % 3) as f64 - 1.0)))
+                .collect();
+            det.observe_round(&durs, round as f64);
+        }
+        assert!(det.incidents().is_empty(), "{:?}", det.incidents());
+    }
+
+    #[test]
+    fn x4_straggler_trips_quickly() {
+        let mut det = KernelDurationDetector::default();
+        for round in 0..6 {
+            let durs: Vec<(u32, f64)> = (0..8)
+                .map(|d| (d, if d == 3 { 4.0 } else { 1.0 }))
+                .collect();
+            det.observe_round(&durs, round as f64);
+        }
+        let incs = det.incidents();
+        assert_eq!(incs.len(), 1, "{incs:?}");
+        match &incs[0].kind {
+            IncidentKind::Straggler { device, slowdown } => {
+                assert_eq!(*device, 3);
+                assert!(*slowdown > 3.0, "slowdown {slowdown}");
+            }
+            other => panic!("unexpected incident {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_rounds_are_skipped() {
+        let mut det = KernelDurationDetector::default();
+        for _ in 0..10 {
+            det.observe_round(&[(0, 10.0), (1, 1.0)], 0.0);
+        }
+        assert!(det.incidents().is_empty());
+    }
+
+    #[test]
+    fn ingest_merges_straggle_into_kernel() {
+        let mut events = Vec::new();
+        for round in 0..4 {
+            for d in 0..8u32 {
+                let start = round as f64 * 10.0 + d as f64 * 0.01;
+                let mut e = Event::span(Source::Sim, "attn")
+                    .with_device(d)
+                    .with_phase(Phase::Fwd)
+                    .with_time(start, 1.0);
+                e.seq = (round * 8 + d as usize) as u64;
+                events.push(e);
+                if d == 5 {
+                    // ×4 straggler: 3 extra seconds appended as a slice.
+                    events.push(
+                        Event::span(Source::Sim, "straggle")
+                            .with_device(d)
+                            .with_phase(Phase::Fwd)
+                            .with_time(start + 1.0, 3.0),
+                    );
+                }
+            }
+        }
+        let mut det = KernelDurationDetector::default();
+        det.ingest(&events);
+        let incs = det.incidents();
+        assert_eq!(incs.len(), 1, "{incs:?}");
+        assert_eq!(incs[0].kind.device(), Some(5));
+    }
+
+    #[test]
+    fn gauge_detector_flags_degraded_link_only() {
+        let mut det = GaugeDetector::default();
+        // Healthy series: small fluctuation.
+        for i in 0..20 {
+            det.observe("dev2->dev3", 100.0 + (i % 3) as f64, i as f64);
+        }
+        // Degraded series: drops to 10% after a healthy baseline forms.
+        for i in 0..4 {
+            det.observe("dev1->dev0", 100.0, i as f64);
+        }
+        for i in 4..10 {
+            det.observe("dev1->dev0", 10.0, i as f64);
+        }
+        let incs = det.incidents();
+        assert_eq!(incs.len(), 1, "{incs:?}");
+        match &incs[0].kind {
+            IncidentKind::DegradedLink { src, dst, factor } => {
+                assert_eq!((*src, *dst), (1, 0));
+                assert!(*factor < 0.3, "factor {factor}");
+            }
+            other => panic!("unexpected incident {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bank_routes_gauges_by_label() {
+        let mut bank = DetectorBank::default();
+        let mut events = Vec::new();
+        for i in 0..4 {
+            events.push(
+                Event::gauge(Source::Sim, "link_bandwidth", 100.0)
+                    .with_label("dev1->dev0")
+                    .with_time(i as f64, 0.0),
+            );
+        }
+        for i in 4..10 {
+            events.push(
+                Event::gauge(Source::Sim, "link_bandwidth", 8.0)
+                    .with_label("dev1->dev0")
+                    .with_time(i as f64, 0.0),
+            );
+        }
+        bank.ingest(&events);
+        let incs = bank.incidents();
+        assert_eq!(incs.len(), 1, "{incs:?}");
+        assert!(matches!(
+            incs[0].kind,
+            IncidentKind::DegradedLink { src: 1, dst: 0, .. }
+        ));
+    }
+}

@@ -103,6 +103,10 @@ pub struct Event {
     pub division: Option<u32>,
     /// Free-form label: plan tier, failure class, transfer peer, ...
     pub label: Option<String>,
+    /// Communication id linking a `comm_launch` span to the `comm_wait`
+    /// that blocks on it (the plan's `CommId`). Optional so older JSONL
+    /// streams without the field still deserialize.
+    pub comm: Option<u32>,
     /// Bytes moved/reduced, when applicable.
     pub bytes: Option<u64>,
     /// Flops executed, when applicable.
@@ -128,6 +132,7 @@ impl Event {
             phase: None,
             division: None,
             label: None,
+            comm: None,
             bytes: None,
             flops: None,
             value: None,
@@ -183,6 +188,12 @@ impl Event {
     /// Sets the free-form label (tier, failure class, ...).
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the communication id (links launch/wait pairs).
+    pub fn with_comm(mut self, comm: u32) -> Self {
+        self.comm = Some(comm);
         self
     }
 

@@ -22,11 +22,22 @@ fn tid(e: &Event) -> u32 {
     }
 }
 
+/// Stable flow-event id binding a `comm_launch` arrow to its `comm_wait`:
+/// unique per (source, iteration, phase, comm id).
+fn flow_id(e: &Event, comm: u32) -> u64 {
+    let phase = e.phase.map(|p| p as u64 + 1).unwrap_or(0);
+    let iter = e.iter.unwrap_or(0);
+    ((e.source.pid() as u64) << 56) | ((iter + 1) << 36) | (phase << 34) | comm as u64
+}
+
 fn args(e: &Event) -> Value {
     let mut m = serde_json::Map::new();
     m.insert("seq".into(), json!(e.seq));
     if let Some(i) = e.iter {
         m.insert("iter".into(), json!(i));
+    }
+    if let Some(c) = e.comm {
+        m.insert("comm".into(), json!(c));
     }
     if let Some(d) = e.division {
         m.insert("division".into(), json!(d));
@@ -101,12 +112,34 @@ pub fn chrome_trace_events(events: &[Event]) -> Vec<Value> {
         let s = e.source.pid() as usize - 1;
         let ts = (e.start_s - origin[s]) * 1e6;
         match e.kind {
-            EventKind::Span | EventKind::Instant => out.push(json!({
-                "name": e.name, "cat": e.chrome_cat(), "ph": "X",
-                "ts": ts, "dur": e.dur_s * 1e6,
-                "pid": e.source.pid(), "tid": tid(e),
-                "args": args(e),
-            })),
+            EventKind::Span | EventKind::Instant => {
+                out.push(json!({
+                    "name": e.name, "cat": e.chrome_cat(), "ph": "X",
+                    "ts": ts, "dur": e.dur_s * 1e6,
+                    "pid": e.source.pid(), "tid": tid(e),
+                    "args": args(e),
+                }));
+                // Flow arrows: a launch starts a flow at its end, the
+                // matching wait finishes it ("bp":"e" attaches the arrow
+                // head to the enclosing slice's end). Perfetto then draws
+                // launch→wait dependencies across device tracks.
+                if let Some(c) = e.comm {
+                    let end = ts + e.dur_s * 1e6;
+                    match e.name.as_str() {
+                        "comm_launch" => out.push(json!({
+                            "name": "comm_flow", "cat": "comm", "ph": "s",
+                            "id": flow_id(e, c), "ts": end,
+                            "pid": e.source.pid(), "tid": tid(e),
+                        })),
+                        "comm_wait" => out.push(json!({
+                            "name": "comm_flow", "cat": "comm", "ph": "f", "bp": "e",
+                            "id": flow_id(e, c), "ts": end,
+                            "pid": e.source.pid(), "tid": tid(e),
+                        })),
+                        _ => {}
+                    }
+                }
+            }
             EventKind::Counter | EventKind::Gauge => out.push(json!({
                 "name": e.name, "cat": "metric", "ph": "C",
                 "ts": ts, "pid": e.source.pid(), "tid": tid(e),
@@ -200,6 +233,47 @@ mod tests {
             .unwrap();
         assert_eq!(g["ph"], "C");
         assert_eq!(g["args"]["value"], 2048.0);
+    }
+
+    #[test]
+    fn comm_spans_emit_bound_flow_arrows() {
+        let events = vec![
+            Event::span(Source::Executor, "comm_launch")
+                .with_device(0)
+                .with_phase(Phase::Fwd)
+                .with_iter(2)
+                .with_comm(7)
+                .with_time(0.0, 0.1),
+            Event::span(Source::Executor, "comm_wait")
+                .with_device(1)
+                .with_phase(Phase::Fwd)
+                .with_iter(2)
+                .with_comm(7)
+                .with_time(0.2, 0.3),
+        ];
+        let v: Value = serde_json::from_str(&to_chrome_trace(&events)).unwrap();
+        let evs = v["traceEvents"].as_array().unwrap();
+        let start = evs
+            .iter()
+            .find(|e| e["ph"] == "s" && e["name"] == "comm_flow")
+            .expect("flow start");
+        let finish = evs
+            .iter()
+            .find(|e| e["ph"] == "f" && e["name"] == "comm_flow")
+            .expect("flow finish");
+        // Same id binds the arrow; the head attaches to the wait's end.
+        assert_eq!(start["id"], finish["id"]);
+        assert_eq!(finish["bp"], "e");
+        assert!((start["ts"].as_f64().unwrap() - 0.1e6).abs() < 1e-6);
+        assert!((finish["ts"].as_f64().unwrap() - 0.5e6).abs() < 1e-6);
+        // Arrow endpoints live on the comm rows of their devices.
+        assert_eq!(start["tid"], 1);
+        assert_eq!(finish["tid"], 3);
+        // Spans without a comm id emit no flow events.
+        let plain = to_chrome_trace(&[Event::span(Source::Executor, "comm_wait")
+            .with_device(0)
+            .with_time(0.0, 1.0)]);
+        assert!(!plain.contains("comm_flow"));
     }
 
     #[test]

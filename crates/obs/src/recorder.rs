@@ -1,0 +1,380 @@
+//! Flight recorder: a bounded ring-buffer sink that is cheap enough to
+//! leave always-on, plus schema-versioned postmortem bundles.
+//!
+//! [`FlightRecorder`] implements [`ObsSink`] with O(1) per-event cost and
+//! bounded memory (a `VecDeque` ring of the last N events). When a
+//! *trigger* event arrives — a verifier diagnostic, a planner tier
+//! fallback, a device loss / recovery, or a gate failure — it freezes a
+//! [`PostmortemBundle`]: the ring contents (triggering event included),
+//! the incident timeline fed via [`FlightRecorder::note_incident`], a
+//! Prometheus registry snapshot, and a critical-path summary when the
+//! ring holds an analyzable timeline. Bundles are buffered in memory
+//! (recording never touches the filesystem) and flushed by the owner via
+//! [`FlightRecorder::write_all`] to `results/POSTMORTEM_*.json`.
+//!
+//! File names are deterministic — trigger name plus a per-recorder dump
+//! index — so CI artifacts are stable across identical runs.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{critical_path, AnalysisScope, Attribution};
+use crate::detect::Incident;
+use crate::event::{Event, Source};
+use crate::registry::Registry;
+use crate::sink::ObsSink;
+
+/// Postmortem bundle schema version; bump on breaking layout changes.
+pub const POSTMORTEM_SCHEMA_VERSION: u64 = 1;
+
+/// Event names that freeze a postmortem when they arrive.
+pub const DEFAULT_TRIGGERS: [&str; 5] = [
+    "verify_diagnostic",
+    "tier_fallback",
+    "device_lost",
+    "recovery_plan",
+    "gate_failure",
+];
+
+/// Flight-recorder tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecorderConfig {
+    /// Ring capacity: the last N events kept.
+    pub capacity: usize,
+    /// Event names that trigger a postmortem dump.
+    pub triggers: Vec<String>,
+    /// Maximum buffered bundles (older triggers win; later ones are
+    /// dropped once full so a trigger storm cannot grow memory).
+    pub max_pending: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            capacity: 512,
+            triggers: DEFAULT_TRIGGERS.iter().map(|s| s.to_string()).collect(),
+            max_pending: 8,
+        }
+    }
+}
+
+/// A schema-versioned snapshot of recorder state at trigger time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostmortemBundle {
+    /// [`POSTMORTEM_SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// Name of the triggering event.
+    pub trigger: String,
+    /// The triggering event itself.
+    pub trigger_event: Event,
+    /// The last-N events in the ring, trigger included, in seq order.
+    pub events: Vec<Event>,
+    /// Incident timeline noted up to the trigger.
+    pub incidents: Vec<Incident>,
+    /// Prometheus text snapshot aggregated from `events`.
+    pub registry_prom: String,
+    /// Critical-path attribution of the ring's timeline, when it holds
+    /// analyzable device spans.
+    pub critical_path: Option<Attribution>,
+    /// Per-recorder dump index (part of the file name).
+    pub dump_index: u64,
+}
+
+impl PostmortemBundle {
+    /// Deterministic artifact file name, e.g.
+    /// `POSTMORTEM_verify_diagnostic_0000.json`.
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .trigger
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("POSTMORTEM_{safe}_{:04}.json", self.dump_index)
+    }
+
+    /// Serializes the bundle to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bundle serializes")
+    }
+
+    /// Writes the bundle into `dir` (created if needed); returns the
+    /// written path.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Structural validity check used by tests and CI: schema version
+    /// matches, the trigger event is present in the ring snapshot, and
+    /// any attribution conserves its makespan.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != POSTMORTEM_SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {} != {POSTMORTEM_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.trigger_event.name != self.trigger {
+            return Err(format!(
+                "trigger event name {:?} != trigger {:?}",
+                self.trigger_event.name, self.trigger
+            ));
+        }
+        if !self
+            .events
+            .iter()
+            .any(|e| e.identity() == self.trigger_event.identity())
+        {
+            return Err("trigger event missing from ring snapshot".into());
+        }
+        if let Some(cp) = &self.critical_path {
+            if !cp.sums_to_makespan(1e-6) {
+                return Err(format!(
+                    "critical path residual {} on makespan {}",
+                    cp.residual(),
+                    cp.makespan
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+    incidents: Vec<Incident>,
+    pending: Vec<PostmortemBundle>,
+    dumps: u64,
+}
+
+/// Always-on bounded ring sink with trigger-driven postmortem capture.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cfg: RecorderConfig,
+    state: Mutex<RecorderState>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(RecorderConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with explicit tuning.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        FlightRecorder {
+            cfg,
+            state: Mutex::new(RecorderState::default()),
+        }
+    }
+
+    /// A recorder keeping the last `capacity` events with default
+    /// triggers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder::new(RecorderConfig {
+            capacity,
+            ..RecorderConfig::default()
+        })
+    }
+
+    /// Notes a confirmed incident on the recorder's timeline (detectors
+    /// run outside the sink; their confirmed output is folded in here so
+    /// postmortems carry it).
+    pub fn note_incident(&self, incident: Incident) {
+        self.state.lock().unwrap().incidents.push(incident);
+    }
+
+    /// Snapshot of the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.state.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Number of buffered postmortem bundles.
+    pub fn pending(&self) -> usize {
+        self.state.lock().unwrap().pending.len()
+    }
+
+    /// Takes the buffered bundles, leaving the recorder running.
+    pub fn take_postmortems(&self) -> Vec<PostmortemBundle> {
+        std::mem::take(&mut self.state.lock().unwrap().pending)
+    }
+
+    /// Manually freezes a bundle (e.g. on a gate failure observed outside
+    /// the event stream). The synthetic trigger event is recorded first
+    /// so the bundle always contains it.
+    pub fn force_dump(&self, trigger: &str) -> PostmortemBundle {
+        let ev = Event::instant(Source::Planner, trigger).with_label("forced");
+        let mut st = self.state.lock().unwrap();
+        let ev = Self::push(&self.cfg, &mut st, ev);
+        Self::freeze(&mut st, ev)
+    }
+
+    /// Writes all buffered bundles into `dir`; returns the written paths.
+    pub fn write_all(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let bundles = self.take_postmortems();
+        let mut paths = Vec::with_capacity(bundles.len());
+        for b in &bundles {
+            paths.push(b.write(dir)?);
+        }
+        Ok(paths)
+    }
+
+    fn push(cfg: &RecorderConfig, st: &mut RecorderState, mut event: Event) -> Event {
+        event.seq = st.next_seq;
+        st.next_seq += 1;
+        if st.ring.len() >= cfg.capacity.max(1) {
+            st.ring.pop_front();
+        }
+        st.ring.push_back(event.clone());
+        event
+    }
+
+    fn freeze(st: &mut RecorderState, trigger_event: Event) -> PostmortemBundle {
+        let events: Vec<Event> = st.ring.iter().cloned().collect();
+        // Prefer the simulated timeline when present (consistent clock);
+        // fall back to executor spans.
+        let scope = if events.iter().any(|e| e.source == Source::Sim) {
+            AnalysisScope {
+                source: Some(Source::Sim),
+                ..AnalysisScope::default()
+            }
+        } else {
+            AnalysisScope {
+                source: Some(Source::Executor),
+                ..AnalysisScope::default()
+            }
+        };
+        let cp = critical_path(&events, &scope);
+        let bundle = PostmortemBundle {
+            schema_version: POSTMORTEM_SCHEMA_VERSION,
+            trigger: trigger_event.name.clone(),
+            trigger_event,
+            registry_prom: Registry::from_events(&events).render_prometheus(),
+            critical_path: (cp.makespan > 0.0).then_some(cp),
+            events,
+            incidents: st.incidents.clone(),
+            dump_index: st.dumps,
+        };
+        st.dumps += 1;
+        bundle
+    }
+}
+
+impl ObsSink for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let mut st = self.state.lock().unwrap();
+        let event = Self::push(&self.cfg, &mut st, event);
+        let triggered = self.cfg.triggers.iter().any(|t| t == &event.name);
+        if triggered && st.pending.len() < self.cfg.max_pending {
+            let bundle = Self::freeze(&mut st, event);
+            st.pending.push(bundle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn sim_span(name: &str, dev: u32, start: f64, end: f64) -> Event {
+        Event::span(Source::Sim, name)
+            .with_device(dev)
+            .with_phase(Phase::Fwd)
+            .with_time(start, end - start)
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let rec = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            rec.record(Event::counter(Source::Planner, format!("c{i}"), 1.0));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].name, "c6");
+        assert_eq!(snap[3].name, "c9");
+        assert_eq!(snap[3].seq, 9, "seq survives eviction");
+    }
+
+    #[test]
+    fn trigger_freezes_bundle_with_trigger_event() {
+        let rec = FlightRecorder::with_capacity(16);
+        rec.record(sim_span("attn", 0, 0.0, 1.0));
+        rec.record(Event::instant(Source::Planner, "tier_fallback").with_label("greedy"));
+        assert_eq!(rec.pending(), 1);
+        let bundles = rec.take_postmortems();
+        assert_eq!(rec.pending(), 0);
+        let b = &bundles[0];
+        b.validate().expect("valid bundle");
+        assert_eq!(b.trigger, "tier_fallback");
+        assert_eq!(b.events.len(), 2);
+        assert!(b.critical_path.is_some());
+        assert!(b.registry_prom.contains("attn"));
+    }
+
+    #[test]
+    fn incidents_ride_along_and_pending_is_capped() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            capacity: 8,
+            max_pending: 2,
+            ..RecorderConfig::default()
+        });
+        rec.note_incident(Incident {
+            kind: crate::detect::IncidentKind::Straggler {
+                device: 0,
+                slowdown: 4.0,
+            },
+            at_s: 1.0,
+            samples: 3,
+            score: 2.0,
+        });
+        for _ in 0..5 {
+            rec.record(Event::instant(Source::Planner, "verify_diagnostic").with_label("bad wait"));
+        }
+        assert_eq!(rec.pending(), 2, "bundle buffer is capped");
+        let b = rec.take_postmortems().remove(0);
+        assert_eq!(b.incidents.len(), 1);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn forced_dump_and_round_trip() {
+        let rec = FlightRecorder::default();
+        rec.record(sim_span("attn", 1, 0.0, 2.0));
+        let b = rec.force_dump("gate_failure");
+        b.validate().unwrap();
+        assert_eq!(b.trigger, "gate_failure");
+        let back: PostmortemBundle = serde_json::from_str(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.file_name(), "POSTMORTEM_gate_failure_0000.json");
+    }
+
+    #[test]
+    fn write_creates_files() {
+        let dir = std::env::temp_dir().join("dcp_obs_recorder_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::default();
+        rec.record(Event::instant(Source::Planner, "device_lost").with_device(3));
+        let paths = rec.write_all(&dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        let text = std::fs::read_to_string(&paths[0]).unwrap();
+        let b: PostmortemBundle = serde_json::from_str(&text).unwrap();
+        b.validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

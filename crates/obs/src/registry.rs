@@ -1,17 +1,147 @@
-//! Metric registry: counters and gauges aggregated from an event stream
-//! (or updated directly), with a Prometheus-style text snapshot.
+//! Metric registry: counters, gauges and fixed-bucket histograms
+//! aggregated from an event stream (or updated directly), with a
+//! Prometheus-style text snapshot.
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::event::{Event, EventKind};
 
-/// Aggregated counters and gauges. Keys are `name` plus the event's
-/// dimension labels, so ordering (and the rendered snapshot) is
+/// Default duration buckets (seconds): log-spaced 1µs .. 10s, chosen so
+/// both real executor kernels and simulated segments land mid-range.
+pub const DURATION_BUCKETS: [f64; 16] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 1.0,
+    10.0,
+];
+
+/// A fixed-bucket histogram: cumulative-free bucket counts over sorted
+/// upper bounds plus an overflow bucket, with sum/count for means.
+/// Merging requires identical bounds, which the fixed default guarantees
+/// across devices and runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&DURATION_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds (deduplicated;
+    /// one overflow bucket is appended implicitly).
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut b: Vec<f64> = bounds.to_vec();
+        b.sort_by(f64::total_cmp);
+        b.dedup();
+        let n = b.len();
+        Histogram {
+            bounds: b,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bounds (without the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile `q` in [0, 1] by linear interpolation within
+    /// the containing bucket (0 when empty; overflow clamps to the last
+    /// bound).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo_seen = seen as f64;
+            seen += c;
+            if (seen as f64) >= rank {
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: clamp to the last finite bound.
+                    return *self.bounds.last().unwrap_or(&0.0);
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (rank - lo_seen) / c as f64;
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+        }
+        *self.bounds.last().unwrap_or(&0.0)
+    }
+
+    /// Merges `other` into `self`. Errs when bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds differ: {} vs {} buckets",
+                self.bounds.len(),
+                other.bounds.len()
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
+}
+
+/// Aggregated counters, gauges and histograms. Keys are `name` plus the
+/// event's dimension labels, so ordering (and the rendered snapshot) is
 /// deterministic via `BTreeMap`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Registry {
@@ -40,13 +170,53 @@ impl Registry {
         self.gauges.get(key).copied()
     }
 
+    /// Records `v` into the histogram at `key`, creating it with the
+    /// default duration buckets on first touch.
+    pub fn observe(&mut self, key: impl Into<String>, v: f64) {
+        self.histograms.entry(key.into()).or_default().record(v);
+    }
+
+    /// Histogram at `key`, if any samples were recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All histogram keys, sorted.
+    pub fn histogram_keys(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the other's value (last write wins), histograms merge bucket-wise.
+    /// Errs when a shared histogram key has different bounds.
+    pub fn merge(&mut self, other: &Registry) -> Result<(), String> {
+        for (k, v) in &other.counters {
+            self.inc(k.clone(), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h).map_err(|e| format!("{k}: {e}"))?,
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Folds an event stream into a registry:
     ///
     /// - `Counter` events add `value` to the counter keyed by name+labels;
     /// - `Gauge` events set the gauge keyed by name+labels;
     /// - `Span` events additionally accumulate `<name>_seconds_total` and
     ///   `<name>_total` counters, so stage timings are queryable without
-    ///   walking the raw stream.
+    ///   walking the raw stream;
+    /// - kernel / comm spans (`attn`, `attn_bwd`, `reduce`, `copy`,
+    ///   `comm_wait`, `recv`, `wait`) also feed per-key
+    ///   `<name>_duration_seconds` histograms with the default buckets.
     pub fn from_events(events: &[Event]) -> Self {
         let mut reg = Registry::new();
         for e in events {
@@ -57,6 +227,12 @@ impl Registry {
                 EventKind::Span => {
                     reg.inc(format!("{key}_count"), 1.0);
                     reg.inc(format!("{key}_seconds_total"), e.dur_s);
+                    if matches!(
+                        e.name.as_str(),
+                        "attn" | "attn_bwd" | "reduce" | "copy" | "comm_wait" | "recv" | "wait"
+                    ) {
+                        reg.observe(duration_key(e), e.dur_s);
+                    }
                 }
                 EventKind::Instant => reg.inc(format!("{key}_count"), 1.0),
             }
@@ -65,7 +241,8 @@ impl Registry {
     }
 
     /// Prometheus-style text exposition: `# TYPE` headers plus one
-    /// `name value` line per metric, sorted by key.
+    /// `name value` line per metric, sorted by key; histograms render as
+    /// cumulative `_bucket{le=...}` series plus `_sum` / `_count`.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (k, v) in &self.counters {
@@ -74,7 +251,61 @@ impl Registry {
         for (k, v) in &self.gauges {
             out.push_str(&format!("# TYPE {} gauge\n{} {v}\n", base_name(k), k));
         }
+        for (k, h) in &self.histograms {
+            let base = base_name(k);
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            let mut cum = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = if i < h.bounds.len() {
+                    format!("{}", h.bounds[i])
+                } else {
+                    "+Inf".to_string()
+                };
+                out.push_str(&format!(
+                    "{} {cum}\n",
+                    splice_label(k, &format!("le=\"{le}\""), "_bucket")
+                ));
+            }
+            out.push_str(&format!("{} {}\n", suffixed(k, "_sum"), h.sum));
+            out.push_str(&format!("{} {}\n", suffixed(k, "_count"), h.count));
+        }
         out
+    }
+}
+
+/// `<name>_duration_seconds{labels}` histogram key for a span event.
+fn duration_key(e: &Event) -> String {
+    let key = metric_key(e);
+    match key.split_once('{') {
+        Some((name, rest)) => format!("{name}_duration_seconds{{{rest}"),
+        None => format!("{key}_duration_seconds"),
+    }
+}
+
+/// Moves a metric-name suffix in front of the label braces:
+/// `attn{a="b"}` + `_sum` → `attn_sum{a="b"}`.
+fn suffixed(key: &str, suffix: &str) -> String {
+    match key.split_once('{') {
+        Some((name, rest)) => format!("{name}{suffix}{{{rest}"),
+        None => format!("{key}{suffix}"),
+    }
+}
+
+/// Splices an extra label into a `name{labels}` key, appending `suffix`
+/// to the metric name: `attn{a="b"}` + `le="1"` + `_bucket` →
+/// `attn_bucket{a="b",le="1"}`.
+fn splice_label(key: &str, label: &str, suffix: &str) -> String {
+    match key.split_once('{') {
+        Some((name, rest)) => {
+            let inner = rest.trim_end_matches('}');
+            if inner.is_empty() {
+                format!("{name}{suffix}{{{label}}}")
+            } else {
+                format!("{name}{suffix}{{{inner},{label}}}")
+            }
+        }
+        None => format!("{key}{suffix}{{{label}}}"),
     }
 }
 
@@ -132,6 +363,77 @@ mod tests {
         );
         assert_eq!(r.counter("coarsen{source=\"planner\"}_count"), 1.0);
         assert!((r.counter("coarsen{source=\"planner\"}_seconds_total") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_record_quantile_merge() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 16.5).abs() < 1e-12);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        // Median falls in the (1, 2] bucket.
+        let p50 = h.quantile(0.5);
+        assert!((1.0..=2.0).contains(&p50), "p50 {p50}");
+        // Overflow clamps to the last bound.
+        assert_eq!(h.quantile(1.0), 4.0);
+        let mut other = Histogram::new(&[1.0, 2.0, 4.0]);
+        other.record(0.1);
+        h.merge(&other).unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.counts()[0], 2);
+        assert!(h.merge(&Histogram::new(&[1.0])).is_err(), "bounds differ");
+        assert_eq!(Histogram::new(&[]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn from_events_builds_duration_histograms() {
+        let events = vec![
+            Event::span(Source::Executor, "attn")
+                .with_device(0)
+                .with_time(0.0, 2e-3),
+            Event::span(Source::Executor, "attn")
+                .with_device(0)
+                .with_time(2e-3, 3e-3),
+            Event::span(Source::Executor, "coarsen").with_time(0.0, 1.0),
+        ];
+        let r = Registry::from_events(&events);
+        let h = r
+            .histogram("attn_duration_seconds{source=\"executor\",device=\"0\"}")
+            .expect("kernel histogram");
+        assert_eq!(h.count(), 2);
+        // Non-kernel spans get no histogram.
+        assert!(r
+            .histogram_keys()
+            .all(|k| !k.starts_with("coarsen_duration")));
+        let text = r.render_prometheus();
+        assert!(
+            text.contains(
+                "attn_duration_seconds_bucket{source=\"executor\",device=\"0\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE attn_duration_seconds histogram"));
+        assert!(text.contains("attn_duration_seconds_sum{source=\"executor\",device=\"0\"}"));
+    }
+
+    #[test]
+    fn registry_merge_combines_all_kinds() {
+        let mut a = Registry::new();
+        a.inc("c", 1.0);
+        a.observe("h", 1e-3);
+        let mut b = Registry::new();
+        b.inc("c", 2.0);
+        b.set_gauge("g", 5.0);
+        b.observe("h", 2e-3);
+        b.observe("h2", 1.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counter("c"), 3.0);
+        assert_eq!(a.gauge("g"), Some(5.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
     }
 
     #[test]

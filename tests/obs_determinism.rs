@@ -21,7 +21,10 @@ use dcp::core::{DcpDataloader, Planner, PlannerConfig};
 use dcp::data::Batch;
 use dcp::exec::{execute_backward_obs, execute_forward_obs, BatchData, ExecObs};
 use dcp::mask::MaskSpec;
-use dcp::obs::{identities, Event, ObsHandle, ObsSink, Phase, RecordingSink};
+use dcp::obs::{
+    critical_path, identities, AnalysisScope, Attribution, Event, ObsHandle, ObsSink, Phase,
+    RecordingSink,
+};
 use dcp::sim::{simulate_phase_traced, trace_to_obs};
 use dcp::types::{AttnSpec, ClusterSpec};
 use rand::rngs::SmallRng;
@@ -171,6 +174,47 @@ fn event_stream_is_identical_across_thread_counts() {
                  must not depend on thread count)"
             );
         }
+    }
+
+    // Critical-path analysis over the simulated slice must be *bitwise*
+    // identical at every thread count: same makespan bits, same bucket
+    // bits, same path. The sim timeline is bitwise deterministic and the
+    // walk is serial, so any divergence here is an analysis-order bug.
+    let attribute = |events: &[Event]| -> Attribution {
+        critical_path(events, &AnalysisScope::sim(Phase::Fwd))
+    };
+    let base_attr = attribute(base);
+    assert!(
+        base_attr.makespan > 0.0 && !base_attr.steps.is_empty(),
+        "the sim slice must yield a non-trivial critical path"
+    );
+    assert!(base_attr.sums_to_makespan(1e-6));
+    let base_json = serde_json::to_string(&base_attr).expect("attribution serializes");
+    for (threads, stream) in &streams[1..] {
+        let attr = attribute(stream);
+        assert_eq!(
+            attr.makespan.to_bits(),
+            base_attr.makespan.to_bits(),
+            "makespan bits differ at RAYON_NUM_THREADS={threads}"
+        );
+        for (a, b, what) in [
+            (attr.compute, base_attr.compute, "compute"),
+            (attr.exposed_comm, base_attr.exposed_comm, "exposed_comm"),
+            (attr.wait, base_attr.wait, "wait"),
+            (attr.straggle, base_attr.straggle, "straggle"),
+            (attr.recovery, base_attr.recovery, "recovery"),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what} bits differ at RAYON_NUM_THREADS={threads}"
+            );
+        }
+        let json = serde_json::to_string(&attr).expect("attribution serializes");
+        assert_eq!(
+            json, base_json,
+            "full attribution differs at RAYON_NUM_THREADS={threads}"
+        );
     }
 
     // Sanity on the identity contract itself: durations are excluded.

@@ -192,6 +192,56 @@ fn obs_events_roundtrip() {
     roundtrip(&span);
     roundtrip(&Event::counter(Source::Planner, "plan_cache_hit", 1.0));
     roundtrip(&Event::gauge(Source::Executor, "peak_buffer_bytes", 2048.0).with_device(1));
+    roundtrip(&Event::span(Source::Executor, "comm_launch").with_comm(17));
     // Identity (timing-stripped) events serialize cleanly too.
     roundtrip(&span.identity());
+}
+
+#[test]
+fn trace_analysis_structs_roundtrip() {
+    use dcp::obs::{
+        critical_path, AnalysisScope, DetectorBank, DetectorConfig, FlightRecorder, ObsSink,
+        RecorderConfig,
+    };
+    use dcp::sim::{simulate_phase_faulted, trace_to_obs};
+
+    let out = plan_small();
+    let cluster = ClusterSpec::p4de(1);
+    let spec = FaultSpec {
+        seed: 7,
+        faults: vec![Fault::Straggler {
+            device: 0,
+            slowdown: 4.0,
+        }],
+    };
+    let (_, trace) = simulate_phase_faulted(&cluster, &out.plan.fwd, &spec).expect("sim");
+    let events = trace_to_obs(&trace, Phase::Fwd, Some(0));
+
+    // Attribution (with its nested path steps and per-device rows).
+    let attr = critical_path(&events, &AnalysisScope::sim(Phase::Fwd));
+    assert!(attr.makespan > 0.0);
+    roundtrip(&attr);
+    roundtrip(&attr.per_device[0]);
+    roundtrip(&attr.steps[0]);
+
+    // Incidents out of the detector bank (fed the straggler repeatedly so
+    // it trips), and the detector config itself.
+    let mut bank = DetectorBank::new(DetectorConfig::default());
+    for _ in 0..4 {
+        bank.ingest(&events);
+    }
+    roundtrip(&DetectorConfig::default());
+    for incident in bank.incidents() {
+        roundtrip(&incident);
+    }
+
+    // A full postmortem bundle through the flight recorder.
+    let recorder = FlightRecorder::new(RecorderConfig::default());
+    recorder.record_all(events);
+    for incident in bank.incidents() {
+        recorder.note_incident(incident);
+    }
+    let bundle = recorder.force_dump("gate_failure");
+    bundle.validate().expect("bundle validates");
+    roundtrip(&bundle);
 }
