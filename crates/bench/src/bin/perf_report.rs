@@ -52,7 +52,7 @@ use dcp_exec::executor::{
 };
 use dcp_exec::plans_equivalent;
 use dcp_mask::MaskSpec;
-use dcp_sched::{verify_phase, verify_structure, Instr, PassConfig, PassManager, VerifyCtx};
+use dcp_sched::{verify_phase, verify_structure, Instr, PassConfig, PassManager};
 use dcp_sim::{simulate_phase, simulate_plan, simulate_plan_faulted, Fault, FaultSpec};
 use dcp_types::{AttnSpec, ClusterSpec, ModelSpec, PlanTier};
 use rand::rngs::SmallRng;
@@ -702,22 +702,18 @@ fn main() {
                     },
                 )
                 .expect("patch plan");
-            let ctx = VerifyCtx {
-                failed: Some(patch.failed),
-                salvage_comms: patch.salvage_comms.clone(),
-                producer_of: patch.producer_of.clone(),
-                reowned: patch.reowned.clone(),
-            };
+            let ctx = patch.verify_ctx();
             let mut fwd = patch.fwd.clone();
             let fwd_outs =
                 pass_pm.run_phase(&out.layout, &mut fwd, "recovery_fwd", &patch.salvage_comms);
             verify_phase(&out.layout, &patch.placement, &fwd, false, &ctx)
                 .expect("optimized recovery stream must stay legal");
             let salvage = SalvageCtx {
-                failed: patch.failed,
+                failed: patch.failed_streams.clone(),
                 salvage_comms: patch.salvage_comms.clone(),
                 producer_of: patch.producer_of.clone(),
                 reowned: patch.reowned.clone(),
+                ..SalvageCtx::default()
             };
             let data = BatchData::random(&out.layout, 2024);
             let obs = ExecObs::disabled();

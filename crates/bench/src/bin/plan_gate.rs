@@ -297,6 +297,98 @@ fn load(path: &str) -> serde_json::Value {
     })
 }
 
+/// `--recovery` leg: the seeded fault-campaign sweep vs the committed
+/// robustness baseline. Loads both documents (a missing report is a
+/// failure, never a skip) and delegates to [`recovery_checks`].
+fn recovery_leg(report_path: &str, baseline_path: &str, failures: &mut Vec<String>) {
+    let rob = load(report_path);
+    let rob_base = load(baseline_path);
+    for (doc, path) in [(&rob, report_path), (&rob_base, baseline_path)] {
+        if let Err(e) = check_schema(doc, path) {
+            eprintln!("plan_gate: FAIL: {e}");
+            exit(1);
+        }
+    }
+    recovery_checks(&rob, &rob_base, report_path, failures);
+}
+
+/// Gate the fault-campaign section: absolute invariants first (zero
+/// verifier rejections, zero bitwise failures, cascade redone-flops
+/// fraction under 0.75), then depth-2 patch latency and redone-fraction
+/// medians against the committed baseline.
+fn recovery_checks(
+    rob: &serde_json::Value,
+    rob_base: &serde_json::Value,
+    report_path: &str,
+    failures: &mut Vec<String>,
+) {
+    let factor: f64 = std::env::var("DCP_PLAN_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.25);
+    let fc = &rob["fault_campaign"];
+    if fc.is_null() {
+        failures.push(format!("{report_path} has no fault_campaign section"));
+        return;
+    }
+    for key in ["verifier_rejections", "bitwise_failures"] {
+        match fc[key].as_u64() {
+            Some(0) => println!("plan_gate: fault_campaign {key} = 0"),
+            Some(n) => failures.push(format!("fault_campaign {key} = {n} (must be 0)")),
+            None => failures.push(format!("{report_path} fault_campaign lacks {key}")),
+        }
+    }
+    const CASCADE_REDONE_CAP: f64 = 0.75;
+    match fc["scenarios"]["cascade"]["redone_frac_median"].as_f64() {
+        Some(v) if v < CASCADE_REDONE_CAP => println!(
+            "plan_gate: cascade redone_frac_median {v:.3} < {CASCADE_REDONE_CAP} (absolute cap)"
+        ),
+        Some(v) => failures.push(format!(
+            "cascade redone_frac_median {v:.3} >= {CASCADE_REDONE_CAP} (absolute cap)"
+        )),
+        None => failures.push(format!(
+            "{report_path} fault_campaign lacks scenarios.cascade.redone_frac_median"
+        )),
+    }
+    let base_fc = &rob_base["fault_campaign"];
+    if base_fc.is_null() {
+        println!("plan_gate: baseline has no fault_campaign section (relative checks skipped)");
+        return;
+    }
+    // Sub-millisecond wall-clock medians are dominated by machine noise, so
+    // the latency limit is the relative factor or an absolute grace budget
+    // (`DCP_RECOVERY_GATE_MS`, default 5ms), whichever is larger. The redone
+    // fraction is seed-deterministic and gets no grace.
+    let grace_s = env_f64("DCP_RECOVERY_GATE_MS", 5.0) / 1e3;
+    for (key, what, floor) in [
+        (
+            "cascade_patch_wall_s_median",
+            "cascade depth-2 patch latency",
+            grace_s,
+        ),
+        ("redone_frac_median", "campaign redone-flops fraction", 0.0),
+    ] {
+        match (fc[key].as_f64(), base_fc[key].as_f64()) {
+            (Some(cur), Some(base)) => {
+                let limit = (base * factor).max(floor);
+                println!(
+                    "plan_gate: {what} {cur:.4} vs baseline {base:.4} \
+                     (limit {limit:.4}, {factor:.2}x)"
+                );
+                if cur > limit {
+                    failures.push(format!(
+                        "{what} regressed: {cur:.4} > {limit:.4} ({factor:.2}x baseline)"
+                    ));
+                }
+            }
+            (None, Some(_)) => {
+                failures.push(format!("{report_path} fault_campaign lacks {key}"));
+            }
+            (_, None) => println!("plan_gate: baseline fault_campaign lacks {key} (skipped)"),
+        }
+    }
+}
+
 fn main() {
     let (flags, positional): (Vec<String>, Vec<String>) =
         std::env::args().skip(1).partition(|a| a.starts_with("--"));
@@ -307,6 +399,24 @@ fn main() {
         // report is a failure, never a skip.
         let mut failures = Vec::new();
         scaling_leg(scaling_report_path, scaling_baseline_path, &mut failures);
+        if failures.is_empty() {
+            println!("plan_gate: OK");
+            return;
+        }
+        for f in &failures {
+            eprintln!("plan_gate: FAIL: {f}");
+        }
+        exit(1);
+    }
+    if flags.iter().any(|f| f == "--recovery") {
+        // Dedicated recovery-job mode: only the fault-campaign leg, and a
+        // missing report is a failure, never a skip.
+        let mut failures = Vec::new();
+        recovery_leg(
+            "BENCH_robustness.json",
+            "results/BENCH_robustness_baseline.json",
+            &mut failures,
+        );
         if failures.is_empty() {
             println!("plan_gate: OK");
             return;
@@ -615,6 +725,13 @@ fn main() {
             }
             // A pre-recovery baseline: nothing to compare against.
             (_, None) => println!("plan_gate: no patch-plan latency in baseline (skipped)"),
+        }
+        // Fault campaign: checked whenever the committed baseline carries a
+        // campaign section (the dedicated CI leg uses `--recovery`).
+        if rob_base["fault_campaign"].is_null() {
+            println!("plan_gate: no fault_campaign section in baseline (skipped)");
+        } else {
+            recovery_checks(&rob, &rob_base, &rob_report_path, &mut failures);
         }
     } else {
         println!("plan_gate: no robustness baseline at {rob_baseline_path} (skipped)");

@@ -20,7 +20,7 @@ use dcp_data::{pack_batches, sample_lengths, DatasetKind, MaskSetting};
 use dcp_mask::MaskSpec;
 use dcp_sched::{
     verify_phase, verify_plan, verify_structure, CommId, Diagnostic, ExecutionPlan, Instr,
-    PassConfig, PassManager, Payload, PayloadKind, Placement, VerifyCtx, ViolationKind,
+    PassConfig, PassManager, Payload, PayloadKind, Placement, ViolationKind,
 };
 use dcp_types::{AttnSpec, ClusterSpec, PlanTier};
 use serde_json::json;
@@ -379,12 +379,7 @@ fn main() {
                     continue;
                 }
             };
-            let ctx = VerifyCtx {
-                failed: Some(patch.failed),
-                salvage_comms: patch.salvage_comms.clone(),
-                producer_of: patch.producer_of.clone(),
-                reowned: patch.reowned.clone(),
-            };
+            let ctx = patch.verify_ctx();
             let fwd = verify_phase(&out.layout, &patch.placement, &patch.fwd, false, &ctx).err();
             let bwd = verify_plan(&out.layout, &patch.bwd_placement, &patch.bwd).err();
             let timing = verify_structure(&patch.timing).err();

@@ -33,4 +33,6 @@ pub use groups::{plan_grouped, GroupedPlan};
 pub use planner::{
     IncrementalConfig, PlanOutput, PlanStats, Planner, PlannerConfig, PlanningTimes,
 };
-pub use recovery::{FailureEvent, RecoveryConfig, RecoveryPatch, RecoveryPlanner, RecoveryStats};
+pub use recovery::{
+    BwdRecoveryPatch, FailureEvent, RecoveryConfig, RecoveryPatch, RecoveryPlanner, RecoveryStats,
+};

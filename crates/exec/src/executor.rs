@@ -16,6 +16,7 @@
 //! fails with [`DcpError::InvalidPlan`] rather than silently producing
 //! correct-looking results — executing a plan is itself a verification.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -641,25 +642,34 @@ pub fn execute_forward_obs(
     Ok(finals)
 }
 
-/// Context for executing a recovery *patch plan*: a forward phase in which
-/// one logical device (`failed`) stops at its execution frontier, ships its
+/// Context for executing a recovery *patch plan*: a phase in which one or
+/// more dead logical streams stop at their execution frontiers, ship their
 /// raw partial accumulators to replacement shards over dedicated salvage
-/// comm ops, and the shards finish its remaining computation and ownership
+/// comm ops, and the shards finish the remaining computation and ownership
 /// duties under the original comm ids.
 #[derive(Debug, Clone, Default)]
 pub struct SalvageCtx {
-    /// The failed logical device whose accumulators are salvaged.
-    pub failed: u32,
+    /// Dead logical streams whose accumulators are salvaged: the failed
+    /// physical rank(s) plus any recovery-shard streams they were hosting
+    /// when they died (cascading failures compose patches, so more than one
+    /// stream can be dead at once).
+    pub failed: std::collections::HashSet<u32>,
     /// Comm ids (indices into the phase's op table) carrying raw
-    /// accumulators from `failed` to its replacement shards.
+    /// accumulators from dead streams to their replacement shards.
     pub salvage_comms: std::collections::HashSet<u32>,
-    /// For each token block the failed device still owed partials for, the
-    /// shard that now finishes and deposits them (under the original comm
-    /// ids, with the payload's producer field still naming `failed`).
-    pub producer_of: HashMap<TokenBlockId, u32>,
-    /// Token blocks the patch re-owns from `failed` to a shard. The failed
-    /// device still holds their data until evacuation completes, so its
-    /// truncated prefix may keep reading them directly.
+    /// For each forward partial a dead stream still owed — keyed by
+    /// `(token block, original producer)` since two dead streams may owe
+    /// partials for the same block — the shard that now finishes and
+    /// deposits it (under the original comm id, with the payload's producer
+    /// field still naming the dead stream).
+    pub producer_of: HashMap<(TokenBlockId, u32), u32>,
+    /// Same for outstanding backward dQ partials.
+    pub producer_of_dq: HashMap<(TokenBlockId, u32), u32>,
+    /// Same for outstanding backward dKV partials.
+    pub producer_of_dkv: HashMap<(TokenBlockId, u32), u32>,
+    /// Token blocks the patch re-owns away from dead streams. A dead stream
+    /// still holds their data until evacuation completes, so its truncated
+    /// prefix may keep reading them directly.
     pub reowned: std::collections::HashSet<TokenBlockId>,
 }
 
@@ -720,10 +730,10 @@ pub fn execute_forward_recovery(
                         }
                         Payload::PartialO(_, producer)
                             if tr.from == dev
-                                || (tr.from == ctx.failed
-                                    && ctx.producer_of.get(&tb) == Some(&dev)) =>
+                                || (ctx.failed.contains(&tr.from)
+                                    && ctx.producer_of.get(&(tb, producer)) == Some(&dev)) =>
                         {
-                            debug_assert!(producer == dev || producer == ctx.failed);
+                            debug_assert!(producer == dev || ctx.failed.contains(&producer));
                             let acc = accs[dev as usize].get(&tb).ok_or_else(|| {
                                 DcpError::invalid_plan(format!(
                                     "device {dev} sends partial O for {tb:?} it never computed"
@@ -774,7 +784,7 @@ pub fn execute_forward_recovery(
                     let kb = cb.kv_block;
                     let local = |tb: TokenBlockId| {
                         placement.token_dev(tb) == dev
-                            || (dev == ctx.failed && ctx.reowned.contains(&tb))
+                            || (ctx.failed.contains(&dev) && ctx.reowned.contains(&tb))
                     };
                     let qdata: &[f32] = if local(qb) {
                         &data.q[qb.0 as usize]
@@ -936,6 +946,52 @@ pub fn execute_backward_obs(
     d_o: &HashMap<TokenBlockId, Vec<f32>>,
     obs: &ExecObs<'_>,
 ) -> DcpResult<HashMap<TokenBlockId, BlockGrads>> {
+    execute_backward_recovery(
+        layout,
+        placement,
+        &plan.bwd,
+        data,
+        fwd_out,
+        d_o,
+        &SalvageCtx::default(),
+        obs,
+    )
+}
+
+/// Executes a backward phase under recovery semantics (see [`SalvageCtx`]) —
+/// the backward mirror of [`execute_forward_recovery`]. With the default
+/// context this *is* the normal backward executor ([`execute_backward_obs`]
+/// delegates here), byte for byte.
+///
+/// Differences from the clean path, active only under a non-default context:
+///
+/// - a `CommLaunch` on a salvage op ships a dead stream's **raw** `dQ` /
+///   `dKV` running sums (gradient accumulators are plain sums, so the raw
+///   state and the partial payload coincide — no finalize step exists);
+/// - a `CommWait` on a salvage op installs the received sums as the waiting
+///   shard's starting accumulator state, so its residual `AttnBwd` items
+///   fold in exactly where the dead stream's reduction frontier left off;
+/// - partial deposits under original comm ids are honored when the
+///   launching device is the shard [`SalvageCtx::producer_of_dq`] /
+///   [`SalvageCtx::producer_of_dkv`] names, even though the transfer's
+///   `from`/producer still name the dead stream;
+/// - dead streams' truncated prefixes may read re-owned blocks locally.
+///
+/// # Errors
+///
+/// Returns [`DcpError::InvalidPlan`] on under-communication or deadlock, and
+/// [`DcpError::InvalidArgument`] if `d_o` or `fwd_out` is missing a block.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_backward_recovery(
+    layout: &BatchLayout,
+    placement: &Placement,
+    phase: &PhasePlan,
+    data: &BatchData,
+    fwd_out: &HashMap<TokenBlockId, BlockOut>,
+    d_o: &HashMap<TokenBlockId, Vec<f32>>,
+    ctx: &SalvageCtx,
+    obs: &ExecObs<'_>,
+) -> DcpResult<HashMap<TokenBlockId, BlockGrads>> {
     placement.validate(layout)?;
     let (qh, kvh) = BatchData::head_counts(layout);
     let dim = layout.attn.head_dim as usize;
@@ -955,7 +1011,7 @@ pub fn execute_backward_obs(
     let mut dq_acc: Vec<HashMap<TokenBlockId, Vec<f32>>> = vec![HashMap::new(); n];
     let mut dkv_acc: Vec<HashMap<TokenBlockId, KvGradPair>> = vec![HashMap::new(); n];
 
-    let mut interp = Interp::new(placement, &plan.bwd, obs, ObsPhase::Bwd);
+    let mut interp = Interp::new(placement, phase, obs, ObsPhase::Bwd);
     interp.run(|it, dev, ins| {
         match ins {
             Instr::CommLaunch(cid) => {
@@ -989,8 +1045,12 @@ pub fn execute_backward_obs(
                                 },
                             );
                         }
-                        Payload::PartialDq(_, producer) if tr.from == dev => {
-                            debug_assert_eq!(producer, dev);
+                        Payload::PartialDq(_, producer)
+                            if tr.from == dev
+                                || (ctx.failed.contains(&tr.from)
+                                    && ctx.producer_of_dq.get(&(tb, producer)) == Some(&dev)) =>
+                        {
+                            debug_assert!(producer == dev || ctx.failed.contains(&producer));
                             let g = dq_acc[dev as usize].get(&tb).ok_or_else(|| {
                                 DcpError::invalid_plan(format!(
                                     "device {dev} sends dQ partial for {tb:?} it never computed"
@@ -999,8 +1059,12 @@ pub fn execute_backward_obs(
                             it.mailbox
                                 .insert((cid.0, tr.payload), Data::PartialDq(g.clone()));
                         }
-                        Payload::PartialDkv(_, producer) if tr.from == dev => {
-                            debug_assert_eq!(producer, dev);
+                        Payload::PartialDkv(_, producer)
+                            if tr.from == dev
+                                || (ctx.failed.contains(&tr.from)
+                                    && ctx.producer_of_dkv.get(&(tb, producer)) == Some(&dev)) =>
+                        {
+                            debug_assert!(producer == dev || ctx.failed.contains(&producer));
                             let (gk, gv) = dkv_acc[dev as usize].get(&tb).ok_or_else(|| {
                                 DcpError::invalid_plan(format!(
                                     "device {dev} sends dKV partial for {tb:?} it never computed"
@@ -1016,7 +1080,52 @@ pub fn execute_backward_obs(
                 }
                 Ok(true)
             }
-            Instr::CommWait(cid) => Ok(it.try_wait(dev, cid.0)),
+            Instr::CommWait(cid) => {
+                if !it.try_wait(dev, cid.0) {
+                    return Ok(false);
+                }
+                if ctx.salvage_comms.contains(&cid.0) {
+                    // Install salvaged raw sums as this shard's starting
+                    // accumulator state. The schedule waits on salvage ops
+                    // before any AttnBwd touches these blocks, so the
+                    // entries are fresh.
+                    let op = &it.phase.comms[cid.0 as usize];
+                    for tr in op.transfers.iter().filter(|t| t.to == dev) {
+                        let tb = tr.payload.token_block();
+                        match it.avail[dev as usize].remove(&tr.payload) {
+                            Some(Data::PartialDq(g)) => match dq_acc[dev as usize].entry(tb) {
+                                Entry::Occupied(_) => {
+                                    return Err(DcpError::invalid_plan(format!(
+                                        "device {dev} salvaged dQ {tb:?} it already \
+                                             accumulates"
+                                    )));
+                                }
+                                Entry::Vacant(slot) => {
+                                    slot.insert(g);
+                                }
+                            },
+                            Some(Data::PartialDkv(gk, gv)) => {
+                                match dkv_acc[dev as usize].entry(tb) {
+                                    Entry::Occupied(_) => {
+                                        return Err(DcpError::invalid_plan(format!(
+                                            "device {dev} salvaged dKV {tb:?} it already \
+                                             accumulates"
+                                        )));
+                                    }
+                                    Entry::Vacant(slot) => {
+                                        slot.insert((gk, gv));
+                                    }
+                                }
+                            }
+                            Some(other) => {
+                                it.avail[dev as usize].insert(tr.payload, other);
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                Ok(true)
+            }
             Instr::AttnBwd { items, .. } => {
                 // Mirror of the forward hot path: resolve inputs serially
                 // (borrowing instead of the old per-item clones), compute
@@ -1031,8 +1140,12 @@ pub fn execute_backward_obs(
                     let cb = layout.comp_blocks[c.0 as usize];
                     let qb = cb.q_block;
                     let kb = cb.kv_block;
-                    let q_owned = placement.token_dev(qb) == dev;
-                    let kv_owned = placement.token_dev(kb) == dev;
+                    let local = |tb: TokenBlockId| {
+                        placement.token_dev(tb) == dev
+                            || (ctx.failed.contains(&dev) && ctx.reowned.contains(&tb))
+                    };
+                    let q_owned = local(qb);
+                    let kv_owned = local(kb);
                     let qtb = layout.token_blocks[qb.0 as usize];
                     let ktb = layout.token_blocks[kb.0 as usize];
                     let qdata: &[f32] = if q_owned {

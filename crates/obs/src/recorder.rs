@@ -279,7 +279,12 @@ impl ObsSink for FlightRecorder {
         let mut st = self.state.lock().unwrap();
         let event = Self::push(&self.cfg, &mut st, event);
         let triggered = self.cfg.triggers.iter().any(|t| t == &event.name);
-        if triggered && st.pending.len() < self.cfg.max_pending {
+        // Recovery-during-recovery must always leave a postmortem: a
+        // `recovery_plan` at cascade depth >= 2 (the event value carries
+        // the depth) bypasses the pending cap, so even a trigger storm
+        // that filled the buffer cannot swallow a cascade's evidence.
+        let cascade = event.name == "recovery_plan" && event.value.is_some_and(|v| v >= 2.0);
+        if triggered && (cascade || st.pending.len() < self.cfg.max_pending) {
             let bundle = Self::freeze(&mut st, event);
             st.pending.push(bundle);
         }
@@ -350,6 +355,28 @@ mod tests {
         let b = rec.take_postmortems().remove(0);
         assert_eq!(b.incidents.len(), 1);
         b.validate().unwrap();
+    }
+
+    #[test]
+    fn cascade_recovery_bypasses_pending_cap() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            capacity: 8,
+            max_pending: 1,
+            ..RecorderConfig::default()
+        });
+        // Fill the pending buffer with an ordinary trigger, then a
+        // depth-1 recovery (dropped: buffer full), then a depth-2
+        // cascade (must freeze anyway).
+        rec.record(Event::instant(Source::Planner, "device_lost").with_device(0));
+        assert_eq!(rec.pending(), 1);
+        rec.record(Event::instant(Source::Planner, "recovery_plan").with_value(1.0));
+        assert_eq!(rec.pending(), 1, "depth-1 respects the cap");
+        rec.record(Event::instant(Source::Planner, "recovery_plan").with_value(2.0));
+        assert_eq!(rec.pending(), 2, "cascade bypasses the cap");
+        let bundles = rec.take_postmortems();
+        assert_eq!(bundles[1].trigger, "recovery_plan");
+        assert_eq!(bundles[1].trigger_event.value, Some(2.0));
+        bundles[1].validate().unwrap();
     }
 
     #[test]

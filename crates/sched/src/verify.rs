@@ -145,22 +145,33 @@ pub type VerifyResult = Result<(), Diagnostic>;
 /// `SalvageCtx`. The default context encodes a normal (non-recovery) plan.
 #[derive(Debug, Clone, Default)]
 pub struct VerifyCtx {
-    /// The failed logical device of a recovery patch, if any.
-    pub failed: Option<u32>,
-    /// Comm ids carrying raw accumulators from the failed device to its
+    /// Dead logical streams of a recovery patch: the failed physical
+    /// rank(s) plus any recovery-shard streams they were hosting when they
+    /// died (cascading failures compose patches, so more than one stream
+    /// can be dead at once).
+    pub failed: HashSet<u32>,
+    /// Comm ids carrying raw accumulators from a dead stream to its
     /// replacement shards.
     pub salvage_comms: HashSet<u32>,
-    /// Shard that deposits each token block's outstanding partial under the
-    /// original comm id (the payload's producer field still names `failed`).
-    pub producer_of: HashMap<TokenBlockId, u32>,
-    /// Token blocks re-owned from the failed device; its truncated prefix
-    /// may still read them locally.
+    /// Shard that deposits each outstanding forward partial under the
+    /// original comm id, keyed by `(token block, original producer)` — the
+    /// payload's producer field still names the dead stream, and two dead
+    /// streams may hold distinct partials for the same token block.
+    pub producer_of: HashMap<(TokenBlockId, u32), u32>,
+    /// Shard that deposits each outstanding backward dQ partial under the
+    /// original comm id, keyed by `(token block, original producer)`.
+    pub producer_of_dq: HashMap<(TokenBlockId, u32), u32>,
+    /// Shard that deposits each outstanding backward dKV partial under the
+    /// original comm id, keyed by `(token block, original producer)`.
+    pub producer_of_dkv: HashMap<(TokenBlockId, u32), u32>,
+    /// Token blocks re-owned away from dead streams; their truncated
+    /// prefixes may still read them locally.
     pub reowned: HashSet<TokenBlockId>,
 }
 
 impl VerifyCtx {
     fn is_failed(&self, dev: u32) -> bool {
-        self.failed == Some(dev)
+        self.failed.contains(&dev)
     }
 }
 
@@ -372,8 +383,7 @@ fn step(
                 let owner = placement.token_dev(tb);
                 let ok = match tr.payload {
                     Payload::Q(_) | Payload::Kv(_) | Payload::DO(_) => {
-                        tr.from == owner
-                            || (ctx.failed == Some(tr.from) && ctx.reowned.contains(&tb))
+                        tr.from == owner || (ctx.is_failed(tr.from) && ctx.reowned.contains(&tb))
                     }
                     Payload::PartialO(_, p)
                     | Payload::PartialDq(_, p)
@@ -395,12 +405,21 @@ fn step(
                 let tb = tr.payload.token_block();
                 let deposit = match tr.payload {
                     Payload::Q(_) | Payload::Kv(_) | Payload::DO(_) => tr.to == dev,
-                    Payload::PartialO(..) if !backward => {
+                    Payload::PartialO(_, p) if !backward => {
                         tr.from == dev
-                            || (ctx.failed == Some(tr.from)
-                                && ctx.producer_of.get(&tb) == Some(&dev))
+                            || (ctx.is_failed(tr.from)
+                                && ctx.producer_of.get(&(tb, p)) == Some(&dev))
                     }
-                    Payload::PartialDq(..) | Payload::PartialDkv(..) if backward => tr.from == dev,
+                    Payload::PartialDq(_, p) if backward => {
+                        tr.from == dev
+                            || (ctx.is_failed(tr.from)
+                                && ctx.producer_of_dq.get(&(tb, p)) == Some(&dev))
+                    }
+                    Payload::PartialDkv(_, p) if backward => {
+                        tr.from == dev
+                            || (ctx.is_failed(tr.from)
+                                && ctx.producer_of_dkv.get(&(tb, p)) == Some(&dev))
+                    }
                     _ => false,
                 };
                 if !deposit {
@@ -431,7 +450,8 @@ fn step(
                                 format!("sends dQ partial for {tb:?} it never computed"),
                             ));
                         }
-                        st.mailbox.insert((cid.0, tr.payload), false);
+                        let is_acc = ctx.salvage_comms.contains(&cid.0);
+                        st.mailbox.insert((cid.0, tr.payload), is_acc);
                     }
                     Payload::PartialDkv(..) => {
                         if !st.dkv[d].contains(&tb) {
@@ -442,7 +462,8 @@ fn step(
                                 format!("sends dKV partial for {tb:?} it never computed"),
                             ));
                         }
-                        st.mailbox.insert((cid.0, tr.payload), false);
+                        let is_acc = ctx.salvage_comms.contains(&cid.0);
+                        st.mailbox.insert((cid.0, tr.payload), is_acc);
                     }
                 }
             }
@@ -505,7 +526,14 @@ fn step(
                     let tb = tr.payload.token_block();
                     if st.avail[d].get(&tr.payload) == Some(&true) {
                         st.avail[d].remove(&tr.payload);
-                        if !st.acc[d].insert(tb) {
+                        // Raw accumulators resume the dead stream's state:
+                        // forward O/LSE accs, or backward dQ/dKV sums.
+                        let target = match tr.payload {
+                            Payload::PartialDq(..) => &mut st.dq[d],
+                            Payload::PartialDkv(..) => &mut st.dkv[d],
+                            _ => &mut st.acc[d],
+                        };
+                        if !target.insert(tb) {
                             return Err(Diagnostic::at(
                                 ViolationKind::DuplicateSalvage,
                                 dev,
@@ -605,8 +633,12 @@ fn step(
                 }
                 st.seen[c.0 as usize] = true;
                 let cb = &layout.comp_blocks[c.0 as usize];
-                let q_owned = placement.token_dev(cb.q_block) == dev;
-                let kv_owned = placement.token_dev(cb.kv_block) == dev;
+                let local = |tb: TokenBlockId| {
+                    placement.token_dev(tb) == dev
+                        || (ctx.is_failed(dev) && ctx.reowned.contains(&tb))
+                };
+                let q_owned = local(cb.q_block);
+                let kv_owned = local(cb.kv_block);
                 if !q_owned && st.avail[d].get(&Payload::Q(cb.q_block)) != Some(&false) {
                     return Err(Diagnostic::at(
                         ViolationKind::MissingInput,
